@@ -1,0 +1,55 @@
+"""Ablation — the T_probing robustness/overhead trade-off (§IV-E).
+
+"The smaller T_probing, the more frequent the backup edge list gets
+updated, during which failed edge nodes get replaced with alive ones.
+Therefore, smaller T_probing brings higher robustness. As a tradeoff,
+higher TopN and smaller T_probing also bring higher overhead."
+"""
+
+from conftest import run_once
+
+from repro.core.config import SystemConfig
+from repro.experiments.churn_experiment import make_churn_trace, run_churn_once
+from repro.metrics.report import format_table
+
+PERIODS_MS = (1_000.0, 2_000.0, 4_000.0, 8_000.0)
+
+
+def run_sweep(seed):
+    base = SystemConfig(seed=seed, top_n=2)
+    trace = make_churn_trace(base)
+    rows = {}
+    for period in PERIODS_MS:
+        config = base.with_(probing_period_ms=period)
+        result = run_churn_once(config, trace=trace)
+        rows[period] = {
+            "probes": result.metrics.total_probes(),
+            "failures": result.metrics.total_failures(),
+            "avg": result.average_latency_ms(60_000.0, 120_000.0),
+        }
+    return rows
+
+
+def test_ablation_probing_period(benchmark, bench_config):
+    rows = run_once(benchmark, run_sweep, bench_config.seed)
+
+    print()
+    print(
+        format_table(
+            ["T_probing (ms)", "probes (overhead)", "uncovered failures", "avg ms"],
+            [
+                [int(period), rows[period]["probes"], rows[period]["failures"],
+                 rows[period]["avg"]]
+                for period in PERIODS_MS
+            ],
+            title="Ablation — probing period: overhead vs robustness (TopN=2)",
+        )
+    )
+
+    probes = [rows[p]["probes"] for p in PERIODS_MS]
+    failures = [rows[p]["failures"] for p in PERIODS_MS]
+    # Overhead shrinks monotonically as the period grows...
+    assert probes == sorted(probes, reverse=True)
+    assert probes[0] > 2.5 * probes[-1]
+    # ...while stale backup lists at the slowest cadence cost robustness.
+    assert failures[-1] >= failures[0]

@@ -1,0 +1,54 @@
+"""Table II — hardware and per-frame processing performance.
+
+The catalog itself encodes Table II; this benchmark *measures* each
+profile's single-frame processing time on an idle simulated node and
+checks it reproduces the table exactly.
+"""
+
+from conftest import run_once
+
+from repro.metrics.report import format_table
+from repro.nodes.hardware import CLOUD_NODE, DEDICATED_PROFILES, VOLUNTEER_PROFILES
+from repro.nodes.processing import FrameProcessor
+
+PAPER_TABLE2 = {
+    "V1": 24.0,
+    "V2": 32.0,
+    "V3": 31.0,
+    "V4": 45.0,
+    "V5": 49.0,
+    "D6": 30.0,
+    "D7": 30.0,
+    "D8": 30.0,
+    "D9": 30.0,
+    "Cloud": 30.0,
+}
+
+
+def measure_all():
+    measured = {}
+    for profile in [*VOLUNTEER_PROFILES, *DEDICATED_PROFILES, CLOUD_NODE]:
+        processor = FrameProcessor(profile)
+        frame = processor.submit(0.0)
+        measured[profile.name] = (profile, frame.sojourn_ms)
+    return measured
+
+
+def test_table2_hardware(benchmark):
+    measured = run_once(benchmark, measure_all)
+
+    rows = [
+        [name, profile.processor, profile.cores, sojourn, PAPER_TABLE2[name]]
+        for name, (profile, sojourn) in measured.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["node", "processor", "cores", "measured ms", "paper ms"],
+            rows,
+            title="Table II — idle per-frame processing time",
+        )
+    )
+
+    for name, (_, sojourn) in measured.items():
+        assert sojourn == PAPER_TABLE2[name], f"{name} deviates from Table II"

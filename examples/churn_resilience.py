@@ -1,0 +1,44 @@
+"""Surviving volunteer churn: proactive backups in action.
+
+Reproduces the flavour of §V-D2: 10 static users while volunteer nodes
+come and go (Poisson arrivals, Weibull lifetimes). Shows how the
+failure monitor absorbs node departures through the pre-connected
+backup list, and what happens when ``TopN = 1`` strips users of
+backups.
+
+Run:  python examples/churn_resilience.py
+"""
+
+from repro import SystemConfig
+from repro.experiments.churn_experiment import make_churn_trace, run_churn_once
+
+
+def run(top_n: int) -> None:
+    config = SystemConfig(seed=11).with_top_n(top_n)
+    trace = make_churn_trace(SystemConfig(seed=11))
+    result = run_churn_once(config, trace=trace)
+    metrics = result.metrics
+
+    covered = sum(metrics.covered_failovers.values())
+    uncovered = metrics.total_failures()
+    avg = result.average_latency_ms(60_000, 120_000)
+    print(
+        f"TopN={top_n}: {len(trace)} volunteer episodes over 3 min | "
+        f"failovers absorbed by backups: {covered:3d} | "
+        f"uncovered failures (re-discovery): {uncovered:3d} | "
+        f"avg latency (60-120 s): {avg:6.1f} ms"
+    )
+
+
+def main() -> None:
+    print("Node churn: Poisson(k=4)/30 s arrivals, Weibull(mean 50 s) lifetimes\n")
+    for top_n in (1, 2, 3):
+        run(top_n)
+    print(
+        "\nTopN=1 leaves no backups: every departure of the attached node"
+        "\nforces a full re-discovery; TopN>=2 absorbs nearly all of them."
+    )
+
+
+if __name__ == "__main__":
+    main()

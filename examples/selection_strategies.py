@@ -1,0 +1,40 @@
+"""Comparing edge selection strategies under rising demand (mini Fig. 5).
+
+Runs the real-world deployment at three user counts under all five
+policies of the paper's evaluation and prints the average end-to-end
+latency table — the qualitative content of Fig. 5.
+
+Run:  python examples/selection_strategies.py   (takes ~10 s)
+"""
+
+from repro import SystemConfig
+from repro.experiments.realworld import STRATEGIES, run_elasticity_sweep
+from repro.metrics.report import format_table
+
+
+def main() -> None:
+    counts = [5, 10, 15]
+    result = run_elasticity_sweep(SystemConfig(seed=42), user_counts=counts)
+
+    rows = []
+    for strategy in STRATEGIES:
+        rows.append([strategy] + [f"{v:.1f}" for v in result.series(strategy)])
+    print(
+        format_table(
+            ["strategy"] + [f"{n} users" for n in counts],
+            rows,
+            title="Average end-to-end latency (ms) with increasing demand",
+        )
+    )
+
+    ours = result.series("client_centric")[-1]
+    print("\nAt 15 users, client-centric selection vs the baselines:")
+    for strategy in STRATEGIES:
+        if strategy == "client_centric":
+            continue
+        other = result.series(strategy)[-1]
+        print(f"  vs {strategy:15s}: {(1 - ours / other) * 100:+5.1f}% latency reduction")
+
+
+if __name__ == "__main__":
+    main()

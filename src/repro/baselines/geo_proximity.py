@@ -1,0 +1,97 @@
+"""Geo-proximity (locality-based) baseline.
+
+"Users are assigned to their closest edge nodes geographically to offload
+the computation. The latency between users and edge nodes is assumed to
+be proportional to the distance, and resource capacity is not considered
+to be the bottleneck" (§V-B).
+
+The client asks the manager for the node nearest to it (great-circle
+distance over heartbeat-reported coordinates) and attaches. It never
+probes and never reconsiders unless its node fails — the two blind spots
+Figs. 5-7 expose: actual network latency is *not* proportional to
+distance in heterogeneous ISP environments, and ignoring capacity piles
+users onto the closest node until it overloads.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.client import EdgeClient
+
+
+class GeoProximityClient(EdgeClient):
+    """Locality-based selection; reactive recovery on failure."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        kwargs.setdefault("proactive_connections", False)
+        super().__init__(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    def _begin_selection_round(self) -> None:
+        """Attach to the geographically closest alive node (once)."""
+        if self._stopped or self._round_in_progress:
+            return
+        if self.attached:
+            return  # locality policy never re-selects while attached
+        self._round_in_progress = True
+        rtt = self.system.topology.rtt_ms(self.user_id, self.system.manager_id)
+        self.system.sim.schedule(
+            rtt, self._attach_closest, label=f"{self.user_id}.geo"
+        )
+
+    def _attach_closest(self) -> None:
+        if self._stopped:
+            return
+        target = self._closest_node_id()
+        if target is None:
+            self._end_round()
+            self.system.sim.schedule(500.0, self._begin_selection_round)
+            return
+        node = self.system.nodes.get(target)
+        rtt = self.system.topology.rtt_ms(self.user_id, target)
+
+        def deliver() -> None:
+            if self._stopped:
+                return
+            if node is not None and node.alive and node.unexpected_join(
+                self.user_id, self.controller.fps
+            ):
+                self.current_edge = target
+                self._ensure_link(target, rtt)
+                self._end_round()
+                self._flush_backlog()
+            else:
+                self._end_round()
+                self.system.sim.schedule(500.0, self._begin_selection_round)
+
+        self.system.sim.schedule(rtt, deliver, label=f"{self.user_id}.geojoin")
+
+    def _closest_node_id(self) -> Optional[str]:
+        self.stats.discovery_queries += 1
+        self.system.metrics.record_discovery(self.user_id)
+        statuses = self.system.manager.alive_statuses()
+        predicate = self.system.manager.policy.node_predicate
+        if predicate is not None:
+            statuses = [s for s in statuses if predicate(s)]
+        if not statuses:
+            return None
+        user_point = self.system.topology.endpoint(self.user_id).point
+        closest = min(
+            statuses,
+            key=lambda s: (user_point.distance_km(s.point), s.node_id),
+        )
+        return closest.node_id
+
+    # ------------------------------------------------------------------
+    def on_edge_failure(self, node_id: str) -> None:
+        """Reactive: lose the node, rediscover the (new) closest."""
+        if self._stopped:
+            return
+        self.links.pop(node_id, None)
+        if node_id != self.current_edge:
+            return
+        self.current_edge = None
+        self.stats.uncovered_failures += 1
+        self.system.metrics.record_failure(self.user_id, self.system.sim.now)
+        self._begin_selection_round()

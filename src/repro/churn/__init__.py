@@ -1,0 +1,29 @@
+"""Node churn: arrival/lifetime models, trace generation and injection.
+
+§V-D2 models volunteer churn as: "the probability of nodes joining the
+system every 30 seconds follows the Poisson distribution (k = 4 edge
+nodes). Arriving nodes are randomly assigned a timestamp (second) in each
+30 seconds period. And the lifetime of edge nodes is modeled using
+Weibull distribution (average lifetime = 50 seconds)."
+
+- :mod:`~repro.churn.models` — the Poisson-arrivals and Weibull-lifetime
+  samplers.
+- :mod:`~repro.churn.trace` — generate a full churn trace (join/fail
+  event list), including the paper's "randomly select a configuration
+  ... which results in a total of 18 edge nodes" rejection step.
+- :mod:`~repro.churn.injector` — replay a trace against a running
+  :class:`~repro.core.system.EdgeSystem`.
+"""
+
+from repro.churn.models import PoissonArrivalModel, WeibullLifetimeModel
+from repro.churn.trace import ChurnTrace, NodeEpisode, generate_trace
+from repro.churn.injector import ChurnInjector
+
+__all__ = [
+    "PoissonArrivalModel",
+    "WeibullLifetimeModel",
+    "NodeEpisode",
+    "ChurnTrace",
+    "generate_trace",
+    "ChurnInjector",
+]

@@ -1,0 +1,81 @@
+"""Stochastic models for volunteer node churn."""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class PoissonArrivalModel:
+    """Epoch-based Poisson arrivals.
+
+    Per epoch of ``epoch_ms``, the number of joining nodes is
+    ``Poisson(k)``; each arrival lands at an independent uniform-random
+    timestamp inside the epoch (the paper assigns "a timestamp (second)
+    in each 30 seconds period" — we keep millisecond resolution).
+    """
+
+    k: float = 4.0
+    epoch_ms: float = 30_000.0
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError(f"k must be positive: {self.k}")
+        if self.epoch_ms <= 0:
+            raise ValueError(f"epoch_ms must be positive: {self.epoch_ms}")
+
+    def sample_count(self, rng: random.Random) -> int:
+        """Draw a Poisson(k) variate (Knuth's method; k is small)."""
+        threshold = math.exp(-self.k)
+        count = 0
+        product = rng.random()
+        while product > threshold:
+            count += 1
+            product *= rng.random()
+        return count
+
+    def sample_epoch_arrivals(self, rng: random.Random, epoch_start_ms: float) -> List[float]:
+        """Arrival times for one epoch, sorted ascending."""
+        count = self.sample_count(rng)
+        times = [epoch_start_ms + rng.random() * self.epoch_ms for _ in range(count)]
+        times.sort()
+        return times
+
+
+@dataclass(frozen=True)
+class WeibullLifetimeModel:
+    """Weibull node lifetimes.
+
+    The paper fixes only the mean (50 s); the shape parameter is a free
+    choice. ``shape = 1.5`` gives the right-skewed, new-node-unstable
+    profile typical of volunteer-availability studies; the scale is
+    derived so the mean is exact: ``scale = mean / Gamma(1 + 1/shape)``.
+    """
+
+    mean_ms: float = 50_000.0
+    shape: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.mean_ms <= 0:
+            raise ValueError(f"mean_ms must be positive: {self.mean_ms}")
+        if self.shape <= 0:
+            raise ValueError(f"shape must be positive: {self.shape}")
+
+    @property
+    def scale_ms(self) -> float:
+        return self.mean_ms / math.gamma(1.0 + 1.0 / self.shape)
+
+    def sample_lifetime_ms(self, rng: random.Random) -> float:
+        """One Weibull lifetime (inverse-CDF sampling), floored at 1 s.
+
+        The floor avoids degenerate sub-second nodes that could never
+        even heartbeat once; it shifts the mean by well under 1%.
+        """
+        u = rng.random()
+        # Guard the log against u == 0.
+        u = max(u, 1e-12)
+        lifetime = self.scale_ms * (-math.log(u)) ** (1.0 / self.shape)
+        return max(lifetime, 1_000.0)

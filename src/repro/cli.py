@@ -1,0 +1,316 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Usage::
+
+    python -m repro list                 # all available experiments
+    python -m repro fig5 --seed 7        # Fig. 5 with a custom seed
+    python -m repro fig9 --top-n 1 2 3   # restrict the TopN sweep
+    python -m repro table3
+    python -m repro qos --qos-ms 80
+
+Every command prints the same tables the benchmark harness does; seeds
+make runs reproducible. This is deliberately thin plumbing over
+:mod:`repro.experiments` — anything the CLI prints, library users can
+compute programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.config import SystemConfig
+from repro.metrics.report import format_cdf, format_table
+
+
+def _config(args: argparse.Namespace) -> SystemConfig:
+    return SystemConfig(seed=args.seed)
+
+
+# ----------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------
+def cmd_fig1(args: argparse.Namespace) -> None:
+    from repro.experiments.network_study import run_network_study
+
+    result = run_network_study(_config(args), probes_per_pair=args.probes)
+    rows = [
+        [name, s.mean_ms, s.p50_ms, s.p90_ms, s.min_ms, s.max_ms]
+        for name, s in result.summaries().items()
+    ]
+    print(
+        format_table(
+            ["target class", "mean", "p50", "p90", "min", "max"],
+            rows,
+            title="Fig. 1 — RTT (ms) from metro users",
+        )
+    )
+
+
+def cmd_table2(args: argparse.Namespace) -> None:
+    from repro.nodes.hardware import CLOUD_NODE, DEDICATED_PROFILES, VOLUNTEER_PROFILES
+
+    rows = [
+        [p.name, p.processor, p.cores, p.base_frame_ms, p.capacity_fps]
+        for p in [*VOLUNTEER_PROFILES, *DEDICATED_PROFILES, CLOUD_NODE]
+    ]
+    print(
+        format_table(
+            ["node", "processor", "cores", "frame ms", "capacity fps"],
+            rows,
+            title="Table II — hardware catalog",
+        )
+    )
+
+
+def cmd_fig3(args: argparse.Namespace) -> None:
+    from repro.experiments.realworld import run_single_user_cdf
+
+    result = run_single_user_cdf(_config(args))
+    means = result.means()
+    print(
+        format_table(
+            ["edge server", "mean e2e ms"],
+            [[node, means[node]] for node in result.latencies],
+            title=f"Fig. 3 — user {result.user_id} vs edge servers",
+        )
+    )
+    if args.cdf:
+        for node, points in result.cdfs().items():
+            print(format_cdf(points, label=f"{node} e2e (ms)"))
+
+
+def cmd_table3(args: argparse.Namespace) -> None:
+    from repro.experiments.realworld import run_pairwise_selection
+
+    result = run_pairwise_selection(_config(args))
+    rows = []
+    for user in result.user_ids:
+        cells = [
+            f"{result.pairwise_ms[(user, node)]:5.0f}"
+            + ("*" if result.selected[user] == node else " ")
+            for node in result.node_ids
+        ]
+        rows.append([user] + cells)
+    print(
+        format_table(
+            ["user"] + list(result.node_ids),
+            rows,
+            title="Table III — pairwise e2e latency (ms); * = selected",
+        )
+    )
+
+
+def cmd_fig4(args: argparse.Namespace) -> None:
+    from repro.experiments.realworld import run_failover_trace
+
+    result = run_failover_trace(_config(args))
+    print(
+        format_table(
+            ["approach", "peak latency after failure (ms)"],
+            [
+                ["proactive switch (ours)", result.proactive_peak_ms],
+                ["re-connect", result.reactive_peak_ms],
+            ],
+            title=f"Fig. 4 — node killed at t={result.fail_at_ms / 1000:.0f}s",
+        )
+    )
+
+
+def cmd_fig5(args: argparse.Namespace) -> None:
+    from repro.experiments.realworld import STRATEGIES, run_elasticity_sweep
+
+    counts = args.users or [1, 3, 5, 7, 9, 11, 13, 15]
+    result = run_elasticity_sweep(_config(args), user_counts=counts)
+    rows = [
+        [strategy] + [f"{v:.0f}" for v in result.series(strategy)]
+        for strategy in STRATEGIES
+    ]
+    print(
+        format_table(
+            ["strategy"] + [str(n) for n in counts],
+            rows,
+            title="Fig. 5 — average e2e latency (ms) by user count",
+        )
+    )
+
+
+def cmd_fig6(args: argparse.Namespace) -> None:
+    from repro.experiments.emulation import run_user_traces
+    from repro.metrics.stats import mean
+
+    result = run_user_traces(_config(args))
+    rows = []
+    for method in result.methods:
+        values = [v for trace in result.traces[method].values() for _, v in trace]
+        rows.append([method, mean(values), result.over_150_users[method]])
+    print(
+        format_table(
+            ["method", "trace mean ms", "users ever >150ms"],
+            rows,
+            title="Fig. 6 — per-user traces (emulation)",
+        )
+    )
+
+
+def cmd_fig7(args: argparse.Namespace) -> None:
+    from repro.experiments.emulation import run_vs_optimal
+
+    result = run_vs_optimal(_config(args))
+    rows = [["optimal (offline)", result.optimal_ms, "0%"]]
+    for method, value in result.averages_ms.items():
+        rows.append([method, value, f"{result.overhead_pct(method):+.0f}%"])
+    print(
+        format_table(
+            ["method", "avg latency ms", "vs optimal"],
+            rows,
+            title="Fig. 7 — settled average vs optimal assignment",
+        )
+    )
+
+
+def cmd_fig8(args: argparse.Namespace) -> None:
+    from repro.experiments.churn_experiment import run_churn_trace
+
+    result = run_churn_trace(_config(args))
+    print(f"Fig. 8 — {result.total_nodes} volunteer episodes over 3 minutes")
+    print(
+        "population:",
+        " ".join(f"{t / 1000:.0f}s:{c}" for t, c in result.population_steps),
+    )
+    print(
+        format_table(
+            ["window", "avg latency ms"],
+            [[f"{t / 1000:.0f}s", v] for t, v in result.latency_trace],
+        )
+    )
+
+
+def cmd_fig9(args: argparse.Namespace) -> None:
+    from repro.experiments.churn_experiment import run_topn_sweep
+
+    top_ns = tuple(args.top_n or (1, 2, 3, 4, 5))
+    result = run_topn_sweep(_config(args), top_ns=top_ns)
+    rows = [
+        [
+            n,
+            result.probes[n],
+            result.test_invocations[n],
+            result.avg_latency_ms[n],
+            result.fairness_std_ms[n],
+            result.uncovered_failures[n],
+        ]
+        for n in result.top_ns
+    ]
+    print(
+        format_table(
+            ["TopN", "probes", "test invocations", "avg ms", "fairness std",
+             "failures"],
+            rows,
+            title="Fig. 9 — TopN sweep",
+        )
+    )
+
+
+def cmd_fig10(args: argparse.Namespace) -> None:
+    from repro.experiments.churn_experiment import run_fault_tolerance
+
+    result = run_fault_tolerance(_config(args))
+    print(
+        format_table(
+            ["approach", "mean recovery downtime ms"],
+            [
+                ["proactive (ours)", result.proactive_recovery_ms],
+                ["reactive re-connect", result.reactive_recovery_ms],
+            ],
+            title="Fig. 10(a) — failover downtime",
+        )
+    )
+    print(
+        format_table(
+            ["TopN", "uncovered failures"],
+            [[n, result.failures_by_topn[n]] for n in sorted(result.failures_by_topn)],
+            title="Fig. 10(b) — failures by TopN",
+        )
+    )
+
+
+def cmd_qos(args: argparse.Namespace) -> None:
+    from repro.experiments.qos_admission import run_qos_admission
+
+    result = run_qos_admission(_config(args), qos_latency_ms=args.qos_ms)
+    rows = []
+    for n in result.user_counts:
+        w, wo = result.with_qos[n], result.without_qos[n]
+        rows.append(
+            [n, f"{w.admitted}/{n}", f"{w.violation_rate:.1%}",
+             f"{wo.violation_rate:.1%}"]
+        )
+    print(
+        format_table(
+            ["users", "admitted (QoS on)", "violations (on)", "violations (off)"],
+            rows,
+            title=f"QoS admission control at {args.qos_ms:.0f} ms",
+        )
+    )
+
+
+COMMANDS = {
+    "fig1": (cmd_fig1, "Fig. 1 network study"),
+    "table2": (cmd_table2, "Table II hardware catalog"),
+    "fig3": (cmd_fig3, "Fig. 3 single-user latency CDFs"),
+    "table3": (cmd_table3, "Table III pairwise latency + selection"),
+    "fig4": (cmd_fig4, "Fig. 4 failover trace"),
+    "fig5": (cmd_fig5, "Fig. 5 elasticity sweep"),
+    "fig6": (cmd_fig6, "Fig. 6 per-user traces"),
+    "fig7": (cmd_fig7, "Fig. 7 vs optimal assignment"),
+    "fig8": (cmd_fig8, "Fig. 8 churn trace"),
+    "fig9": (cmd_fig9, "Fig. 9 TopN sweep"),
+    "fig10": (cmd_fig10, "Fig. 10 fault tolerance"),
+    "qos": (cmd_qos, "QoS admission extension"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    for name, (_, help_text) in COMMANDS.items():
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument("--seed", type=int, default=42)
+        if name == "fig1":
+            sub.add_argument("--probes", type=int, default=20)
+        if name == "fig3":
+            sub.add_argument("--cdf", action="store_true", help="print full CDFs")
+        if name == "fig5":
+            sub.add_argument("--users", type=int, nargs="+", default=None)
+        if name == "fig9":
+            sub.add_argument("--top-n", type=int, nargs="+", default=None)
+        if name == "qos":
+            sub.add_argument("--qos-ms", type=float, default=90.0)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    if args.command == "list":
+        rows: List[List[str]] = [[name, help_] for name, (_, help_) in COMMANDS.items()]
+        print(format_table(["command", "regenerates"], rows))
+        return 0
+    handler, _ = COMMANDS[args.command]
+    handler(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,574 @@
+"""The application user (client) — the heart of the client-centric approach.
+
+An :class:`EdgeClient` runs three concurrent activities on the simulator:
+
+1. **The offloading loop** — sends encoded frames to the attached edge
+   node at the adaptive rate, measures end-to-end latency per response,
+   and feeds the rate controller. While unattached, frames accumulate in
+   a bounded client-side backlog and are flushed on (re)attach, so
+   downtime shows up as latency spikes exactly as in Fig. 4.
+2. **The periodic selection round** (Algorithm 2) — every ``T_probing``:
+   edge discovery at the Central Manager, parallel ``RTT_probe`` +
+   ``Process_probe`` of all candidates, local policy sort, hysteretic
+   switch via ``Join()`` (repeating from discovery on rejection), and
+   backup-list refresh with proactive connections.
+3. **Failure handling** — on a broken connection to the attached node,
+   walk the backup list with ``Unexpected_join()``; only when every
+   backup is dead too does the client fall back to reactive re-discovery
+   (counted as a *failure*, Fig. 10b).
+
+Baselines (geo-proximity, resource-aware WRR, ...) subclass this and
+override only the selection round — frames, links, adaptation and
+failure detection are shared machinery, so every strategy pays identical
+costs elsewhere.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional
+
+from repro.core.config import SystemConfig
+from repro.core.failure_monitor import FailureMonitor
+from repro.core.messages import CandidateList, DiscoveryQuery
+from repro.core.policies.local_policies import LocalSelectionPolicy, policy_for
+from repro.core.probing import ProbeOutcome
+from repro.net.link import CONNECTION_SETUP_RTTS, Link
+from repro.sim.kernel import TimerHandle
+from repro.workload.adaptive import AdaptiveRateController
+from repro.workload.ar import ARApplication
+from repro.workload.frames import Frame, FrameSource
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.system import EdgeSystem
+
+
+@dataclass
+class ClientStats:
+    """Per-client counters surfaced to experiments."""
+
+    frames_sent: int = 0
+    frames_completed: int = 0
+    frames_lost: int = 0
+    probes_sent: int = 0
+    discovery_queries: int = 0
+    joins_accepted: int = 0
+    joins_rejected: int = 0
+    switches: int = 0
+    covered_failovers: int = 0
+    uncovered_failures: int = 0
+    latencies_ms: List[float] = field(default_factory=list)
+
+    @property
+    def mean_latency_ms(self) -> float:
+        if not self.latencies_ms:
+            raise ValueError("no completed frames yet")
+        return sum(self.latencies_ms) / len(self.latencies_ms)
+
+
+class EdgeClient:
+    """A user device running the client-centric edge selection.
+
+    Args:
+        system: owning :class:`~repro.core.system.EdgeSystem`.
+        user_id: unique id; must match a registered network endpoint.
+        app: application profile (defaults to the system's).
+        local_policy: ranking over probe outcomes; defaults to the
+            config-selected LO/GO(/QoS) policy.
+        proactive_connections: keep standing connections to backups
+            (False reproduces the reactive "re-connect" baseline).
+        backlog_limit: max frames buffered while unattached.
+    """
+
+    def __init__(
+        self,
+        system: "EdgeSystem",
+        user_id: str,
+        *,
+        app: Optional[ARApplication] = None,
+        local_policy: Optional[LocalSelectionPolicy] = None,
+        proactive_connections: bool = True,
+        backlog_limit: int = 64,
+    ) -> None:
+        self.system = system
+        self.user_id = user_id
+        self.config: SystemConfig = system.config
+        self.app = app or system.app
+        self.local_policy = local_policy or policy_for(
+            self.config.use_global_overhead, self.config.qos_latency_ms
+        )
+        self.proactive_connections = proactive_connections
+        self.controller = AdaptiveRateController(self.app)
+        rng = system.streams.get(f"client.{user_id}")
+        self.frame_source = FrameSource(user_id, self.app, rng)
+        self._rng = rng
+
+        self.current_edge: Optional[str] = None
+        self.failure_monitor = FailureMonitor()
+        self.links: Dict[str, Link] = {}
+        self.stats = ClientStats()
+        #: Live robustness knobs (§IV-E): start at the configured values;
+        #: an attached AdaptiveRobustness controller may move them with
+        #: observed churn.
+        self.top_n = self.config.top_n
+        self.probing_period_ms = self.config.probing_period_ms
+        self.robustness_controller: Optional[object] = None
+        self._backlog: Deque[Frame] = deque(maxlen=backlog_limit)
+        self._round_in_progress = False
+        self._retries = 0
+        self._last_join_ms = float("-inf")
+        self._probe_event = None
+        self._offload_timer: Optional[TimerHandle] = None
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Join the system: first selection round + periodic timers."""
+        self._begin_selection_round()
+        self._schedule_probe_round()
+        self._schedule_next_frame(self.controller.interval_ms)
+
+    def _schedule_probe_round(self) -> None:
+        """Self-rescheduling probing timer.
+
+        Self-rescheduling (rather than a fixed periodic timer) lets the
+        probing cadence follow ``probing_period_ms`` when an adaptive
+        robustness controller moves it between rounds.
+        """
+        if self._stopped:
+            return
+        delay = self.probing_period_ms
+        if self.config.probing_jitter_ms > 0:
+            delay += self._rng.uniform(
+                -self.config.probing_jitter_ms, self.config.probing_jitter_ms
+            )
+        delay = max(delay, 100.0)
+
+        def fire() -> None:
+            if self._stopped:
+                return
+            self._begin_selection_round()
+            self._schedule_probe_round()
+
+        self._probe_event = self.system.sim.schedule(
+            delay, fire, label=f"{self.user_id}.probe"
+        )
+
+    def stop(self) -> None:
+        """Leave the system (task finished)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._probe_event is not None:
+            self._probe_event.cancel()
+        if self._offload_timer is not None:
+            self._offload_timer.cancel()
+        if self.current_edge is not None:
+            self._send_leave(self.current_edge, reason="finish")
+            self.current_edge = None
+
+    @property
+    def attached(self) -> bool:
+        return self.current_edge is not None
+
+    # ------------------------------------------------------------------
+    # Selection round (Algorithm 2) — overridden by baselines
+    # ------------------------------------------------------------------
+    def _begin_selection_round(self) -> None:
+        if self._stopped or self._round_in_progress:
+            return
+        self._round_in_progress = True
+        self._retries = 0
+        self._send_discovery()
+
+    def _send_discovery(self, exclude: tuple = ()) -> None:
+        """Edge discovery: one round trip to the Central Manager."""
+        self.stats.discovery_queries += 1
+        endpoint = self.system.topology.endpoint(self.user_id)
+        query = DiscoveryQuery(
+            user_id=self.user_id,
+            lat=endpoint.point.lat,
+            lon=endpoint.point.lon,
+            top_n=self.top_n,
+            isp=endpoint.isp,
+            exclude=exclude,
+        )
+        rtt = self.system.topology.rtt_ms(self.user_id, self.system.manager_id)
+        self.system.sim.schedule(
+            rtt,
+            lambda: self._on_candidates(self.system.manager.discover(query)),
+            label=f"{self.user_id}.discover",
+        )
+
+    def _on_candidates(self, candidates: CandidateList) -> None:
+        if self._stopped:
+            return
+        if not candidates.node_ids:
+            # Nothing available: end the round; the periodic timer (or a
+            # short retry while detached) tries again.
+            self._end_round()
+            if not self.attached:
+                self.system.sim.schedule(500.0, self._begin_selection_round)
+            return
+        node_ids = list(candidates.node_ids)
+        # Algorithm 2 line 12 compares C[0] against Current, so Current is
+        # always probed — even when the manager's availability sort
+        # dropped it from the list (a node loaded by *this* user scores
+        # low on availability, which must not force a blind switch).
+        if self.current_edge is not None and self.current_edge not in node_ids:
+            node_ids.append(self.current_edge)
+        self._probe_candidates(node_ids)
+
+    def _probe_candidates(self, node_ids: List[str]) -> None:
+        """Probe all candidates in parallel; collect when the slowest returns.
+
+        Each probe measures ``D_prop`` (the sampled RTT *is* the
+        measurement) and reads the candidate's what-if cache. Dead
+        candidates simply never answer and are dropped when the round
+        closes. Probing a candidate also warms a connection to it —
+        this is how proactive backup connections get established.
+        """
+        topology = self.system.topology
+        outcomes: List[ProbeOutcome] = []
+        max_rtt = 0.0
+        samples = self.config.rtt_probe_samples
+        for node_id in node_ids:
+            self.stats.probes_sent += 1
+            self.system.metrics.record_probe(self.user_id)
+            if not topology.has_endpoint(node_id):
+                continue
+            pings = [
+                topology.rtt_ms(self.user_id, node_id) for _ in range(samples)
+            ]
+            rtt = sum(pings) / len(pings)
+            max_rtt = max(max_rtt, rtt)
+            node = self.system.nodes.get(node_id)
+            if node is None:
+                continue
+            reply = node.process_probe()
+            if reply is None:
+                continue  # dead node: probe times out silently
+            outcomes.append(
+                ProbeOutcome(
+                    node_id=node_id,
+                    d_prop_ms=rtt,
+                    d_proc_ms=reply.what_if_ms,
+                    seq_num=reply.seq_num,
+                    attached_users=reply.attached_users,
+                    current_proc_ms=reply.current_proc_ms,
+                    stay_ms=reply.stay_ms or reply.what_if_ms,
+                    probed_at_ms=self.system.sim.now,
+                )
+            )
+            if self.proactive_connections:
+                self._ensure_link(node_id, rtt)
+        self.system.sim.schedule(
+            max_rtt if max_rtt > 0 else 1.0,
+            lambda: self._on_probes_done(outcomes),
+            label=f"{self.user_id}.probed",
+        )
+
+    def _on_probes_done(self, outcomes: List[ProbeOutcome]) -> None:
+        if self._stopped:
+            return
+        # For the node we are already attached to, the question is not
+        # "what if one more user joins" (we are one of its n users) but
+        # "what do I get by staying at my full rate" — the stay
+        # projection the probe reply carries. Substituting it before
+        # ranking removes a systematic bias against staying put without
+        # letting adaptive throttling mask overload.
+        if self.attached:
+            outcomes = [
+                replace(o, d_proc_ms=o.stay_ms)
+                if o.node_id == self.current_edge
+                else o
+                for o in outcomes
+            ]
+        ranked = self.local_policy(outcomes)
+        if not ranked:
+            # No candidate satisfies QoS / all candidates dead.
+            self._end_round()
+            if not self.attached:
+                self.system.sim.schedule(500.0, self._begin_selection_round)
+            return
+        best = ranked[0]
+        if self.attached and best.node_id == self.current_edge:
+            self._adopt_backups(ranked[1:])
+            self._end_round()
+            return
+        if self.attached:
+            # Dwell: a voluntary switch is only considered once the
+            # previous join has had time to settle.
+            if (
+                self.system.sim.now - self._last_join_ms
+                < self.config.min_dwell_ms
+            ):
+                ranked_backups = [o for o in ranked if o.node_id != self.current_edge]
+                self._adopt_backups(ranked_backups)
+                self._end_round()
+                return
+            current_outcome = next(
+                (o for o in ranked if o.node_id == self.current_edge), None
+            )
+            threshold = (
+                current_outcome.local_overhead_ms
+                * (1.0 - self.config.switch_penalty_fraction)
+                - self.config.switch_penalty_ms
+                if current_outcome is not None
+                else float("inf")
+            )
+            if current_outcome is not None and best.local_overhead_ms >= threshold:
+                # Hysteresis: not enough improvement to justify a switch.
+                ranked_backups = [o for o in ranked if o.node_id != self.current_edge]
+                self._adopt_backups(ranked_backups)
+                self._end_round()
+                return
+        self._send_join(best, ranked)
+
+    def _send_join(self, best: ProbeOutcome, ranked: List[ProbeOutcome]) -> None:
+        """``Join()`` the best candidate, echoing its probed seqNum."""
+        node = self.system.nodes.get(best.node_id)
+        rtt = self.system.topology.rtt_ms(self.user_id, best.node_id)
+
+        def deliver() -> None:
+            if self._stopped:
+                return
+            if node is None or not node.alive:
+                self._on_join_rejected()
+                return
+            reply = node.join(self.user_id, best.seq_num, self.controller.fps)
+            self.system.metrics.record_join(self.user_id, reply.accepted)
+            if reply.accepted:
+                self.stats.joins_accepted += 1
+                self._on_join_accepted(best, ranked)
+            else:
+                self.stats.joins_rejected += 1
+                self._on_join_rejected()
+
+        self.system.sim.schedule(rtt, deliver, label=f"{self.user_id}.join")
+
+    def _on_join_accepted(self, best: ProbeOutcome, ranked: List[ProbeOutcome]) -> None:
+        previous = self.current_edge
+        if previous is not None and previous != best.node_id:
+            self._send_leave(previous, reason="switch")
+            self.stats.switches += 1
+            self.system.metrics.record_switch(self.user_id)
+        was_attached = previous is not None
+        self.current_edge = best.node_id
+        self._last_join_ms = self.system.sim.now
+        self._ensure_link(best.node_id, best.d_prop_ms)
+        self._adopt_backups([o for o in ranked if o.node_id != best.node_id])
+        self._end_round()
+        if not was_attached:
+            self._flush_backlog()
+
+    def _on_join_rejected(self) -> None:
+        """Join rejected (state changed): repeat from the discovery step."""
+        self._retries += 1
+        if self._retries <= self.config.max_discovery_retries:
+            self._send_discovery()
+        else:
+            self._end_round()
+            if not self.attached:
+                self.system.sim.schedule(500.0, self._begin_selection_round)
+
+    def _adopt_backups(self, ranked_rest: List[ProbeOutcome]) -> None:
+        backup_count = max(0, self.top_n - 1)
+        backup_ids = [o.node_id for o in ranked_rest[:backup_count]]
+        self.failure_monitor.update_backups(backup_ids)
+        if self.proactive_connections:
+            for outcome in ranked_rest[:backup_count]:
+                self._ensure_link(outcome.node_id, outcome.d_prop_ms)
+        self._prune_links()
+
+    def _end_round(self) -> None:
+        self._round_in_progress = False
+
+    # ------------------------------------------------------------------
+    # Links
+    # ------------------------------------------------------------------
+    def _ensure_link(self, node_id: str, rtt_ms: float) -> Link:
+        link = self.links.get(node_id)
+        if link is None:
+            link = Link(self.user_id, node_id, rtt_ms)
+            link.mark_up(self.system.sim.now)  # warmed by the probe exchange
+            self.links[node_id] = link
+        else:
+            link.rtt_ms = rtt_ms
+        return link
+
+    def _prune_links(self) -> None:
+        """Close connections to nodes that are neither current nor backup."""
+        keep = set(self.failure_monitor.backups)
+        if self.current_edge is not None:
+            keep.add(self.current_edge)
+        for node_id in list(self.links):
+            if node_id not in keep:
+                del self.links[node_id]
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def on_edge_failure(self, node_id: str) -> None:
+        """A connection to ``node_id`` broke (delivered by the system
+        ``failure_detection_ms`` after the node died)."""
+        if self._stopped:
+            return
+        self.links.pop(node_id, None)
+        if node_id != self.current_edge:
+            self.failure_monitor.remove(node_id)
+            return
+        self.current_edge = None
+        self._failover()
+
+    def _failover(self) -> None:
+        """Walk the backup list; uncovered failure falls back to discovery."""
+        backup_id = self.failure_monitor.next_backup()
+        if backup_id is None:
+            self.failure_monitor.note_uncovered()
+            self.stats.uncovered_failures += 1
+            self.system.metrics.record_failure(self.user_id, self.system.sim.now)
+            self._reactive_reconnect()
+            return
+        node = self.system.nodes.get(backup_id)
+        rtt = (
+            self.system.topology.rtt_ms(self.user_id, backup_id)
+            if self.system.topology.has_endpoint(backup_id)
+            else self.config.common_rtt_ms
+        )
+        if not self.proactive_connections:
+            rtt += CONNECTION_SETUP_RTTS * rtt  # fresh connection first
+
+        def deliver() -> None:
+            if self._stopped:
+                return
+            if node is not None and node.alive and node.unexpected_join(
+                self.user_id, self.controller.fps
+            ):
+                self.failure_monitor.note_covered()
+                self.stats.covered_failovers += 1
+                self.system.metrics.record_covered_failover(
+                    self.user_id, self.system.sim.now
+                )
+                self.current_edge = backup_id
+                self._last_join_ms = self.system.sim.now
+                self._ensure_link(backup_id, rtt)
+                self._flush_backlog()
+            else:
+                # This backup is dead too: try the next one.
+                self._failover()
+
+        self.system.sim.schedule(rtt, deliver, label=f"{self.user_id}.failover")
+
+    def _reactive_reconnect(self) -> None:
+        """No live backup: pay full re-discovery + connection establishment."""
+        if self._round_in_progress:
+            return
+        self._begin_selection_round()
+
+    # ------------------------------------------------------------------
+    # Offloading loop
+    # ------------------------------------------------------------------
+    def _schedule_next_frame(self, delay_ms: float) -> None:
+        if self._stopped:
+            return
+        self.system.sim.schedule(
+            delay_ms, self._offload_tick, label=f"{self.user_id}.frame"
+        )
+
+    def _offload_tick(self) -> None:
+        if self._stopped:
+            return
+        frame = self.frame_source.next_frame(self.system.sim.now)
+        if self.attached:
+            self._send_frame(frame)
+        else:
+            self._backlog.append(frame)
+        self._schedule_next_frame(self.controller.interval_ms)
+
+    #: Frames older than this are useless to an AR application (the scene
+    #: has moved on); they are dropped as lost rather than offloaded.
+    FRAME_STALENESS_MS = 2_000.0
+
+    def _flush_backlog(self) -> None:
+        """Send frames buffered during downtime (their latency includes it).
+
+        Frames that went stale during the outage are dropped and counted
+        as lost — replaying seconds-old camera frames after a reconnect
+        would only poison the queue and tell the user about the past.
+        """
+        now = self.system.sim.now
+        while self._backlog and self.attached:
+            frame = self._backlog.popleft()
+            if now - frame.created_ms > self.FRAME_STALENESS_MS:
+                self._record_lost(frame, self.current_edge or "none")
+                continue
+            self._send_frame(frame)
+
+    def _send_frame(self, frame: Frame) -> None:
+        edge_id = self.current_edge
+        assert edge_id is not None
+        node = self.system.nodes.get(edge_id)
+        topology = self.system.topology
+        self.stats.frames_sent += 1
+        if node is None or not topology.has_endpoint(edge_id):
+            self._record_lost(frame, edge_id)
+            return
+        transfer = topology.transfer_ms(self.user_id, edge_id, frame.size_bytes)
+        uplink_delay = topology.one_way_ms(self.user_id, edge_id) + transfer
+        arrival = self.system.sim.now + uplink_delay
+
+        def arrive() -> None:
+            completion = node.receive_frame(frame, self.system.sim.now)
+            if completion is None:
+                self._record_lost(frame, edge_id)
+                return
+            downlink = topology.one_way_ms(edge_id, self.user_id)
+
+            def respond() -> None:
+                if not node.alive and node.failed_at_ms is not None and (
+                    node.failed_at_ms < completion
+                ):
+                    # The node died while the frame was queued/processing.
+                    self._record_lost(frame, edge_id)
+                    return
+                latency = self.system.sim.now - frame.created_ms
+                self.stats.frames_completed += 1
+                self.stats.latencies_ms.append(latency)
+                self.system.metrics.record_frame(
+                    self.user_id, edge_id, frame.created_ms, latency
+                )
+                self.controller.observe(latency)
+
+            self.system.sim.schedule_at(
+                completion + downlink, respond, label=f"{self.user_id}.resp"
+            )
+
+        self.system.sim.schedule_at(arrival, arrive, label=f"{self.user_id}.uplink")
+
+    def _record_lost(self, frame: Frame, edge_id: str) -> None:
+        self.stats.frames_lost += 1
+        self.system.metrics.record_frame(self.user_id, edge_id, frame.created_ms, None)
+
+    # ------------------------------------------------------------------
+    def _send_leave(self, node_id: str, reason: str) -> None:
+        node = self.system.nodes.get(node_id)
+        if node is None:
+            return
+        delay = (
+            self.system.topology.one_way_ms(self.user_id, node_id)
+            if self.system.topology.has_endpoint(node_id)
+            else 1.0
+        )
+        self.system.sim.schedule(
+            delay, lambda: node.leave(self.user_id), label=f"{self.user_id}.leave"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"EdgeClient({self.user_id}, edge={self.current_edge}, "
+            f"backups={self.failure_monitor.backups})"
+        )

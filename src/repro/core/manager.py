@@ -1,0 +1,146 @@
+"""The Central Manager: node registry + global edge selection (step 1).
+
+"Central Manager collects real-time node status/resource utilization
+information from edge nodes to serve edge discovery queries" (§IV-A).
+It is deliberately *not* in the request path — it only answers discovery
+queries with a coarse TopN candidate list; clients do the accurate work.
+
+The manager also hosts the state the **resource-aware weighted round
+robin baseline** needs (smooth WRR over availability scores), since that
+baseline is a manager/load-balancer-side policy by construction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.core.messages import CandidateList, DiscoveryQuery, NodeStatus
+from repro.core.policies.global_policies import GlobalSelectionPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.policies.reputation import ReputationTracker
+    from repro.core.system import EdgeSystem
+
+
+class CentralManager:
+    """Registry of alive edge nodes + the global selection policy.
+
+    Args:
+        system: owning system (for the clock).
+        policy: the composed global selection policy; replaceable to
+            restrict pools (e.g. dedicated-only scenarios).
+    """
+
+    def __init__(
+        self,
+        system: "EdgeSystem",
+        policy: Optional[GlobalSelectionPolicy] = None,
+        reputation: Optional["ReputationTracker"] = None,
+    ) -> None:
+        self.system = system
+        self.policy = policy or GlobalSelectionPolicy()
+        #: Optional reputation extension: when set, heartbeat appearances
+        #: and silent departures feed it (install its sort key on the
+        #: policy to act on the scores; see policies/reputation.py).
+        self.reputation = reputation
+        self._registry: Dict[str, NodeStatus] = {}
+        self.queries_served = 0
+        self.heartbeats_received = 0
+        # Smooth-WRR state for the resource-aware baseline.
+        self._wrr_current: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Registry maintenance
+    # ------------------------------------------------------------------
+    def receive_heartbeat(self, status: NodeStatus) -> None:
+        """Ingest a node status report."""
+        self.heartbeats_received += 1
+        self._registry[status.node_id] = status
+        if self.reputation is not None:
+            self.reputation.record_online(status.node_id, self.system.sim.now)
+
+    def forget_node(self, node_id: str) -> None:
+        """Explicitly remove a node (e.g. administrative deregistration)."""
+        self._registry.pop(node_id, None)
+        self._wrr_current.pop(node_id, None)
+
+    def alive_statuses(self) -> List[NodeStatus]:
+        """Statuses not older than the heartbeat timeout.
+
+        Stale entries are pruned on read — a dead node silently ages out
+        after ``heartbeat_timeout_ms``, which is exactly the window in
+        which discovery can still hand out a dead candidate (the client
+        tolerates this: probes to it fail and it is skipped).
+        """
+        now = self.system.sim.now
+        timeout = self.system.config.heartbeat_timeout_ms
+        stale = [
+            node_id
+            for node_id, status in self._registry.items()
+            if now - status.reported_at_ms > timeout
+        ]
+        for node_id in stale:
+            self._registry.pop(node_id, None)
+            self._wrr_current.pop(node_id, None)
+            if self.reputation is not None:
+                self.reputation.record_departure(node_id, now)
+        return list(self._registry.values())
+
+    def known_node_ids(self) -> List[str]:
+        return list(self._registry)
+
+    # ------------------------------------------------------------------
+    # Edge discovery (global edge selection)
+    # ------------------------------------------------------------------
+    def discover(self, query: DiscoveryQuery) -> CandidateList:
+        """Answer an edge discovery query with the TopN candidate list."""
+        self.queries_served += 1
+        self.system.metrics.record_discovery(query.user_id)
+        node_ids, widened = self.policy.select(query, self.alive_statuses())
+        return CandidateList(
+            user_id=query.user_id,
+            node_ids=tuple(node_ids),
+            generated_at_ms=self.system.sim.now,
+            widened=widened,
+        )
+
+    # ------------------------------------------------------------------
+    # Resource-aware weighted round robin (baseline support)
+    # ------------------------------------------------------------------
+    def wrr_assign(self, query: DiscoveryQuery) -> Optional[str]:
+        """Assign a user to a node by smooth weighted round robin.
+
+        Weights are the availability scores from the latest heartbeats —
+        "the weight applied for each edge node is determined by the
+        resource availability and utilization" (§V-B). Smooth WRR
+        (nginx-style) spreads assignments proportionally without bursts:
+        each round every node gains its weight, the richest is picked and
+        pays back the total weight.
+        """
+        statuses = [
+            s for s in self.alive_statuses() if s.node_id not in query.exclude
+        ]
+        if self.policy.node_predicate is not None:
+            statuses = [s for s in statuses if self.policy.node_predicate(s)]
+        if not statuses:
+            return None
+        total = 0.0
+        weights: Dict[str, float] = {}
+        for status in statuses:
+            weight = max(status.availability_score, 0.01)
+            weights[status.node_id] = weight
+            total += weight
+        best_id: Optional[str] = None
+        best_value = float("-inf")
+        for node_id, weight in weights.items():
+            current = self._wrr_current.get(node_id, 0.0) + weight
+            self._wrr_current[node_id] = current
+            if current > best_value:
+                best_value = current
+                best_id = node_id
+        assert best_id is not None
+        self._wrr_current[best_id] -= total
+        return best_id
+
+    def __repr__(self) -> str:
+        return f"CentralManager(nodes={len(self._registry)}, queries={self.queries_served})"

@@ -1,0 +1,29 @@
+"""Selection policies.
+
+- :mod:`~repro.core.policies.global_policies` — manager-side filters and
+  sorters that produce the coarse TopN candidate list (step 1).
+- :mod:`~repro.core.policies.local_policies` — client-side rankings over
+  probe outcomes: LO, GO, and QoS-constrained GO (step 2, §IV-D).
+"""
+
+from repro.core.policies.global_policies import (
+    GeoProximityFilter,
+    GlobalSelectionPolicy,
+    availability_sort_key,
+)
+from repro.core.policies.local_policies import (
+    LocalSelectionPolicy,
+    sort_by_global_overhead,
+    sort_by_local_overhead,
+    sort_with_qos,
+)
+
+__all__ = [
+    "GlobalSelectionPolicy",
+    "GeoProximityFilter",
+    "availability_sort_key",
+    "LocalSelectionPolicy",
+    "sort_by_local_overhead",
+    "sort_by_global_overhead",
+    "sort_with_qos",
+]

@@ -1,0 +1,153 @@
+"""Manager-side global edge selection (step 1 of the 2-step approach).
+
+"We first apply a geo-proximity filter to rule out unqualified nodes, and
+then prioritize the local candidates based on resource availability,
+network affiliation and user preferences. Specifically in geo-proximity
+search, we use GeoHash to identify a wider-range geographical area to
+include remote nodes which may be useful as a last resort" (§IV-B).
+
+The policy is deliberately coarse: "the global edge selection of our
+2-step approach is coarse-grained with high tolerance to edge selection
+inaccuracy and mismatch" — final accuracy comes from client probing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.messages import DiscoveryQuery, NodeStatus
+from repro.geo import geohash as gh
+from repro.geo.point import GeoPoint
+
+
+@dataclass(frozen=True)
+class GeoProximityFilter:
+    """GeoHash-backed proximity filter with a widened fallback.
+
+    Nodes are first matched against the 3x3 GeoHash cell block covering
+    ``radius_km`` around the user. If fewer than ``min_candidates``
+    survive, the search widens to ``wide_radius_km`` — the paper's
+    "remote nodes ... useful as a last resort".
+    """
+
+    radius_km: float = 80.0
+    wide_radius_km: float = 400.0
+    min_candidates: int = 1
+
+    def __post_init__(self) -> None:
+        if self.radius_km <= 0 or self.wide_radius_km < self.radius_km:
+            raise ValueError("need 0 < radius_km <= wide_radius_km")
+        if self.min_candidates < 0:
+            raise ValueError("min_candidates must be >= 0")
+
+    def apply(
+        self,
+        user_point: GeoPoint,
+        nodes: Sequence[NodeStatus],
+        min_candidates: Optional[int] = None,
+    ) -> Tuple[List[NodeStatus], bool]:
+        """Return (surviving nodes, widened?).
+
+        ``min_candidates`` (defaulting to the filter's own) is normally
+        the query's TopN: a candidate list shorter than TopN silently
+        strips the user of backup nodes, so remote nodes — "useful as a
+        last resort" — are pulled in whenever the local area cannot
+        fill the list.
+        """
+        needed = self.min_candidates if min_candidates is None else min_candidates
+        local = self._within(user_point, nodes, self.radius_km)
+        if len(local) >= needed:
+            return local, False
+        wide = self._within(user_point, nodes, self.wide_radius_km)
+        if len(wide) > len(local):
+            return wide, True
+        return local, False
+
+    def _within(
+        self, user_point: GeoPoint, nodes: Sequence[NodeStatus], radius_km: float
+    ) -> List[NodeStatus]:
+        # GeoHash pre-filter: candidate cells covering the radius...
+        cells = set(gh.covering_cells(user_point, radius_km))
+        precision = len(next(iter(cells)))
+        prefiltered = [
+            n for n in nodes if n.geohash[:precision] in cells
+        ]
+        # ... then an exact haversine cut (cells overshoot the disc).
+        return [
+            n for n in prefiltered if user_point.distance_km(n.point) <= radius_km
+        ]
+
+
+#: Score bonus (in free-core units) for sharing the user's ISP tag.
+AFFILIATION_BONUS = 2.0
+#: Score penalty per km of distance (free-core units). Small by design:
+#: the manager nudges toward nearby nodes but lets availability dominate.
+DISTANCE_PENALTY_PER_KM = 0.02
+
+
+def availability_sort_key(
+    query: DiscoveryQuery,
+) -> Callable[[NodeStatus], Tuple[float, str]]:
+    """Weighted-score sort key prioritizing candidates for a user.
+
+    Combines the paper's three global-selection signals — resource
+    availability, network affiliation, geo-proximity — into one score
+    (higher is better)::
+
+        score = free_cores + AFFILIATION_BONUS·same_isp
+                − DISTANCE_PENALTY_PER_KM·distance
+
+    A *weighted* blend matters: a lexicographic affiliation-first order
+    would hand every user a candidate list of only its same-ISP
+    volunteers, hiding well-provisioned dedicated nodes entirely once
+    ``TopN`` is small. Coarse mis-scoring is fine (clients probe), but
+    systematically excluding a node class is not. Node id breaks ties so
+    the ordering is deterministic.
+    """
+
+    user_point = query.point
+
+    def key(node: NodeStatus) -> Tuple[float, str]:
+        score = node.availability_score
+        if query.isp is not None and node.isp == query.isp:
+            score += AFFILIATION_BONUS
+        score -= DISTANCE_PENALTY_PER_KM * user_point.distance_km(node.point)
+        return (-score, node.node_id)
+
+    return key
+
+
+@dataclass
+class GlobalSelectionPolicy:
+    """The composed manager-side policy: filter, sort, truncate to TopN.
+
+    Filters and the sort key are injectable so applications can "flexibly
+    combine/modify [policies] to prioritize available edge nodes towards
+    different application requirements" (§IV-B).
+    """
+
+    geo_filter: GeoProximityFilter = GeoProximityFilter()
+    sort_key_factory: Callable[
+        [DiscoveryQuery], Callable[[NodeStatus], object]
+    ] = availability_sort_key
+    #: Optional extra predicate, e.g. "dedicated nodes only".
+    node_predicate: Optional[Callable[[NodeStatus], bool]] = None
+
+    def select(
+        self, query: DiscoveryQuery, nodes: Sequence[NodeStatus]
+    ) -> Tuple[List[str], bool]:
+        """Produce the TopN candidate node ids for ``query``.
+
+        Returns:
+            (node id list, widened flag). The list may be shorter than
+            TopN when the system simply has fewer nodes.
+        """
+        pool = [n for n in nodes if n.node_id not in query.exclude]
+        if self.node_predicate is not None:
+            pool = [n for n in pool if self.node_predicate(n)]
+        candidates, widened = self.geo_filter.apply(
+            query.point, pool, min_candidates=query.top_n
+        )
+        candidates.sort(key=self.sort_key_factory(query))
+        return [n.node_id for n in candidates[: query.top_n]], widened

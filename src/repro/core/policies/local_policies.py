@@ -1,0 +1,70 @@
+"""Client-side local edge selection policies (§IV-D).
+
+Each policy is a pure function ``List[ProbeOutcome] -> List[ProbeOutcome]``
+returning candidates best-first. They plug into Algorithm 2's
+``SortLocalSelectionPolicy()`` slot:
+
+- :func:`sort_by_local_overhead` — minimize ``LO_j`` (selfish best
+  latency for this user).
+- :func:`sort_by_global_overhead` — minimize ``GO_j`` (the paper's
+  policy optimizing global average latency: LO plus the degradation the
+  join inflicts on the candidate's existing users).
+- :func:`sort_with_qos` — "first filter out edge candidates whose LO
+  violates QoS requirements and then select the node with lowest GO";
+  with an empty survivor set the join is rejected (QoS admission
+  control).
+
+Ties break on node id so sorting is fully deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.probing import ProbeOutcome
+
+LocalSelectionPolicy = Callable[[Sequence[ProbeOutcome]], List[ProbeOutcome]]
+
+
+def sort_by_local_overhead(outcomes: Sequence[ProbeOutcome]) -> List[ProbeOutcome]:
+    """Rank candidates by ``LO_j`` ascending (best local candidate first)."""
+    return sorted(outcomes, key=lambda o: (o.local_overhead_ms, o.node_id))
+
+
+def sort_by_global_overhead(outcomes: Sequence[ProbeOutcome]) -> List[ProbeOutcome]:
+    """Rank candidates by ``GO_j`` ascending — the paper's default."""
+    return sorted(outcomes, key=lambda o: (o.global_overhead_ms, o.node_id))
+
+
+def sort_with_qos(
+    qos_latency_ms: float,
+    base_policy: Optional[LocalSelectionPolicy] = None,
+) -> LocalSelectionPolicy:
+    """Build a QoS-constrained policy.
+
+    Candidates with ``LO > qos_latency_ms`` are removed, then the base
+    policy (GO by default) ranks the survivors. An empty result signals
+    the client that no candidate can satisfy the QoS requirement.
+
+    Raises:
+        ValueError: on a non-positive QoS bound.
+    """
+    if qos_latency_ms <= 0:
+        raise ValueError(f"qos_latency_ms must be positive: {qos_latency_ms}")
+    policy = base_policy or sort_by_global_overhead
+
+    def qos_policy(outcomes: Sequence[ProbeOutcome]) -> List[ProbeOutcome]:
+        eligible = [o for o in outcomes if o.local_overhead_ms <= qos_latency_ms]
+        return policy(eligible)
+
+    return qos_policy
+
+
+def policy_for(
+    use_global_overhead: bool, qos_latency_ms: Optional[float] = None
+) -> LocalSelectionPolicy:
+    """Resolve the configured policy from :class:`~repro.core.config.SystemConfig` fields."""
+    base = sort_by_global_overhead if use_global_overhead else sort_by_local_overhead
+    if qos_latency_ms is not None:
+        return sort_with_qos(qos_latency_ms, base)
+    return base

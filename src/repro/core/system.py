@@ -1,0 +1,234 @@
+"""System wiring: simulator + topology + manager + nodes + clients.
+
+:class:`EdgeSystem` is the composition root for a simulated deployment.
+Experiments and examples construct one, add edge nodes and clients, run
+the simulator, and read the shared :class:`~repro.metrics.MetricsCollector`.
+
+It also implements the two environment-level operations the paper's
+dynamics need:
+
+- ``fail_node()`` — a volunteer crashes/leaves without notification:
+  the node object dies instantly; every client holding a connection to
+  it learns ``failure_detection_ms`` later (broken TCP connection /
+  missed keepalive); the manager learns implicitly when heartbeats stop.
+- ``spawn_node()`` — a volunteer joins: endpoint registration, server
+  start, first heartbeat; clients discover it at their next probing
+  round, which is exactly why Fig. 8's latency drops "within seconds"
+  of upward population steps.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import SystemConfig
+from repro.core.edge_server import EdgeServer
+from repro.core.manager import CentralManager
+from repro.core.policies.global_policies import GeoProximityFilter, GlobalSelectionPolicy
+from repro.geo.point import GeoPoint
+from repro.metrics.collector import MetricsCollector
+from repro.net.latency import NetworkTier
+from repro.net.topology import NetworkEndpoint, NetworkTopology
+from repro.nodes.hardware import HardwareProfile
+from repro.nodes.host_workload import HostWorkloadSchedule
+from repro.sim.kernel import Simulator
+from repro.sim.random import RandomStreams
+from repro.workload.ar import ARApplication, DEFAULT_AR_APP
+
+#: Reserved endpoint id of the Central Manager.
+MANAGER_ID = "central-manager"
+
+
+class EdgeSystem:
+    """A complete simulated edge-dense environment.
+
+    Args:
+        config: system tunables.
+        topology: pre-built network topology; one is created if omitted
+            (the manager endpoint is added automatically either way).
+        app: the application profile served by all edge nodes.
+        manager_point: where the Central Manager lives (a cloud-tier
+            endpoint by default — discovery costs a realistic RTT).
+        global_policy: manager-side selection policy override.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        *,
+        topology: Optional[NetworkTopology] = None,
+        app: ARApplication = DEFAULT_AR_APP,
+        manager_point: Optional[GeoPoint] = None,
+        global_policy: Optional[GlobalSelectionPolicy] = None,
+    ) -> None:
+        self.config = config or SystemConfig()
+        self.app = app
+        self.streams = RandomStreams(self.config.seed)
+        self.sim = Simulator()
+        self.metrics = MetricsCollector()
+        # NOTE: explicit None check — NetworkTopology has __len__, so an
+        # empty (not-yet-populated) topology is falsy and `topology or ...`
+        # would silently discard it.
+        if topology is None:
+            topology = NetworkTopology(rng=self.streams.get("network"))
+        else:
+            # Seed the caller's topology jitter from our streams so runs
+            # are reproducible from the single config seed.
+            topology.rng = self.streams.get("network")
+        self.topology = topology
+
+        self.manager_id = MANAGER_ID
+        if not self.topology.has_endpoint(MANAGER_ID):
+            point = manager_point or GeoPoint(41.0, -87.0)  # regional cloud
+            self.topology.add_endpoint(
+                NetworkEndpoint(MANAGER_ID, point, tier=NetworkTier.CLOUD)
+            )
+        policy = global_policy or GlobalSelectionPolicy(
+            geo_filter=GeoProximityFilter(
+                radius_km=self.config.discovery_radius_km,
+                wide_radius_km=self.config.wide_radius_km,
+            )
+        )
+        self.manager = CentralManager(self, policy)
+
+        self.nodes: Dict[str, EdgeServer] = {}
+        self.clients: Dict[str, object] = {}  # EdgeClient or baseline subclass
+
+    # ------------------------------------------------------------------
+    # Node lifecycle
+    # ------------------------------------------------------------------
+    def spawn_node(
+        self,
+        node_id: str,
+        profile: HardwareProfile,
+        point: GeoPoint,
+        *,
+        tier: NetworkTier = NetworkTier.HOME_WIFI,
+        isp: Optional[str] = None,
+        uplink_mbps: Optional[float] = None,
+        downlink_mbps: Optional[float] = None,
+        access_extra_ms: float = 0.0,
+        dedicated: bool = False,
+        host_schedule: Optional[HostWorkloadSchedule] = None,
+        start: bool = True,
+    ) -> EdgeServer:
+        """Register and (optionally) start a new edge node.
+
+        Raises:
+            ValueError: if the id is already in use by an alive node.
+        """
+        existing = self.nodes.get(node_id)
+        if existing is not None and existing.alive:
+            raise ValueError(f"node id already alive: {node_id!r}")
+        self.topology.add_endpoint(
+            NetworkEndpoint(
+                node_id,
+                point,
+                tier=tier,
+                isp=isp,
+                uplink_mbps=uplink_mbps,
+                downlink_mbps=downlink_mbps,
+                access_extra_ms=access_extra_ms,
+            )
+        )
+        node = EdgeServer(
+            self,
+            node_id,
+            profile,
+            dedicated=dedicated,
+            host_schedule=host_schedule,
+        )
+        self.nodes[node_id] = node
+        if start:
+            node.start()
+        self._record_population()
+        return node
+
+    def fail_node(self, node_id: str) -> None:
+        """Kill a node without notification (crash / volunteer leaves).
+
+        Clients holding a connection to it (attached or backup) are
+        notified after ``failure_detection_ms``; the manager ages the
+        node out via heartbeat timeout on its own.
+        """
+        node = self.nodes.get(node_id)
+        if node is None or not node.alive:
+            return
+        node.fail()
+        self._record_population()
+        detection = self.config.failure_detection_ms
+
+        for client in list(self.clients.values()):
+            monitor_backups = getattr(client, "failure_monitor", None)
+            has_link = node_id in getattr(client, "links", {})
+            is_current = getattr(client, "current_edge", None) == node_id
+            in_backups = (
+                monitor_backups is not None and node_id in monitor_backups.backups
+            )
+            if has_link or is_current or in_backups:
+                handler: Callable[[str], None] = client.on_edge_failure  # type: ignore[attr-defined]
+                self.sim.schedule(
+                    detection,
+                    lambda h=handler: h(node_id),
+                    label=f"{node_id}.detect",
+                )
+
+    def alive_node_ids(self) -> List[str]:
+        return [node_id for node_id, node in self.nodes.items() if node.alive]
+
+    def alive_node_count(self) -> int:
+        return len(self.alive_node_ids())
+
+    def _record_population(self) -> None:
+        self.metrics.record_alive_nodes(self.sim.now, self.alive_node_count())
+
+    # ------------------------------------------------------------------
+    # Client lifecycle
+    # ------------------------------------------------------------------
+    def register_client_endpoint(
+        self,
+        user_id: str,
+        point: GeoPoint,
+        *,
+        tier: NetworkTier = NetworkTier.HOME_WIFI,
+        isp: Optional[str] = None,
+        uplink_mbps: Optional[float] = None,
+        downlink_mbps: Optional[float] = None,
+        access_extra_ms: float = 0.0,
+    ) -> None:
+        """Register a user device's network endpoint."""
+        self.topology.add_endpoint(
+            NetworkEndpoint(
+                user_id,
+                point,
+                tier=tier,
+                isp=isp,
+                uplink_mbps=uplink_mbps,
+                downlink_mbps=downlink_mbps,
+                access_extra_ms=access_extra_ms,
+            )
+        )
+
+    def add_client(self, client: object, start: bool = True) -> None:
+        """Add a started client (any :class:`EdgeClient` subclass)."""
+        user_id = getattr(client, "user_id")
+        if user_id in self.clients:
+            raise ValueError(f"client id already in use: {user_id!r}")
+        if not self.topology.has_endpoint(user_id):
+            raise ValueError(
+                f"register the client endpoint before adding client {user_id!r}"
+            )
+        self.clients[user_id] = client
+        if start:
+            client.start()  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    def run_for(self, duration_ms: float) -> None:
+        """Advance the simulation by ``duration_ms``."""
+        self.sim.run_until(self.sim.now + duration_ms)
+
+    def __repr__(self) -> str:
+        return (
+            f"EdgeSystem(nodes={self.alive_node_count()}/{len(self.nodes)}, "
+            f"clients={len(self.clients)}, t={self.sim.now:.0f}ms)"
+        )

@@ -1,0 +1,35 @@
+"""Experiment builders — one per figure/table of the paper's evaluation.
+
+Each module exposes pure functions that construct a system, run it, and
+return plain result objects; the ``benchmarks/`` harness prints them in
+the paper's row/series shapes, and ``EXPERIMENTS.md`` records the
+paper-vs-measured comparison.
+
+| Paper artifact | Module | Entry point |
+|---|---|---|
+| Fig. 1  | network_study      | ``run_network_study`` |
+| Table II| (hardware catalog) | ``repro.nodes.hardware`` |
+| Fig. 3  | realworld          | ``run_single_user_cdf`` |
+| Table III| realworld         | ``run_pairwise_selection`` |
+| Fig. 4  | realworld          | ``run_failover_trace`` |
+| Fig. 5  | realworld          | ``run_elasticity_sweep`` |
+| Fig. 6  | emulation          | ``run_user_traces`` |
+| Fig. 7  | emulation          | ``run_vs_optimal`` |
+| Fig. 8  | churn_experiment   | ``run_churn_trace`` |
+| Fig. 9  | churn_experiment   | ``run_topn_sweep`` |
+| Fig. 10 | churn_experiment   | ``run_fault_tolerance`` |
+"""
+
+from repro.experiments.scenario import (
+    EmulationScenario,
+    RealWorldScenario,
+    build_emulation_system,
+    build_real_world_system,
+)
+
+__all__ = [
+    "RealWorldScenario",
+    "EmulationScenario",
+    "build_real_world_system",
+    "build_emulation_system",
+]

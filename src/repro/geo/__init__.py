@@ -1,0 +1,43 @@
+"""Geography: coordinates, distance, GeoHash, and metro-area placement.
+
+The Central Manager's global edge selection starts with a geo-proximity
+filter implemented over GeoHash prefixes (paper §IV-B, citing [32]).
+This package supplies:
+
+- :class:`~repro.geo.point.GeoPoint` and
+  :func:`~repro.geo.point.haversine_km` — positions and great-circle
+  distance.
+- :mod:`~repro.geo.geohash` — a complete, dependency-free GeoHash
+  implementation (encode / decode / bounding box / neighbors / coverage
+  expansion) so proximity search can widen its range "to include remote
+  nodes which may be useful as a last resort".
+- :class:`~repro.geo.region.MetroArea` — seeded generators that scatter
+  users and volunteer nodes across a metropolitan area the way the
+  paper's Minneapolis-Saint Paul deployment does.
+"""
+
+from repro.geo.geohash import (
+    GEOHASH_ALPHABET,
+    adjacent,
+    bounding_box,
+    decode,
+    encode,
+    neighbors,
+    precision_for_radius_km,
+)
+from repro.geo.point import GeoPoint, haversine_km
+from repro.geo.region import MetroArea, PlacementStyle
+
+__all__ = [
+    "GeoPoint",
+    "haversine_km",
+    "GEOHASH_ALPHABET",
+    "encode",
+    "decode",
+    "bounding_box",
+    "adjacent",
+    "neighbors",
+    "precision_for_radius_km",
+    "MetroArea",
+    "PlacementStyle",
+]

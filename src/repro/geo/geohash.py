@@ -1,0 +1,277 @@
+"""A complete GeoHash implementation.
+
+GeoHash (Niemeyer, 2008; see paper reference [32]) interleaves the bits of
+a binary-search refinement of longitude and latitude and encodes them in a
+base-32 alphabet. Two properties make it useful for edge discovery:
+
+1. **Prefix containment** — every cell with hash prefix ``p`` lies inside
+   the cell named ``p``; truncating a hash widens the search area.
+2. **Locality (mostly)** — nearby points usually share long prefixes.
+   The exception is cell-boundary effects, which is why proximity search
+   must also include the 8 neighbors of the query cell
+   (:func:`neighbors`); the Central Manager does exactly that.
+
+Implemented from the specification (encode, decode with error bounds,
+bounding box, adjacency in all 4 directions, 8-neighborhood, and a helper
+mapping a search radius to the coarsest adequate precision).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.geo.point import GeoPoint
+
+GEOHASH_ALPHABET = "0123456789bcdefghjkmnpqrstuvwxyz"
+_CHAR_TO_VALUE: Dict[str, int] = {c: i for i, c in enumerate(GEOHASH_ALPHABET)}
+
+# Adjacency tables from the reference GeoHash implementation.
+# Keyed by direction and by parity of the hash length ("even"/"odd").
+_NEIGHBOR_TABLE: Dict[str, Dict[str, str]] = {
+    "n": {
+        "even": "p0r21436x8zb9dcf5h7kjnmqesgutwvy",
+        "odd": "bc01fg45238967deuvhjyznpkmstqrwx",
+    },
+    "s": {
+        "even": "14365h7k9dcfesgujnmqp0r2twvyx8zb",
+        "odd": "238967debc01fg45kmstqrwxuvhjyznp",
+    },
+    "e": {
+        "even": "bc01fg45238967deuvhjyznpkmstqrwx",
+        "odd": "p0r21436x8zb9dcf5h7kjnmqesgutwvy",
+    },
+    "w": {
+        "even": "238967debc01fg45kmstqrwxuvhjyznp",
+        "odd": "14365h7k9dcfesgujnmqp0r2twvyx8zb",
+    },
+}
+_BORDER_TABLE: Dict[str, Dict[str, str]] = {
+    "n": {"even": "prxz", "odd": "bcfguvyz"},
+    "s": {"even": "028b", "odd": "0145hjnp"},
+    "e": {"even": "bcfguvyz", "odd": "prxz"},
+    "w": {"even": "0145hjnp", "odd": "028b"},
+}
+
+
+def encode(lat: float, lon: float, precision: int = 9) -> str:
+    """Encode a latitude/longitude to a geohash of ``precision`` characters.
+
+    Raises:
+        ValueError: for out-of-range coordinates or non-positive precision.
+    """
+    if not -90.0 <= lat <= 90.0:
+        raise ValueError(f"latitude out of range: {lat}")
+    if not -180.0 <= lon <= 180.0:
+        raise ValueError(f"longitude out of range: {lon}")
+    if precision < 1:
+        raise ValueError(f"precision must be >= 1, got {precision}")
+
+    lat_lo, lat_hi = -90.0, 90.0
+    lon_lo, lon_hi = -180.0, 180.0
+    chars: List[str] = []
+    bits = 0
+    value = 0
+    even_bit = True  # even bit positions refine longitude
+
+    while len(chars) < precision:
+        if even_bit:
+            mid = (lon_lo + lon_hi) / 2.0
+            if lon >= mid:
+                value = (value << 1) | 1
+                lon_lo = mid
+            else:
+                value <<= 1
+                lon_hi = mid
+        else:
+            mid = (lat_lo + lat_hi) / 2.0
+            if lat >= mid:
+                value = (value << 1) | 1
+                lat_lo = mid
+            else:
+                value <<= 1
+                lat_hi = mid
+        even_bit = not even_bit
+        bits += 1
+        if bits == 5:
+            chars.append(GEOHASH_ALPHABET[value])
+            bits = 0
+            value = 0
+    return "".join(chars)
+
+
+def encode_point(point: GeoPoint, precision: int = 9) -> str:
+    """Encode a :class:`GeoPoint`."""
+    return encode(point.lat, point.lon, precision)
+
+
+def bounding_box(geohash: str) -> Tuple[float, float, float, float]:
+    """Return ``(lat_lo, lat_hi, lon_lo, lon_hi)`` of the cell.
+
+    Raises:
+        ValueError: for an empty hash or invalid characters.
+    """
+    if not geohash:
+        raise ValueError("geohash must be non-empty")
+    lat_lo, lat_hi = -90.0, 90.0
+    lon_lo, lon_hi = -180.0, 180.0
+    even_bit = True
+    for char in geohash.lower():
+        try:
+            value = _CHAR_TO_VALUE[char]
+        except KeyError:
+            raise ValueError(f"invalid geohash character: {char!r}") from None
+        for shift in range(4, -1, -1):
+            bit = (value >> shift) & 1
+            if even_bit:
+                mid = (lon_lo + lon_hi) / 2.0
+                if bit:
+                    lon_lo = mid
+                else:
+                    lon_hi = mid
+            else:
+                mid = (lat_lo + lat_hi) / 2.0
+                if bit:
+                    lat_lo = mid
+                else:
+                    lat_hi = mid
+            even_bit = not even_bit
+    return lat_lo, lat_hi, lon_lo, lon_hi
+
+
+def decode(geohash: str) -> GeoPoint:
+    """Decode a geohash to the centre point of its cell."""
+    lat_lo, lat_hi, lon_lo, lon_hi = bounding_box(geohash)
+    return GeoPoint((lat_lo + lat_hi) / 2.0, (lon_lo + lon_hi) / 2.0)
+
+
+def decode_with_error(geohash: str) -> Tuple[GeoPoint, float, float]:
+    """Decode to (centre, lat_error, lon_error) half-widths in degrees."""
+    lat_lo, lat_hi, lon_lo, lon_hi = bounding_box(geohash)
+    centre = GeoPoint((lat_lo + lat_hi) / 2.0, (lon_lo + lon_hi) / 2.0)
+    return centre, (lat_hi - lat_lo) / 2.0, (lon_hi - lon_lo) / 2.0
+
+
+def adjacent(geohash: str, direction: str) -> str:
+    """Return the geohash of the adjacent cell in ``direction``.
+
+    Args:
+        geohash: cell to move from.
+        direction: one of ``"n"``, ``"s"``, ``"e"``, ``"w"``.
+
+    Raises:
+        ValueError: on bad direction or empty hash (the poles have no
+            northern/southern neighbor at precision 1 in some cases; the
+            reference algorithm wraps, which we keep).
+    """
+    geohash = geohash.lower()
+    if direction not in ("n", "s", "e", "w"):
+        raise ValueError(f"direction must be n/s/e/w, got {direction!r}")
+    if not geohash:
+        raise ValueError("geohash must be non-empty")
+
+    last = geohash[-1]
+    parent = geohash[:-1]
+    parity = "even" if len(geohash) % 2 == 0 else "odd"
+
+    if last in _BORDER_TABLE[direction][parity] and parent:
+        parent = adjacent(parent, direction)
+    index = _NEIGHBOR_TABLE[direction][parity].index(last)
+    return parent + GEOHASH_ALPHABET[index]
+
+
+def neighbors(geohash: str) -> List[str]:
+    """The 8 surrounding cells, clockwise from north.
+
+    Together with the cell itself these cover every point within one cell
+    width — the set the Central Manager scans for local candidates.
+    """
+    n = adjacent(geohash, "n")
+    s = adjacent(geohash, "s")
+    return [
+        n,
+        adjacent(n, "e"),
+        adjacent(geohash, "e"),
+        adjacent(s, "e"),
+        s,
+        adjacent(s, "w"),
+        adjacent(geohash, "w"),
+        adjacent(n, "w"),
+    ]
+
+
+#: Approximate worst-case cell dimensions (km) per precision, at the
+#: equator: (height, width). Width shrinks with latitude; using the
+#: equatorial value keeps the radius->precision mapping conservative.
+_CELL_KM: Dict[int, Tuple[float, float]] = {
+    1: (5003.7, 5003.7),
+    2: (1251.0, 625.5),
+    3: (156.4, 156.4),
+    4: (39.1, 19.5),
+    5: (4.9, 4.9),
+    6: (1.22, 0.61),
+    7: (0.153, 0.153),
+    8: (0.038, 0.019),
+    9: (0.0048, 0.0048),
+    10: (0.0012, 0.0006),
+    11: (0.000149, 0.000149),
+    12: (0.000037, 0.0000186),
+}
+
+
+def precision_for_radius_km(radius_km: float) -> int:
+    """Coarsest precision whose cell still covers ``radius_km``.
+
+    Used by the geo-proximity filter: a query at this precision plus its
+    8 neighbors is guaranteed to contain every point within the radius.
+    """
+    if radius_km <= 0:
+        raise ValueError(f"radius must be positive, got {radius_km}")
+    for precision in range(12, 0, -1):
+        height, width = _CELL_KM[precision]
+        if min(height, width) >= radius_km:
+            return precision
+    return 1
+
+
+def covering_cells(point: GeoPoint, radius_km: float) -> List[str]:
+    """Geohash cells (query cell + 8 neighbors) covering a disc.
+
+    The returned precision is chosen via :func:`precision_for_radius_km`,
+    so the 3x3 block of cells is a superset of the disc of ``radius_km``
+    around ``point``.
+    """
+    precision = precision_for_radius_km(radius_km)
+    centre = encode(point.lat, point.lon, precision)
+    return [centre] + neighbors(centre)
+
+
+def common_prefix_length(a: str, b: str) -> int:
+    """Length of the shared geohash prefix — a crude proximity proxy."""
+    length = 0
+    for ca, cb in zip(a.lower(), b.lower()):
+        if ca != cb:
+            break
+        length += 1
+    return length
+
+
+def cell_size_km(precision: int) -> Tuple[float, float]:
+    """(height_km, width_km) of a cell at ``precision`` (equatorial)."""
+    if precision not in _CELL_KM:
+        raise ValueError(f"precision must be in 1..12, got {precision}")
+    return _CELL_KM[precision]
+
+
+def _check_tables() -> None:
+    """Sanity check run at import: tables must be permutations."""
+    for direction_tables in _NEIGHBOR_TABLE.values():
+        for table in direction_tables.values():
+            if sorted(table) != sorted(GEOHASH_ALPHABET):
+                raise AssertionError("corrupt geohash neighbor table")
+
+
+_check_tables()
+
+# math is used by callers via precision math in docs; keep the import honest.
+_ = math

@@ -1,0 +1,165 @@
+"""The central metrics collector.
+
+One collector instance is shared by every component of a running system
+(simulated or live). Components report raw events; experiment harnesses
+reduce them afterwards. Nothing in the selection algorithms ever *reads*
+the collector — measurement is strictly one-way.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.metrics.timeseries import TimeSeries
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """One completed (or lost) offloading request."""
+
+    user_id: str
+    edge_id: str
+    created_ms: float
+    latency_ms: Optional[float]  # None = frame lost (node failed mid-flight)
+
+    @property
+    def lost(self) -> bool:
+        return self.latency_ms is None
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates every measurable event of a run.
+
+    Attributes of interest to the figures:
+        frames: all frame records (Figs. 3-8 derive from these).
+        probes_sent: per-user count of ``Process_probe`` requests
+            (Fig. 9a).
+        test_invocations: per-node count of test-workload runs (Fig. 9b).
+        failures: per-user count of *uncovered* failures, i.e. moments
+            where every backup was dead too and the client had to fall
+            back to re-discovery (Fig. 10b counts exactly these).
+        switches: per-user count of voluntary better-node switches.
+        covered_failovers: per-user count of failures absorbed by a
+            backup node (no service disruption).
+        alive_nodes: step time series of the node population (Fig. 8's
+            grey stair line).
+    """
+
+    frames: List[FrameRecord] = field(default_factory=list)
+    probes_sent: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    discovery_queries: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    test_invocations: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    join_accepts: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    join_rejects: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    failures: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    covered_failovers: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    switches: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    #: (user_id, sim time ms) of each uncovered failure / covered failover
+    failure_events: List[Tuple[str, float]] = field(default_factory=list)
+    failover_events: List[Tuple[str, float]] = field(default_factory=list)
+    alive_nodes: TimeSeries = field(
+        default_factory=lambda: TimeSeries(name="alive_nodes")
+    )
+
+    # ------------------------------------------------------------------
+    # Reporting entry points
+    # ------------------------------------------------------------------
+    def record_frame(
+        self,
+        user_id: str,
+        edge_id: str,
+        created_ms: float,
+        latency_ms: Optional[float],
+    ) -> None:
+        self.frames.append(FrameRecord(user_id, edge_id, created_ms, latency_ms))
+
+    def record_probe(self, user_id: str, count: int = 1) -> None:
+        self.probes_sent[user_id] += count
+
+    def record_discovery(self, user_id: str) -> None:
+        self.discovery_queries[user_id] += 1
+
+    def record_test_invocation(self, node_id: str) -> None:
+        self.test_invocations[node_id] += 1
+
+    def record_join(self, user_id: str, accepted: bool) -> None:
+        if accepted:
+            self.join_accepts[user_id] += 1
+        else:
+            self.join_rejects[user_id] += 1
+
+    def record_failure(self, user_id: str, now_ms: float = 0.0) -> None:
+        self.failures[user_id] += 1
+        self.failure_events.append((user_id, now_ms))
+
+    def record_covered_failover(self, user_id: str, now_ms: float = 0.0) -> None:
+        self.covered_failovers[user_id] += 1
+        self.failover_events.append((user_id, now_ms))
+
+    def record_switch(self, user_id: str) -> None:
+        self.switches[user_id] += 1
+
+    def record_alive_nodes(self, now_ms: float, count: int) -> None:
+        self.alive_nodes.append(now_ms, float(count))
+
+    # ------------------------------------------------------------------
+    # Reductions used by experiment harnesses
+    # ------------------------------------------------------------------
+    def completed_latencies(
+        self,
+        start_ms: float = 0.0,
+        end_ms: Optional[float] = None,
+        user_id: Optional[str] = None,
+    ) -> List[float]:
+        """Latencies of completed frames in a window (optionally per user)."""
+        result: List[float] = []
+        for record in self.frames:
+            if record.latency_ms is None:
+                continue
+            if record.created_ms < start_ms:
+                continue
+            if end_ms is not None and record.created_ms >= end_ms:
+                continue
+            if user_id is not None and record.user_id != user_id:
+                continue
+            result.append(record.latency_ms)
+        return result
+
+    def per_user_mean_latency(
+        self, start_ms: float = 0.0, end_ms: Optional[float] = None
+    ) -> Dict[str, float]:
+        """Mean completed-frame latency per user over a window."""
+        sums: Dict[str, float] = defaultdict(float)
+        counts: Dict[str, int] = defaultdict(int)
+        for record in self.frames:
+            if record.latency_ms is None:
+                continue
+            if record.created_ms < start_ms:
+                continue
+            if end_ms is not None and record.created_ms >= end_ms:
+                continue
+            sums[record.user_id] += record.latency_ms
+            counts[record.user_id] += 1
+        return {user: sums[user] / counts[user] for user in sums}
+
+    def lost_frames(self, user_id: Optional[str] = None) -> int:
+        return sum(
+            1
+            for record in self.frames
+            if record.lost and (user_id is None or record.user_id == user_id)
+        )
+
+    def total_probes(self) -> int:
+        return sum(self.probes_sent.values())
+
+    def total_test_invocations(self) -> int:
+        return sum(self.test_invocations.values())
+
+    def total_failures(self) -> int:
+        return sum(self.failures.values())
+
+    def total_switches(self) -> int:
+        return sum(self.switches.values())

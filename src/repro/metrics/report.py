@@ -1,0 +1,69 @@
+"""Plain-text rendering of tables and CDFs for benchmark output.
+
+The benchmark harness "prints the same rows/series the paper reports";
+these helpers produce aligned ASCII tables and coarse CDF listings that
+read well in pytest output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats are shown with one decimal; everything else via ``str``.
+    """
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(f"{cell:.1f}")
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match headers {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def format_cdf(
+    points: Sequence[Tuple[float, float]],
+    fractions: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99),
+    label: str = "latency (ms)",
+) -> str:
+    """Render selected quantiles of a CDF point list from ``cdf_points``."""
+    if not points:
+        raise ValueError("empty CDF")
+    lines = [f"CDF of {label}:"]
+    for target in fractions:
+        value = points[-1][0]
+        for v, frac in points:
+            if frac >= target:
+                value = v
+                break
+        lines.append(f"  p{int(target * 100):02d} = {value:.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Summary statistics over latency samples.
+
+Pure functions on sequences of floats. ``numpy`` is used where it wins
+(percentiles over large arrays); small-input paths stay in plain Python
+so the functions behave on lists of length 0..2 without surprises.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input (an empty trace is a bug)."""
+    if len(values) == 0:
+        raise ValueError("mean of empty sequence")
+    return float(sum(values)) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Population standard deviation (the paper's fairness metric, Fig. 9d)."""
+    if len(values) == 0:
+        raise ValueError("stddev of empty sequence")
+    if len(values) == 1:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / len(values))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100), linear interpolation."""
+    if len(values) == 0:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100]: {q}")
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as (value, cumulative fraction) pairs, sorted.
+
+    The fraction at the i-th sorted sample is ``(i+1)/n`` — the standard
+    step-function CDF used in the paper's Fig. 3.
+    """
+    n = len(values)
+    if n == 0:
+        raise ValueError("cdf of empty sequence")
+    ordered = sorted(values)
+    return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """A one-line statistical summary of a latency sample set."""
+
+    count: int
+    mean_ms: float
+    std_ms: float
+    p50_ms: float
+    p90_ms: float
+    p99_ms: float
+    min_ms: float
+    max_ms: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean_ms:.1f} std={self.std_ms:.1f} "
+            f"p50={self.p50_ms:.1f} p90={self.p90_ms:.1f} p99={self.p99_ms:.1f} "
+            f"min={self.min_ms:.1f} max={self.max_ms:.1f}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary`; raises on empty input."""
+    if len(values) == 0:
+        raise ValueError("summarize of empty sequence")
+    arr = np.asarray(values, dtype=float)
+    return Summary(
+        count=int(arr.size),
+        mean_ms=float(arr.mean()),
+        std_ms=float(arr.std()),
+        p50_ms=float(np.percentile(arr, 50)),
+        p90_ms=float(np.percentile(arr, 90)),
+        p99_ms=float(np.percentile(arr, 99)),
+        min_ms=float(arr.min()),
+        max_ms=float(arr.max()),
+    )

@@ -1,0 +1,47 @@
+"""Network substrate: RTT, jitter, bandwidth, links and topologies.
+
+The paper's client-to-edge connectivity is "determined by local ISP
+infrastructures and unpredictable networking conditions" (§III-A). This
+package models exactly the quantities the selection algorithm consumes:
+
+- :class:`~repro.net.latency.DistanceRttModel` — RTT propagation delay
+  (``D_prop``) from great-circle distance plus per-tier ISP inflation and
+  lognormal jitter, calibrated against the paper's Fig. 1 measurements.
+- :class:`~repro.net.latency.MatrixRttModel` — explicit pairwise base
+  RTTs (the emulation experiments configure pairwise latency with ``tc``;
+  this is the software equivalent).
+- :mod:`~repro.net.bandwidth` — data transfer delay (``D_trans``) given
+  message size and endpoint uplink/downlink caps.
+- :class:`~repro.net.link.Link` — a stateful client-to-edge connection
+  with establishment cost (used to contrast proactive vs reactive
+  connections, Fig. 4/10).
+- :class:`~repro.net.topology.NetworkTopology` — the registry tying
+  endpoints, RTT model and bandwidth model together.
+"""
+
+from repro.net.bandwidth import BandwidthModel, transfer_ms
+from repro.net.latency import (
+    DistanceRttModel,
+    HashedPairRttModel,
+    JitterModel,
+    MatrixRttModel,
+    NetworkTier,
+    RttModel,
+)
+from repro.net.link import Link, LinkState
+from repro.net.topology import NetworkEndpoint, NetworkTopology
+
+__all__ = [
+    "NetworkTier",
+    "RttModel",
+    "JitterModel",
+    "DistanceRttModel",
+    "MatrixRttModel",
+    "HashedPairRttModel",
+    "BandwidthModel",
+    "transfer_ms",
+    "Link",
+    "LinkState",
+    "NetworkEndpoint",
+    "NetworkTopology",
+]

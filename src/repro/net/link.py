@@ -1,0 +1,69 @@
+"""Stateful client-to-edge connections.
+
+The paper's failure monitor relies on *proactively established*
+connections to backup edge nodes so a failover switch costs (almost)
+nothing, whereas a reactive "re-connect" approach pays edge re-discovery
+plus connection establishment — the large latency gap shown in Fig. 4 and
+Fig. 10(a). :class:`Link` models that cost structure:
+
+- ``ESTABLISHING`` → ``UP`` after ``establish_ms`` (≈ TCP + app handshake,
+  i.e. a couple of RTTs).
+- ``UP`` links deliver requests at the current network delay.
+- ``DOWN`` links (node left / crashed) fail requests immediately.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class LinkState(enum.Enum):
+    ESTABLISHING = "establishing"
+    UP = "up"
+    DOWN = "down"
+
+
+#: Number of round trips needed to establish a fresh connection:
+#: TCP 3-way handshake (1 RTT to usable) + TLS-less app hello (1 RTT) +
+#: margin. Used to price reactive re-connection.
+CONNECTION_SETUP_RTTS = 2.5
+
+
+@dataclass
+class Link:
+    """A client's connection to one edge node.
+
+    Attributes:
+        client_id / edge_id: endpoint ids.
+        rtt_ms: last known base RTT (refreshed by probes).
+        state: current :class:`LinkState`.
+        established_at: sim time (ms) the link reached ``UP``.
+    """
+
+    client_id: str
+    edge_id: str
+    rtt_ms: float = 0.0
+    state: LinkState = LinkState.ESTABLISHING
+    established_at: float = field(default=-1.0)
+
+    def establish_ms(self) -> float:
+        """Time to bring this link UP from scratch."""
+        return CONNECTION_SETUP_RTTS * self.rtt_ms
+
+    def mark_up(self, now: float) -> None:
+        self.state = LinkState.UP
+        self.established_at = now
+
+    def mark_down(self) -> None:
+        self.state = LinkState.DOWN
+
+    @property
+    def usable(self) -> bool:
+        return self.state is LinkState.UP
+
+    def __repr__(self) -> str:
+        return (
+            f"Link({self.client_id}->{self.edge_id}, {self.state.value}, "
+            f"rtt={self.rtt_ms:.1f}ms)"
+        )

@@ -1,0 +1,148 @@
+"""The network topology: endpoints + RTT model + bandwidth model.
+
+:class:`NetworkTopology` is the single object the rest of the system asks
+network questions of:
+
+- ``rtt_ms(a, b)`` — one jittered RTT sample (what a probe observes).
+- ``expected_rtt_ms(a, b)`` — the mean (what an oracle/optimal solver
+  uses).
+- ``transfer_ms(a, b, size)`` — request payload transfer delay capped by
+  the sender's uplink.
+- ``one_way_ms(a, b)`` — half an RTT sample, for message deliveries.
+
+Endpoints are registered once with their position, tier, ISP tag and
+bandwidth caps; everything else derives from the installed models.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.geo.point import GeoPoint
+from repro.net.bandwidth import BandwidthModel
+from repro.net.latency import (
+    DistanceRttModel,
+    EndpointInfo,
+    NetworkTier,
+    RttModel,
+)
+
+
+@dataclass
+class NetworkEndpoint:
+    """A registered network participant (user device or edge node)."""
+
+    endpoint_id: str
+    point: GeoPoint
+    tier: NetworkTier = NetworkTier.HOME_WIFI
+    isp: Optional[str] = None
+    uplink_mbps: Optional[float] = None
+    downlink_mbps: Optional[float] = None
+    access_extra_ms: float = 0.0
+
+    def info(self) -> EndpointInfo:
+        return EndpointInfo(
+            endpoint_id=self.endpoint_id,
+            point=self.point,
+            tier=self.tier,
+            isp=self.isp,
+            access_extra_ms=self.access_extra_ms,
+        )
+
+
+class NetworkTopology:
+    """Registry of endpoints plus the latency/bandwidth models.
+
+    Args:
+        rtt_model: defaults to a calibrated :class:`DistanceRttModel`.
+        bandwidth_model: defaults to home-broadband caps.
+        rng: random source for jitter; pass a seeded stream.
+    """
+
+    def __init__(
+        self,
+        rtt_model: Optional[RttModel] = None,
+        bandwidth_model: Optional[BandwidthModel] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.rtt_model: RttModel = rtt_model or DistanceRttModel()
+        self.bandwidth_model = bandwidth_model or BandwidthModel()
+        self.rng = rng or random.Random(0)
+        self._endpoints: Dict[str, NetworkEndpoint] = {}
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    def add_endpoint(self, endpoint: NetworkEndpoint) -> None:
+        """Register (or replace) an endpoint."""
+        self._endpoints[endpoint.endpoint_id] = endpoint
+
+    def remove_endpoint(self, endpoint_id: str) -> None:
+        self._endpoints.pop(endpoint_id, None)
+
+    def endpoint(self, endpoint_id: str) -> NetworkEndpoint:
+        try:
+            return self._endpoints[endpoint_id]
+        except KeyError:
+            raise KeyError(f"unknown endpoint: {endpoint_id!r}") from None
+
+    def has_endpoint(self, endpoint_id: str) -> bool:
+        return endpoint_id in self._endpoints
+
+    def endpoint_ids(self) -> List[str]:
+        return list(self._endpoints)
+
+    def endpoints(self) -> Iterable[NetworkEndpoint]:
+        return self._endpoints.values()
+
+    # ------------------------------------------------------------------
+    # Latency / bandwidth queries
+    # ------------------------------------------------------------------
+    def rtt_ms(self, a: str, b: str) -> float:
+        """One jittered RTT sample between registered endpoints."""
+        return self.rtt_model.sample_rtt_ms(
+            self.endpoint(a).info(), self.endpoint(b).info(), self.rng
+        )
+
+    def expected_rtt_ms(self, a: str, b: str) -> float:
+        """Mean RTT between registered endpoints (no jitter)."""
+        return self.rtt_model.expected_rtt_ms(
+            self.endpoint(a).info(), self.endpoint(b).info()
+        )
+
+    def one_way_ms(self, a: str, b: str) -> float:
+        """Half of an RTT sample: a single message delivery delay."""
+        return self.rtt_ms(a, b) / 2.0
+
+    def transfer_ms(self, src: str, dst: str, size_bytes: float) -> float:
+        """Sampled payload transfer delay from ``src`` to ``dst``."""
+        source = self.endpoint(src)
+        destination = self.endpoint(dst)
+        return self.bandwidth_model.sample_transfer_ms(
+            size_bytes,
+            self.rng,
+            uplink_mbps=source.uplink_mbps,
+            downlink_mbps=destination.downlink_mbps,
+        )
+
+    def expected_transfer_ms(self, src: str, dst: str, size_bytes: float) -> float:
+        """Mean payload transfer delay (no contention noise)."""
+        source = self.endpoint(src)
+        destination = self.endpoint(dst)
+        return self.bandwidth_model.expected_transfer_ms(
+            size_bytes,
+            uplink_mbps=source.uplink_mbps,
+            downlink_mbps=destination.downlink_mbps,
+        )
+
+    def distance_km(self, a: str, b: str) -> float:
+        """Great-circle distance between two registered endpoints."""
+        return self.endpoint(a).point.distance_km(self.endpoint(b).point)
+
+    def __len__(self) -> int:
+        return len(self._endpoints)
+
+    def __repr__(self) -> str:
+        return f"NetworkTopology(endpoints={len(self._endpoints)})"

@@ -1,0 +1,48 @@
+"""Edge node substrate: hardware, processing/contention, host interference.
+
+The paper's edge nodes are "highly compute-constrained and sensitive to
+performance degradation due to resource contention" (§III-A). This
+package models the compute side of that statement:
+
+- :mod:`~repro.nodes.hardware` — the hardware catalog, including the
+  exact volunteer/dedicated profiles of Table II (V1...V5 laptops,
+  AWS ``t3.xlarge`` Local Zone instances, the cloud instance) and the
+  EC2 types used in the emulation experiments.
+- :mod:`~repro.nodes.processing` — the frame-processing engine: a
+  c-server FCFS queue per node (object detection runs one frame at a
+  time, parallelized internally across cores — the per-frame times in
+  Table II already reflect each machine's core count), plus analytic
+  sojourn-time estimators used by the optimal-assignment solver.
+- :mod:`~repro.nodes.host_workload` — "unexpected higher priority host
+  workloads competing with existing edge services": background load that
+  inflates service times and triggers the node's performance monitor.
+"""
+
+from repro.nodes.hardware import (
+    CLOUD_NODE,
+    DEDICATED_PROFILES,
+    EMULATION_PROFILES,
+    HardwareProfile,
+    VOLUNTEER_PROFILES,
+    profile_by_name,
+)
+from repro.nodes.host_workload import HostWorkload, HostWorkloadSchedule
+from repro.nodes.processing import (
+    FrameProcessor,
+    analytic_sojourn_ms,
+    offered_load,
+)
+
+__all__ = [
+    "HardwareProfile",
+    "VOLUNTEER_PROFILES",
+    "DEDICATED_PROFILES",
+    "EMULATION_PROFILES",
+    "CLOUD_NODE",
+    "profile_by_name",
+    "FrameProcessor",
+    "analytic_sojourn_ms",
+    "offered_load",
+    "HostWorkload",
+    "HostWorkloadSchedule",
+]

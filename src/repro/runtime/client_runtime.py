@@ -1,0 +1,204 @@
+"""The live client: Algorithm 2 over real sockets."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.messages import DiscoveryQuery, from_wire, to_wire
+from repro.core.policies.local_policies import (
+    LocalSelectionPolicy,
+    sort_by_global_overhead,
+)
+from repro.core.probing import ProbeOutcome
+from repro.geo.point import GeoPoint
+from repro.runtime import protocol
+from repro.runtime.protocol import PersistentConnection
+
+
+class LiveClient:
+    """An application user against a live manager + edge fleet.
+
+    Runs the probing procedure of Algorithm 2: discover candidates at
+    the manager, ``rtt_probe`` + ``process_probe`` each over standing
+    connections, rank with the GO policy, ``Join()`` with the probed
+    ``seqNum``, keep the rest as proactively connected backups, and
+    offload frames; on a send failure, ``unexpected_join`` the best
+    backup.
+    """
+
+    def __init__(
+        self,
+        user_id: str,
+        point: GeoPoint,
+        manager_host: str,
+        manager_port: int,
+        *,
+        top_n: int = 3,
+        policy: Optional[LocalSelectionPolicy] = None,
+        request_timeout: float = 5.0,
+    ) -> None:
+        self.user_id = user_id
+        self.point = point
+        self.manager_host = manager_host
+        self.manager_port = manager_port
+        self.top_n = top_n
+        self.policy = policy or sort_by_global_overhead
+        self.request_timeout = request_timeout
+
+        self.current_edge: Optional[str] = None
+        self.backups: List[str] = []
+        self.addresses: Dict[str, Tuple[str, int]] = {}
+        self.connections: Dict[str, PersistentConnection] = {}
+        self.latencies_ms: List[float] = []
+        self.probes_sent = 0
+        self.joins_rejected = 0
+        self.failovers = 0
+
+    # ------------------------------------------------------------------
+    async def discover(self) -> List[str]:
+        """Edge discovery at the Central Manager."""
+        query = DiscoveryQuery(
+            user_id=self.user_id,
+            lat=self.point.lat,
+            lon=self.point.lon,
+            top_n=self.top_n,
+        )
+        reply = await protocol.request(
+            self.manager_host,
+            self.manager_port,
+            "discover",
+            {"query": to_wire(query)},
+            timeout=self.request_timeout,
+        )
+        candidates = from_wire(reply["candidates"])
+        for node_id, address in reply.get("addresses", {}).items():
+            self.addresses[node_id] = (address[0], address[1])
+        return list(candidates.node_ids)
+
+    async def _connection(self, node_id: str) -> PersistentConnection:
+        connection = self.connections.get(node_id)
+        if connection is None:
+            host, port = self.addresses[node_id]
+            connection = PersistentConnection(host, port, self.request_timeout)
+            self.connections[node_id] = connection
+        return connection
+
+    async def probe(self, node_id: str) -> Optional[ProbeOutcome]:
+        """``RTT_probe`` + ``Process_probe`` one candidate; None if dead."""
+        self.probes_sent += 1
+        try:
+            connection = await self._connection(node_id)
+            start = time.monotonic()
+            await connection.request("rtt_probe")
+            rtt_ms = (time.monotonic() - start) * 1000.0
+            reply = await connection.request("process_probe")
+        except (OSError, protocol.ProtocolError, asyncio.TimeoutError):
+            self.connections.pop(node_id, None)
+            return None
+        probe = from_wire(reply["probe"])
+        return ProbeOutcome(
+            node_id=node_id,
+            d_prop_ms=rtt_ms,
+            d_proc_ms=probe.what_if_ms,
+            seq_num=probe.seq_num,
+            attached_users=probe.attached_users,
+            current_proc_ms=probe.current_proc_ms,
+            stay_ms=probe.stay_ms,
+        )
+
+    async def select_and_join(self) -> str:
+        """One full selection round (discovery -> probing -> join).
+
+        Returns the chosen node id.
+
+        Raises:
+            RuntimeError: when no candidate accepts after retries.
+        """
+        for _ in range(4):
+            candidates = await self.discover()
+            outcomes = [o for o in [await self.probe(c) for c in candidates] if o]
+            ranked = self.policy(outcomes)
+            if not ranked:
+                await asyncio.sleep(0.2)
+                continue
+            best = ranked[0]
+            connection = await self._connection(best.node_id)
+            try:
+                reply = await connection.request(
+                    "join",
+                    {"user_id": self.user_id, "seq_num": best.seq_num, "fps": 20.0},
+                )
+            except (OSError, protocol.ProtocolError, asyncio.TimeoutError):
+                continue
+            if reply.get("accepted"):
+                if self.current_edge and self.current_edge != best.node_id:
+                    await self.leave(self.current_edge)
+                self.current_edge = best.node_id
+                self.backups = [o.node_id for o in ranked[1:]]
+                # keep backup connections warm (proactive establishment)
+                for node_id in self.backups:
+                    try:
+                        await self._connection(node_id)
+                    except KeyError:  # pragma: no cover - address unknown
+                        pass
+                return best.node_id
+            self.joins_rejected += 1  # state changed: repeat from discovery
+        raise RuntimeError(f"{self.user_id}: no candidate accepted the join")
+
+    async def leave(self, node_id: str) -> None:
+        try:
+            connection = await self._connection(node_id)
+            await connection.request("leave", {"user_id": self.user_id})
+        except (OSError, protocol.ProtocolError, asyncio.TimeoutError, KeyError):
+            pass
+
+    # ------------------------------------------------------------------
+    async def offload_frame(self) -> Optional[float]:
+        """Send one frame; returns end-to-end latency (ms) or None (lost).
+
+        On failure the failure-monitor path runs: ``unexpected_join`` the
+        first live backup over its standing connection.
+        """
+        if self.current_edge is None:
+            raise RuntimeError("not attached to any edge node")
+        connection = await self._connection(self.current_edge)
+        start = time.monotonic()
+        try:
+            reply = await connection.request("frame")
+        except (OSError, protocol.ProtocolError, asyncio.TimeoutError):
+            await self._failover()
+            return None
+        if not reply.get("ok"):
+            return None  # overloaded node shed the frame
+        latency_ms = (time.monotonic() - start) * 1000.0
+        self.latencies_ms.append(latency_ms)
+        return latency_ms
+
+    async def _failover(self) -> None:
+        self.connections.pop(self.current_edge or "", None)
+        self.current_edge = None
+        self.failovers += 1
+        while self.backups:
+            backup = self.backups.pop(0)
+            try:
+                connection = await self._connection(backup)
+                reply = await connection.request(
+                    "unexpected_join", {"user_id": self.user_id, "fps": 20.0}
+                )
+            except (OSError, protocol.ProtocolError, asyncio.TimeoutError, KeyError):
+                continue
+            if reply.get("accepted"):
+                self.current_edge = backup
+                return
+        # uncovered failure: full re-discovery
+        await self.select_and_join()
+
+    async def close(self) -> None:
+        if self.current_edge is not None:
+            await self.leave(self.current_edge)
+            self.current_edge = None
+        for connection in self.connections.values():
+            await connection.close()
+        self.connections.clear()

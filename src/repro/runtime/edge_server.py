@@ -1,0 +1,268 @@
+"""A live edge node: Table I APIs + frame processing over TCP.
+
+Processing is a real ``asyncio`` sleep of the profile's per-frame time
+scaled by ``time_scale`` (default 0.1: a 30 ms frame sleeps 3 ms, so
+tests run fast while contention behaviour — a worker pool of size
+``parallelism`` with a bounded queue — stays real). The what-if cache,
+the three test-workload triggers and the ``seqNum`` join protocol follow
+:class:`repro.core.edge_server.EdgeServer` exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Optional
+
+from repro.core.messages import NodeStatus, ProbeReply, to_wire
+from repro.geo import geohash as gh
+from repro.geo.point import GeoPoint
+from repro.nodes.hardware import HardwareProfile
+from repro.nodes.processing import analytic_sojourn_ms
+from repro.runtime import protocol
+
+
+class LiveEdgeServer:
+    """One volunteer/dedicated edge node on a localhost port."""
+
+    def __init__(
+        self,
+        node_id: str,
+        profile: HardwareProfile,
+        point: GeoPoint,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        manager_host: Optional[str] = None,
+        manager_port: Optional[int] = None,
+        heartbeat_period_s: float = 1.0,
+        time_scale: float = 0.1,
+        standard_fps: float = 20.0,
+        dedicated: bool = False,
+    ) -> None:
+        if time_scale <= 0:
+            raise ValueError(f"time_scale must be positive: {time_scale}")
+        self.node_id = node_id
+        self.profile = profile
+        self.point = point
+        self.host = host
+        self.port = port
+        self.manager_host = manager_host
+        self.manager_port = manager_port
+        self.heartbeat_period_s = heartbeat_period_s
+        self.time_scale = time_scale
+        self.standard_fps = standard_fps
+        self.dedicated = dedicated
+
+        self.seq_num = 0
+        self.attached: dict = {}
+        self.what_if_ms: float = profile.base_frame_ms
+        self.stay_ms: float = profile.base_frame_ms
+        self.test_workload_invocations = 0
+        self.frames_processed = 0
+        self._completions: list = []  # (monotonic time, sojourn_ms)
+
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._semaphore = asyncio.Semaphore(profile.parallelism)
+        self._heartbeat_task: Optional[asyncio.Task] = None
+        self._queue_depth = 0
+        self.max_queue_depth = 64
+        self._dead = False
+        self._open_writers: set = set()
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        await self._invoke_test_workload()
+        if self.manager_host is not None and self.manager_port is not None:
+            self._heartbeat_task = asyncio.ensure_future(self._heartbeat_loop())
+
+    async def stop(self) -> None:
+        """Hard stop: the node vanishes, including live connections.
+
+        A crashing volunteer does not finish in-flight conversations —
+        open sockets are severed so attached clients observe a broken
+        connection (their failure-detection signal).
+        """
+        self._dead = True
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            self._heartbeat_task = None
+        for writer in list(self._open_writers):
+            writer.close()
+        self._open_writers.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # Frame processing
+    # ------------------------------------------------------------------
+    async def _process_frame(self, synthetic: bool = False) -> Optional[float]:
+        """Run one frame through the worker pool; return its sojourn (ms,
+        unscaled application time). None when the queue sheds it."""
+        if self._queue_depth >= self.max_queue_depth:
+            return None
+        self._queue_depth += 1
+        arrival = time.monotonic()
+        try:
+            async with self._semaphore:
+                await asyncio.sleep(self.profile.base_frame_ms / 1000.0 * self.time_scale)
+        finally:
+            self._queue_depth -= 1
+        sojourn_scaled_s = time.monotonic() - arrival
+        sojourn_ms = sojourn_scaled_s / self.time_scale * 1000.0
+        if not synthetic:
+            self.frames_processed += 1
+            self._completions.append((time.monotonic(), sojourn_ms))
+            if len(self._completions) > 64:
+                del self._completions[:-64]
+        return sojourn_ms
+
+    def _recent_mean_sojourn_ms(self) -> Optional[float]:
+        cutoff = time.monotonic() - 3.0
+        recent = [s for t, s in self._completions if t >= cutoff]
+        if not recent:
+            return None
+        return sum(recent) / len(recent)
+
+    async def _invoke_test_workload(self) -> None:
+        """The "what-if" synthetic frame + demand projection (see the
+        simulated twin for the rationale)."""
+        self.test_workload_invocations += 1
+        measured = await self._process_frame(synthetic=True)
+        if measured is None:
+            return
+        n = len(self.attached)
+        projected = analytic_sojourn_ms(self.profile, (n + 1) * self.standard_fps)
+        self.what_if_ms = max(measured, projected)
+        self.stay_ms = max(
+            measured, analytic_sojourn_ms(self.profile, max(n, 1) * self.standard_fps)
+        )
+
+    # ------------------------------------------------------------------
+    # Heartbeats
+    # ------------------------------------------------------------------
+    def status(self) -> NodeStatus:
+        return NodeStatus(
+            node_id=self.node_id,
+            lat=self.point.lat,
+            lon=self.point.lon,
+            geohash=gh.encode(self.point.lat, self.point.lon, 9),
+            cores=self.profile.cores,
+            capacity_fps=self.profile.capacity_fps,
+            attached_users=len(self.attached),
+            utilization=min(1.0, self._queue_depth / self.profile.parallelism),
+            dedicated=self.dedicated,
+        )
+
+    async def _heartbeat_loop(self) -> None:
+        assert self.manager_host is not None and self.manager_port is not None
+        while True:
+            try:
+                await protocol.request(
+                    self.manager_host,
+                    self.manager_port,
+                    "heartbeat",
+                    {
+                        "status": to_wire(self.status()),
+                        "host": self.host,
+                        "port": self.port,
+                    },
+                )
+            except (OSError, protocol.ProtocolError, asyncio.TimeoutError):
+                pass  # manager briefly unreachable: retry next period
+            await asyncio.sleep(self.heartbeat_period_s)
+
+    # ------------------------------------------------------------------
+    # Connection handling / dispatch
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._open_writers.add(writer)
+        try:
+            while not self._dead:
+                frame = await protocol.read_frame(reader)
+                if frame is None or self._dead:
+                    break
+                reply = await self._dispatch(frame)
+                if self._dead:
+                    break
+                writer.write(protocol.encode_frame("reply", reply))
+                await writer.drain()
+        except (protocol.ProtocolError, ConnectionResetError):
+            pass
+        except asyncio.CancelledError:
+            # Server teardown cancels in-flight handlers; ending the
+            # task cleanly avoids spurious loop-callback logging.
+            pass
+        finally:
+            self._open_writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _dispatch(self, frame: dict) -> dict:
+        op = frame["op"]
+        payload = frame["payload"]
+        if op == "rtt_probe":
+            return {"ok": True}  # the measurement is the round trip itself
+        if op == "process_probe":
+            current = self._recent_mean_sojourn_ms()
+            reply = ProbeReply(
+                node_id=self.node_id,
+                what_if_ms=self.what_if_ms,
+                seq_num=self.seq_num,
+                attached_users=len(self.attached),
+                current_proc_ms=current if current is not None else self.what_if_ms,
+                stay_ms=self.stay_ms,
+            )
+            return {"ok": True, "probe": to_wire(reply)}
+        if op == "join":
+            user_id = payload["user_id"]
+            if payload["seq_num"] != self.seq_num:
+                return {"ok": True, "accepted": False, "seq_num": self.seq_num}
+            self.seq_num += 1
+            self.attached[user_id] = payload.get("fps", self.standard_fps)
+            asyncio.ensure_future(self._delayed_test_workload())
+            return {"ok": True, "accepted": True, "seq_num": self.seq_num}
+        if op == "unexpected_join":
+            self.seq_num += 1
+            self.attached[payload["user_id"]] = payload.get("fps", self.standard_fps)
+            asyncio.ensure_future(self._invoke_test_workload())
+            return {"ok": True, "accepted": True}
+        if op == "leave":
+            if payload["user_id"] in self.attached:
+                del self.attached[payload["user_id"]]
+                self.seq_num += 1
+                asyncio.ensure_future(self._invoke_test_workload())
+            return {"ok": True}
+        if op == "frame":
+            sojourn = await self._process_frame()
+            if sojourn is None:
+                return {"ok": False, "error": "overloaded"}
+            return {"ok": True, "proc_ms": sojourn, "result": "objects-detected"}
+        if op == "status":
+            return {
+                "ok": True,
+                "node_id": self.node_id,
+                "attached": sorted(self.attached),
+                "seq_num": self.seq_num,
+                "what_if_ms": self.what_if_ms,
+                "frames_processed": self.frames_processed,
+                "test_workload_invocations": self.test_workload_invocations,
+            }
+        return {"ok": False, "error": f"unknown op: {op!r}"}
+
+    async def _delayed_test_workload(self) -> None:
+        """Join-triggered invocation, delayed by ~2x a common RTT
+        (scaled), so it observes the new user's traffic."""
+        await asyncio.sleep(0.04 * self.time_scale * 10)
+        await self._invoke_test_workload()

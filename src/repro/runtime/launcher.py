@@ -1,0 +1,114 @@
+"""Spin up a complete live cluster on localhost."""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.geo.point import GeoPoint
+from repro.geo.region import MSP_CENTER, MetroArea
+from repro.nodes.hardware import HardwareProfile
+from repro.runtime.client_runtime import LiveClient
+from repro.runtime.edge_server import LiveEdgeServer
+from repro.runtime.manager_server import ManagerServer
+
+
+class LocalCluster:
+    """Manager + edge fleet + clients, all on 127.0.0.1.
+
+    Usage::
+
+        cluster = LocalCluster(profiles, n_clients=3)
+        await cluster.start()
+        try:
+            for client in cluster.clients:
+                await client.select_and_join()
+                await client.offload_frame()
+        finally:
+            await cluster.stop()
+    """
+
+    def __init__(
+        self,
+        profiles: Sequence[HardwareProfile],
+        *,
+        n_clients: int = 1,
+        seed: int = 0,
+        time_scale: float = 0.05,
+        heartbeat_period_s: float = 0.2,
+        top_n: int = 3,
+    ) -> None:
+        if not profiles:
+            raise ValueError("need at least one edge profile")
+        self._rng = random.Random(seed)
+        metro = MetroArea(center=MSP_CENTER, radius_km=16.0, rng=self._rng)
+        self.manager = ManagerServer()
+        self.edges: List[LiveEdgeServer] = []
+        self._edge_specs: List[Tuple[HardwareProfile, GeoPoint]] = [
+            (profile, metro.sample()) for profile in profiles
+        ]
+        self._client_points: List[GeoPoint] = [
+            metro.sample() for _ in range(n_clients)
+        ]
+        self.clients: List[LiveClient] = []
+        self.time_scale = time_scale
+        self.heartbeat_period_s = heartbeat_period_s
+        self.top_n = top_n
+
+    async def start(self) -> None:
+        """Start the manager, all edges, and build (unattached) clients."""
+        await self.manager.start()
+        for index, (profile, point) in enumerate(self._edge_specs):
+            edge = LiveEdgeServer(
+                f"edge-{index + 1:02d}-{profile.name}",
+                profile,
+                point,
+                manager_host=self.manager.host,
+                manager_port=self.manager.port,
+                heartbeat_period_s=self.heartbeat_period_s,
+                time_scale=self.time_scale,
+            )
+            await edge.start()
+            self.edges.append(edge)
+        # one heartbeat round so discovery has a registry to work with
+        await asyncio.sleep(self.heartbeat_period_s * 1.5)
+        for index, point in enumerate(self._client_points):
+            self.clients.append(
+                LiveClient(
+                    f"user-{index + 1:02d}",
+                    point,
+                    self.manager.host,
+                    self.manager.port,
+                    top_n=self.top_n,
+                )
+            )
+
+    async def stop(self) -> None:
+        for client in self.clients:
+            await client.close()
+        for edge in self.edges:
+            await edge.stop()
+        await self.manager.stop()
+
+    def edge_by_id(self, node_id: str) -> LiveEdgeServer:
+        for edge in self.edges:
+            if edge.node_id == node_id:
+                return edge
+        raise KeyError(f"unknown edge: {node_id!r}")
+
+    async def kill_edge(self, node_id: str) -> None:
+        """Hard-stop one edge (volunteer leaves without notification)."""
+        edge = self.edge_by_id(node_id)
+        await edge.stop()
+
+    def manager_address(self) -> Dict[str, object]:
+        return {"host": self.manager.host, "port": self.manager.port}
+
+    def statuses(self) -> Optional[dict]:
+        """Convenience snapshot for demos."""
+        return {
+            "manager": self.manager_address(),
+            "edges": [e.node_id for e in self.edges],
+            "clients": [c.user_id for c in self.clients],
+        }

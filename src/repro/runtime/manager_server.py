@@ -1,0 +1,129 @@
+"""The live Central Manager: registry + discovery over TCP."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, Optional
+
+from repro.core.messages import CandidateList, DiscoveryQuery, NodeStatus, from_wire, to_wire
+from repro.core.policies.global_policies import GlobalSelectionPolicy
+from repro.runtime import protocol
+
+
+class ManagerServer:
+    """Asyncio TCP server implementing the Central Manager role.
+
+    Operations:
+        - ``heartbeat`` — payload: wire-encoded :class:`NodeStatus` plus
+          the node's serving address; refreshes the registry.
+        - ``discover`` — payload: wire-encoded :class:`DiscoveryQuery`;
+          replies with a :class:`CandidateList` and an address book for
+          the candidates.
+        - ``status`` — introspection for tests/operators.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        policy: Optional[GlobalSelectionPolicy] = None,
+        heartbeat_timeout_s: float = 3.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.policy = policy or GlobalSelectionPolicy()
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self._registry: Dict[str, NodeStatus] = {}
+        self._addresses: Dict[str, tuple] = {}
+        self._received_at: Dict[str, float] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.queries_served = 0
+        self.heartbeats_received = 0
+
+    async def start(self) -> None:
+        """Bind and start serving; resolves the actual port when 0."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    def _alive_statuses(self) -> list:
+        now = time.monotonic()
+        stale = [
+            node_id
+            for node_id, at in self._received_at.items()
+            if now - at > self.heartbeat_timeout_s
+        ]
+        for node_id in stale:
+            self._registry.pop(node_id, None)
+            self._addresses.pop(node_id, None)
+            self._received_at.pop(node_id, None)
+        return list(self._registry.values())
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                frame = await protocol.read_frame(reader)
+                if frame is None:
+                    break
+                reply = self._dispatch(frame)
+                writer.write(protocol.encode_frame("reply", reply))
+                await writer.drain()
+        except (protocol.ProtocolError, ConnectionResetError):
+            pass
+        except asyncio.CancelledError:
+            # Server teardown cancels in-flight handlers; ending the
+            # task cleanly avoids spurious loop-callback logging.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    def _dispatch(self, frame: dict) -> dict:
+        op = frame["op"]
+        payload = frame["payload"]
+        if op == "heartbeat":
+            status = from_wire(payload["status"])
+            self._registry[status.node_id] = status
+            self._addresses[status.node_id] = (payload["host"], payload["port"])
+            self._received_at[status.node_id] = time.monotonic()
+            self.heartbeats_received += 1
+            return {"ok": True}
+        if op == "discover":
+            query: DiscoveryQuery = from_wire(payload["query"])
+            node_ids, widened = self.policy.select(query, self._alive_statuses())
+            self.queries_served += 1
+            candidates = CandidateList(
+                user_id=query.user_id, node_ids=tuple(node_ids), widened=widened
+            )
+            return {
+                "ok": True,
+                "candidates": to_wire(candidates),
+                "addresses": {
+                    node_id: list(self._addresses[node_id])
+                    for node_id in node_ids
+                    if node_id in self._addresses
+                },
+            }
+        if op == "status":
+            return {
+                "ok": True,
+                "nodes": sorted(self._registry),
+                "queries_served": self.queries_served,
+                "heartbeats_received": self.heartbeats_received,
+            }
+        return {"ok": False, "error": f"unknown op: {op!r}"}

@@ -1,0 +1,150 @@
+"""Wire protocol for the live runtime: newline-delimited JSON frames.
+
+Every frame is one JSON object on one line::
+
+    {"op": "<operation>", "payload": {...}}\\n
+
+and every request gets exactly one response frame. Operations mirror
+the simulation's method calls one-to-one (``discover``, ``heartbeat``,
+``rtt_probe``, ``process_probe``, ``join``, ``unexpected_join``,
+``leave``, ``frame``, ``status``). Dataclass payloads go through
+:func:`repro.core.messages.to_wire` / ``from_wire``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional
+
+#: Maximum accepted frame size — prevents a garbage peer from ballooning
+#: memory with an unterminated line.
+MAX_FRAME_BYTES = 1 << 20
+
+
+class ProtocolError(Exception):
+    """Malformed frame or unexpected operation."""
+
+
+def encode_frame(op: str, payload: Optional[Dict[str, Any]] = None) -> bytes:
+    """Encode one protocol frame."""
+    return (json.dumps({"op": op, "payload": payload or {}}) + "\n").encode("utf-8")
+
+
+def decode_frame(line: bytes) -> Dict[str, Any]:
+    """Decode one protocol frame.
+
+    Raises:
+        ProtocolError: on malformed JSON or a missing ``op`` field.
+    """
+    try:
+        data = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed frame: {line[:80]!r}") from exc
+    if not isinstance(data, dict) or "op" not in data:
+        raise ProtocolError(f"frame missing op: {data!r}")
+    data.setdefault("payload", {})
+    return data
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
+    """Read one frame; None on clean EOF.
+
+    Raises:
+        ProtocolError: on oversized or malformed frames.
+    """
+    try:
+        line = await reader.readline()
+    except (ConnectionResetError, BrokenPipeError):
+        return None
+    if not line:
+        return None
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame too large: {len(line)} bytes")
+    return decode_frame(line)
+
+
+async def request(
+    host: str,
+    port: int,
+    op: str,
+    payload: Optional[Dict[str, Any]] = None,
+    timeout: float = 5.0,
+) -> Dict[str, Any]:
+    """One-shot request/response over a fresh connection.
+
+    Raises:
+        ProtocolError / OSError / asyncio.TimeoutError on failure — the
+        caller decides whether a dead peer is an error or just a dead
+        volunteer node.
+    """
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout
+    )
+    try:
+        writer.write(encode_frame(op, payload))
+        await writer.drain()
+        reply = await asyncio.wait_for(read_frame(reader), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+    if reply is None:
+        raise ProtocolError(f"peer closed connection during {op!r}")
+    return reply["payload"]
+
+
+class PersistentConnection:
+    """A kept-alive request/response channel to one peer.
+
+    This is what "proactively established connections" are at the
+    transport level: the TCP handshake is paid once, and a failover
+    request rides an already-open socket.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 5.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None and not self._writer.is_closing()
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port), self.timeout
+        )
+
+    async def request(
+        self, op: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """Send one request on the standing connection.
+
+        Raises:
+            ProtocolError: when the peer vanished mid-exchange.
+        """
+        if not self.connected:
+            await self.connect()
+        assert self._writer is not None and self._reader is not None
+        self._writer.write(encode_frame(op, payload))
+        await self._writer.drain()
+        reply = await asyncio.wait_for(read_frame(self._reader), self.timeout)
+        if reply is None:
+            await self.close()
+            raise ProtocolError(f"peer closed connection during {op!r}")
+        return reply["payload"]
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+            self._writer = None
+            self._reader = None

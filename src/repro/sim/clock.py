@@ -1,0 +1,64 @@
+"""Virtual simulation clock.
+
+The clock is owned by the :class:`~repro.sim.kernel.Simulator` and only
+advanced by it. Components hold a reference to the clock and read
+``clock.now`` — they never advance it themselves.
+
+Times are floats in milliseconds. Milliseconds are used (rather than
+seconds) because every quantity in the paper — RTT propagation delay,
+per-frame processing time, end-to-end latency — is reported in ms.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonically non-decreasing virtual clock.
+
+    >>> clock = SimClock()
+    >>> clock.now
+    0.0
+    >>> clock.advance_to(12.5)
+    >>> clock.now
+    12.5
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start at negative time: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in milliseconds."""
+        return self._now
+
+    @property
+    def now_seconds(self) -> float:
+        """Current simulation time in seconds (convenience for reports)."""
+        return self._now / 1000.0
+
+    def advance_to(self, when: float) -> None:
+        """Advance the clock to ``when``.
+
+        Raises:
+            ValueError: if ``when`` is earlier than the current time.
+                A discrete-event kernel must never move backwards; this
+                guards against event-queue corruption.
+        """
+        if when < self._now:
+            raise ValueError(
+                f"cannot move clock backwards: now={self._now}, requested={when}"
+            )
+        self._now = float(when)
+
+    def reset(self, start: float = 0.0) -> None:
+        """Reset the clock (used when re-running a scenario)."""
+        if start < 0:
+            raise ValueError(f"clock cannot start at negative time: {start}")
+        self._now = float(start)
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.3f}ms)"

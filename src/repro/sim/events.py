@@ -1,0 +1,113 @@
+"""Timestamped events and the stable event queue.
+
+The queue is a binary heap ordered by ``(time, sequence)``. The sequence
+number makes ordering *stable*: two events scheduled for the same instant
+fire in the order they were scheduled, which keeps simulations
+deterministic across runs and platforms.
+
+Events support O(1) logical cancellation: ``cancel()`` marks the event,
+and the kernel skips cancelled events when popping. This is the standard
+"lazy deletion" approach used by ``sched``/asyncio and avoids O(n) heap
+surgery.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class Event:
+    """A single scheduled callback.
+
+    Attributes:
+        time: absolute simulation time (ms) at which the event fires.
+        seq: monotonically increasing tie-breaker assigned by the queue.
+        callback: zero-argument callable invoked by the kernel.
+        cancelled: True once :meth:`cancel` has been called.
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "label")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], Any],
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Mark this event as cancelled; the kernel will skip it."""
+        self.cancelled = True
+        # Drop the reference so cancelled closures (and anything they
+        # capture) can be garbage collected even while still heap-resident.
+        self.callback = _noop
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        label = f" {self.label!r}" if self.label else ""
+        return f"Event(t={self.time:.3f}, seq={self.seq}, {state}{label})"
+
+
+def _noop() -> None:
+    return None
+
+
+class EventQueue:
+    """A stable min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: float, callback: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``callback`` at absolute time ``time`` and return the event."""
+        event = Event(time, next(self._counter), callback, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Pop the earliest non-cancelled event, or None if the queue is empty.
+
+        Cancelled events encountered on the way are discarded silently.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest pending event, or None.
+
+        Skips over (and permanently discards) cancelled events at the top
+        of the heap.
+        """
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        self._heap.clear()
+
+    def pending(self) -> Tuple[Event, ...]:
+        """Snapshot of non-cancelled events in fire order (for debugging)."""
+        return tuple(sorted(e for e in self._heap if not e.cancelled))

@@ -1,0 +1,211 @@
+"""The discrete-event simulator kernel.
+
+:class:`Simulator` owns the clock and the event queue, and exposes the
+scheduling surface used by every other subsystem:
+
+- ``schedule(delay, fn)`` / ``schedule_at(time, fn)`` — one-shot events.
+- ``every(period, fn, ...)`` — periodic timers, with optional jitter and
+  start offset, returning a :class:`TimerHandle` for cancellation.
+- ``run_until(t)`` / ``run()`` / ``step()`` — drive the loop.
+
+Exceptions raised inside event callbacks propagate out of ``run*`` by
+default (fail fast during development); a scenario may install an
+``error_handler`` to log-and-continue instead, which mirrors how a real
+deployment tolerates a single misbehaving node.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.sim.clock import SimClock
+from repro.sim.events import Event, EventQueue
+
+
+class TimerHandle:
+    """Cancellation handle for a periodic timer created by ``Simulator.every``."""
+
+    __slots__ = ("_cancelled", "_current_event")
+
+    def __init__(self) -> None:
+        self._cancelled = False
+        self._current_event: Optional[Event] = None
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Stop the timer; any in-flight occurrence is cancelled too."""
+        self._cancelled = True
+        if self._current_event is not None:
+            self._current_event.cancel()
+            self._current_event = None
+
+
+class Simulator:
+    """Deterministic discrete-event loop.
+
+    Args:
+        start: initial clock value (ms).
+        error_handler: optional callable ``(exception, event) -> None``.
+            When provided, exceptions from callbacks are passed to it and
+            the loop continues; when absent, exceptions propagate.
+    """
+
+    def __init__(
+        self,
+        start: float = 0.0,
+        error_handler: Optional[Callable[[BaseException, Event], None]] = None,
+    ) -> None:
+        self.clock = SimClock(start)
+        self.queue = EventQueue()
+        self.error_handler = error_handler
+        self.events_processed = 0
+        self._running = False
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in ms."""
+        return self.clock.now
+
+    def schedule(
+        self, delay: float, callback: Callable[[], Any], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` ms from now.
+
+        Negative delays are clamped to zero (fire "immediately", but still
+        through the queue so ordering stays stable).
+        """
+        if delay < 0:
+            delay = 0.0
+        return self.queue.push(self.clock.now + delay, callback, label)
+
+    def schedule_at(
+        self, when: float, callback: Callable[[], Any], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` at absolute time ``when`` (ms).
+
+        Raises:
+            ValueError: if ``when`` is in the simulated past.
+        """
+        if when < self.clock.now:
+            raise ValueError(
+                f"cannot schedule in the past: now={self.clock.now}, when={when}"
+            )
+        return self.queue.push(when, callback, label)
+
+    def every(
+        self,
+        period: float,
+        callback: Callable[[], Any],
+        *,
+        start_after: Optional[float] = None,
+        jitter: Optional[Callable[[], float]] = None,
+        label: str = "",
+    ) -> TimerHandle:
+        """Run ``callback`` every ``period`` ms.
+
+        Args:
+            period: nominal period in ms; must be positive.
+            start_after: delay before the first firing (defaults to one
+                period).
+            jitter: optional zero-argument callable returning an additive
+                perturbation (ms) applied independently to each firing —
+                used to de-synchronize client probing loops the way real
+                clients naturally drift.
+            label: debug label attached to scheduled events.
+
+        Returns:
+            A :class:`TimerHandle`; call ``cancel()`` to stop the timer.
+        """
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        handle = TimerHandle()
+        first_delay = period if start_after is None else start_after
+
+        def fire() -> None:
+            if handle.cancelled:
+                return
+            callback()
+            if handle.cancelled:  # callback may have cancelled the timer
+                return
+            delay = period + (jitter() if jitter is not None else 0.0)
+            if delay <= 0:
+                delay = period
+            handle._current_event = self.schedule(delay, fire, label)
+
+        handle._current_event = self.schedule(first_delay, fire, label)
+        return handle
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the single earliest event. Returns False if queue empty."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        self._dispatch(event)
+        return True
+
+    def run_until(self, until: float) -> None:
+        """Run events with ``time <= until``, then set the clock to ``until``.
+
+        Events scheduled exactly at ``until`` are executed.
+        """
+        self._running = True
+        self._stop_requested = False
+        try:
+            while not self._stop_requested:
+                next_time = self.queue.peek_time()
+                if next_time is None or next_time > until:
+                    break
+                event = self.queue.pop()
+                if event is None:
+                    break
+                self.clock.advance_to(event.time)
+                self._dispatch(event)
+            if self.clock.now < until and not self._stop_requested:
+                self.clock.advance_to(until)
+        finally:
+            self._running = False
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains (or ``max_events`` is hit)."""
+        self._running = True
+        self._stop_requested = False
+        count = 0
+        try:
+            while not self._stop_requested:
+                if max_events is not None and count >= max_events:
+                    break
+                if not self.step():
+                    break
+                count += 1
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Request the current ``run``/``run_until`` to stop after this event."""
+        self._stop_requested = True
+
+    def _dispatch(self, event: Event) -> None:
+        self.events_processed += 1
+        try:
+            event.callback()
+        except Exception as exc:  # noqa: BLE001 - kernel boundary
+            if self.error_handler is None:
+                raise
+            self.error_handler(exc, event)
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self.clock.now:.3f}ms, pending={len(self.queue)}, "
+            f"processed={self.events_processed})"
+        )

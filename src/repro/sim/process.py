@@ -1,0 +1,110 @@
+"""Generator-based cooperative processes.
+
+Sequential protocol logic (probe each candidate, wait for the reply, then
+join) reads much more naturally as a coroutine than as a chain of
+callbacks. A :class:`Process` wraps a generator that yields delay values
+(ms); the kernel resumes the generator after each delay.
+
+Example::
+
+    def probing_loop(sim):
+        while True:
+            yield 500.0            # sleep 500 ms
+            do_probe_round()
+
+    Process(sim, probing_loop(sim))
+
+Yield values:
+    - ``float``/``int`` — sleep that many milliseconds.
+    - :func:`sleep` objects — same, but reads better.
+
+A process finishes when its generator returns; ``stop()`` terminates it
+early. Exceptions inside the generator propagate through the kernel's
+error handling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional, Union
+
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+
+Yieldable = Union[float, int, "sleep"]
+
+
+class sleep:  # noqa: N801 - intentionally lowercase, reads as a verb
+    """Yieldable sleep marker: ``yield sleep(250)`` sleeps 250 ms."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"sleep delay must be >= 0, got {delay}")
+        self.delay = float(delay)
+
+    def __repr__(self) -> str:
+        return f"sleep({self.delay})"
+
+
+class Process:
+    """Drive a generator as a cooperative simulation process."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: Generator[Yieldable, None, Any],
+        *,
+        name: str = "",
+        start_delay: float = 0.0,
+        on_finish: Optional[Callable[["Process"], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name or f"process-{id(self):x}"
+        self._generator = generator
+        self._on_finish = on_finish
+        self._finished = False
+        self._stopped = False
+        self._pending_event: Optional[Event] = None
+        self._pending_event = sim.schedule(start_delay, self._resume, label=self.name)
+
+    @property
+    def finished(self) -> bool:
+        """True once the generator returned, raised, or was stopped."""
+        return self._finished
+
+    def stop(self) -> None:
+        """Terminate the process; its generator is closed."""
+        if self._finished:
+            return
+        self._stopped = True
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        self._generator.close()
+        self._finish()
+
+    def _resume(self) -> None:
+        if self._finished or self._stopped:
+            return
+        self._pending_event = None
+        try:
+            yielded = next(self._generator)
+        except StopIteration:
+            self._finish()
+            return
+        delay = yielded.delay if isinstance(yielded, sleep) else float(yielded)
+        if delay < 0:
+            raise ValueError(
+                f"process {self.name!r} yielded negative delay {delay}"
+            )
+        self._pending_event = self.sim.schedule(delay, self._resume, label=self.name)
+
+    def _finish(self) -> None:
+        self._finished = True
+        if self._on_finish is not None:
+            self._on_finish(self)
+
+    def __repr__(self) -> str:
+        state = "finished" if self._finished else "running"
+        return f"Process({self.name!r}, {state})"

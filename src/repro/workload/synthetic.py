@@ -1,0 +1,51 @@
+"""The synthetic test workload behind "what-if" probing.
+
+"To avoid time-consuming profiling and to improve the accuracy of
+performance prediction, we invoke a *test synthetic workload* to simulate
+'new-user-join' scenarios. The test workload is based on the same
+application logic and compute requirements as the real offloading task"
+(§IV-C2). For the AR application it is "image processing for a single
+synthetic video frame with standard image size".
+
+:class:`TestWorkload` describes that synthetic unit of work; the edge
+server submits it to its own :class:`~repro.nodes.processing.FrameProcessor`
+queue and caches the measured sojourn as the node's current "what-if"
+performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workload.ar import ARApplication
+
+
+@dataclass(frozen=True)
+class TestWorkload:
+    """Descriptor of the synthetic probe workload for an application.
+
+    Attributes:
+        app: the application whose compute requirements it mirrors.
+        invocation_delay_rtts: the join-triggered invocation is delayed
+            by this many common-user RTTs so the measurement reflects
+            the state *after* the newly accepted user's frames start
+            arriving ("This delay is set to be two times the common user
+            RTT propagation", Algorithm 1 discussion).
+    """
+
+    #: Not a test case, despite the name (pytest collection hint).
+    __test__ = False
+
+    app: ARApplication
+    invocation_delay_rtts: float = 2.0
+
+    @property
+    def frame_bytes(self) -> float:
+        """Synthetic frame size: the application's standard frame."""
+        return self.app.frame_bytes
+
+    def invocation_delay_ms(self, common_rtt_ms: float) -> float:
+        """Delay before a join-triggered test-workload run."""
+        if common_rtt_ms < 0:
+            raise ValueError(f"rtt must be >= 0: {common_rtt_ms}")
+        return self.invocation_delay_rtts * common_rtt_ms

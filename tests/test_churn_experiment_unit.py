@@ -1,0 +1,92 @@
+"""Unit tests for churn-experiment internals."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.experiments.churn_experiment import (
+    _recovery_downtimes,
+    make_churn_trace,
+)
+from repro.metrics.collector import MetricsCollector
+
+
+# ----------------------------------------------------------------------
+# make_churn_trace acceptance criteria
+# ----------------------------------------------------------------------
+def test_trace_is_seed_deterministic():
+    a = make_churn_trace(SystemConfig(seed=5))
+    b = make_churn_trace(SystemConfig(seed=5))
+    assert [(e.join_ms, e.fail_ms) for e in a.episodes] == [
+        (e.join_ms, e.fail_ms) for e in b.episodes
+    ]
+
+
+def test_trace_differs_across_seeds():
+    a = make_churn_trace(SystemConfig(seed=5))
+    b = make_churn_trace(SystemConfig(seed=6))
+    assert [(e.join_ms, e.fail_ms) for e in a.episodes] != [
+        (e.join_ms, e.fail_ms) for e in b.episodes
+    ]
+
+
+def test_trace_acceptance_first_join_early():
+    trace = make_churn_trace(SystemConfig(seed=7))
+    assert trace.episodes[0].join_ms <= 5_000.0
+
+
+def test_trace_acceptance_population_floor():
+    trace = make_churn_trace(SystemConfig(seed=7), min_alive=2)
+    for ms in range(10_000, 174_000, 1_000):
+        assert trace.alive_count_at(float(ms)) >= 2
+
+
+def test_trace_respects_custom_target():
+    trace = make_churn_trace(
+        SystemConfig(seed=7), target_total_nodes=None, min_alive=1
+    )
+    assert len(trace) > 0
+
+
+# ----------------------------------------------------------------------
+# Recovery-downtime extraction
+# ----------------------------------------------------------------------
+def make_metrics_with_gap():
+    metrics = MetricsCollector()
+    # frames complete steadily, then a gap around the failover at t=1000
+    metrics.record_frame("u1", "A", 800.0, 50.0)  # completes 850
+    metrics.record_frame("u1", "A", 900.0, 60.0)  # completes 960
+    metrics.record_covered_failover("u1", 1_000.0)
+    metrics.record_frame("u1", "B", 1_300.0, 80.0)  # completes 1380
+    metrics.record_frame("u1", "B", 1_400.0, 70.0)
+    return metrics
+
+
+def test_downtime_is_gap_between_completions():
+    downtimes = _recovery_downtimes(make_metrics_with_gap())
+    assert downtimes == [pytest.approx(1_380.0 - 960.0)]
+
+
+def test_downtime_ignores_other_users_frames():
+    metrics = make_metrics_with_gap()
+    metrics.record_frame("u2", "A", 1_000.0, 10.0)  # someone else's frame
+    assert _recovery_downtimes(metrics) == [pytest.approx(420.0)]
+
+
+def test_downtime_skips_events_without_surrounding_frames():
+    metrics = MetricsCollector()
+    metrics.record_failure("u1", 1_000.0)  # no frames at all
+    assert _recovery_downtimes(metrics) == []
+
+
+def test_downtime_counts_both_event_kinds():
+    metrics = make_metrics_with_gap()
+    metrics.record_failure("u1", 1_001.0)
+    downtimes = _recovery_downtimes(metrics)
+    assert len(downtimes) == 2
+
+
+def test_downtime_lost_frames_do_not_mask_the_gap():
+    metrics = make_metrics_with_gap()
+    # a lost frame inside the outage must not shrink the measured gap
+    metrics.record_frame("u1", "A", 1_050.0, None)
+    assert _recovery_downtimes(metrics) == [pytest.approx(420.0)]

@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+def test_no_command_prints_help_and_exits_2(capsys):
+    assert main([]) == 2
+    assert "Regenerate" in capsys.readouterr().out
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in COMMANDS:
+        assert name in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_table2_command(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "V1" in out and "24.0" in out
+    assert "Cloud" in out
+
+
+def test_fig1_command_with_options(capsys):
+    assert main(["fig1", "--seed", "7", "--probes", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "volunteer" in out and "cloud" in out
+
+
+def test_fig4_command(capsys):
+    assert main(["fig4", "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "proactive switch" in out
+    assert "re-connect" in out
+
+
+def test_fig3_command_cdf_flag(capsys):
+    assert main(["fig3", "--seed", "7", "--cdf"]) == 0
+    out = capsys.readouterr().out
+    assert "CDF of" in out
+    assert "p50" in out
+
+
+def test_fig9_command_restricted_topn(capsys):
+    assert main(["fig9", "--seed", "5", "--top-n", "1", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "TopN" in out
+    # only the requested rows
+    lines = [l for l in out.splitlines() if l.strip().startswith(("1 ", "2 "))]
+    assert len(lines) == 2
+
+
+def test_parser_seed_default():
+    parser = build_parser()
+    args = parser.parse_args(["fig4"])
+    assert args.seed == 42

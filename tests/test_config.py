@@ -1,0 +1,63 @@
+"""Unit tests for SystemConfig validation and helpers."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+
+
+def test_defaults_are_paper_shaped():
+    config = SystemConfig()
+    assert config.top_n == 3
+    assert config.backup_count == 2
+    assert config.use_global_overhead
+
+
+def test_with_top_n_copies():
+    base = SystemConfig()
+    varied = base.with_top_n(5)
+    assert varied.top_n == 5
+    assert base.top_n == 3
+    assert varied.probing_period_ms == base.probing_period_ms
+
+
+def test_with_arbitrary_changes_validated():
+    with pytest.raises(ValueError):
+        SystemConfig().with_(top_n=0)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"top_n": 0},
+        {"probing_period_ms": 0.0},
+        {"probing_jitter_ms": -1.0},
+        {"discovery_radius_km": 0.0},
+        {"wide_radius_km": 10.0, "discovery_radius_km": 50.0},
+        {"heartbeat_timeout_ms": 500.0, "heartbeat_period_ms": 1_000.0},
+        {"failure_detection_ms": -1.0},
+        {"switch_penalty_ms": -1.0},
+        {"switch_penalty_fraction": 1.0},
+        {"min_dwell_ms": -1.0},
+        {"rtt_probe_samples": 0},
+        {"qos_latency_ms": 0.0},
+        {"perf_monitor_threshold": 0.0},
+        {"max_discovery_retries": -1},
+    ],
+)
+def test_invalid_configs_rejected(kwargs):
+    with pytest.raises(ValueError):
+        SystemConfig(**kwargs)
+
+
+def test_qos_none_is_allowed():
+    assert SystemConfig(qos_latency_ms=None).qos_latency_ms is None
+
+
+def test_backup_count_is_topn_minus_one():
+    assert SystemConfig(top_n=1).backup_count == 0
+    assert SystemConfig(top_n=5).backup_count == 4
+
+
+def test_config_is_frozen():
+    with pytest.raises(AttributeError):
+        SystemConfig().top_n = 7  # type: ignore[misc]

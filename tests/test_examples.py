@@ -1,0 +1,65 @@
+"""The examples must actually run — they are the documentation."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart_runs(capsys):
+    load_example("quickstart.py").main()
+    out = capsys.readouterr().out
+    assert "alice" in out and "bob" in out
+    assert "mean latency" in out
+
+
+def test_multi_application_runs(capsys):
+    load_example("multi_application.py").main()
+    out = capsys.readouterr().out
+    assert "ar-assistance" in out
+    assert "ocr-scanner" in out
+    assert "shared queue" in out
+
+
+def test_churn_resilience_runs(capsys):
+    load_example("churn_resilience.py").main()
+    out = capsys.readouterr().out
+    assert "TopN=1" in out and "TopN=3" in out
+    assert "uncovered failures" in out
+
+
+def test_live_cluster_runs(capsys):
+    import asyncio
+
+    module = load_example("live_cluster.py")
+    asyncio.run(module.main())
+    out = capsys.readouterr().out
+    assert "Manager listening" in out
+    assert "Killing" in out
+
+
+@pytest.mark.slow
+def test_selection_strategies_runs(capsys):
+    load_example("selection_strategies.py").main()
+    out = capsys.readouterr().out
+    assert "client_centric" in out
+    assert "latency reduction" in out
+
+
+def test_ar_cognitive_assistance_runs(capsys):
+    load_example("ar_cognitive_assistance.py").main()
+    out = capsys.readouterr().out
+    assert "Users per node" in out
+    assert "latency distribution" in out

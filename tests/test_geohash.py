@@ -1,0 +1,187 @@
+"""Unit and property tests for the GeoHash implementation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo import geohash as gh
+from repro.geo.point import GeoPoint
+
+coords = st.tuples(
+    st.floats(min_value=-89.9, max_value=89.9),
+    st.floats(min_value=-179.9, max_value=179.9),
+)
+
+
+# ----------------------------------------------------------------------
+# Known vectors (from the original geohash.org reference)
+# ----------------------------------------------------------------------
+def test_known_vector_ezs42():
+    assert gh.encode(42.605, -5.603, 5) == "ezs42"
+
+
+def test_known_vector_u4pruydqqvj():
+    assert gh.encode(57.64911, 10.40744, 11) == "u4pruydqqvj"
+
+
+def test_known_vector_9q8yy():
+    # San Francisco area
+    assert gh.encode(37.7749, -122.4194, 5) == "9q8yy"
+
+
+def test_minneapolis_prefix_is_stable():
+    msp = gh.encode(44.9778, -93.2650, 9)
+    assert msp.startswith("9zvx")
+
+
+# ----------------------------------------------------------------------
+# Encode / decode
+# ----------------------------------------------------------------------
+def test_encode_validates_inputs():
+    with pytest.raises(ValueError):
+        gh.encode(91.0, 0.0)
+    with pytest.raises(ValueError):
+        gh.encode(0.0, 181.0)
+    with pytest.raises(ValueError):
+        gh.encode(0.0, 0.0, precision=0)
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(ValueError):
+        gh.decode("")
+    with pytest.raises(ValueError):
+        gh.decode("abci")  # 'i' is not in the alphabet
+
+
+def test_decode_is_case_insensitive():
+    assert gh.decode("EZS42") == gh.decode("ezs42")
+
+
+def test_bounding_box_contains_decoded_center():
+    box = gh.bounding_box("ezs42")
+    center = gh.decode("ezs42")
+    lat_lo, lat_hi, lon_lo, lon_hi = box
+    assert lat_lo <= center.lat <= lat_hi
+    assert lon_lo <= center.lon <= lon_hi
+
+
+def test_decode_with_error_bounds():
+    center, lat_err, lon_err = gh.decode_with_error("ezs42")
+    assert lat_err > 0 and lon_err > 0
+    assert abs(center.lat - 42.605) <= lat_err * 2
+    assert abs(center.lon - -5.603) <= lon_err * 2
+
+
+@given(coords, st.integers(min_value=1, max_value=12))
+def test_property_roundtrip_stays_in_cell(coord, precision):
+    lat, lon = coord
+    code = gh.encode(lat, lon, precision)
+    assert len(code) == precision
+    lat_lo, lat_hi, lon_lo, lon_hi = gh.bounding_box(code)
+    assert lat_lo - 1e-9 <= lat <= lat_hi + 1e-9
+    assert lon_lo - 1e-9 <= lon <= lon_hi + 1e-9
+
+
+@given(coords, st.integers(min_value=2, max_value=12))
+def test_property_prefix_containment(coord, precision):
+    lat, lon = coord
+    code = gh.encode(lat, lon, precision)
+    shorter = gh.encode(lat, lon, precision - 1)
+    assert code.startswith(shorter)
+
+
+@given(coords)
+def test_property_reencoding_center_reproduces_hash(coord):
+    lat, lon = coord
+    code = gh.encode(lat, lon, 8)
+    center = gh.decode(code)
+    assert gh.encode(center.lat, center.lon, 8) == code
+
+
+# ----------------------------------------------------------------------
+# Adjacency / neighbors
+# ----------------------------------------------------------------------
+def test_adjacent_east_west_are_inverse():
+    code = "ezs42"
+    assert gh.adjacent(gh.adjacent(code, "e"), "w") == code
+
+
+def test_adjacent_north_south_are_inverse():
+    code = "9zvxg"
+    assert gh.adjacent(gh.adjacent(code, "n"), "s") == code
+
+
+def test_adjacent_validates_direction():
+    with pytest.raises(ValueError):
+        gh.adjacent("ezs42", "x")
+    with pytest.raises(ValueError):
+        gh.adjacent("", "n")
+
+
+def test_neighbors_returns_8_unique_cells():
+    cells = gh.neighbors("9zvxg")
+    assert len(cells) == 8
+    assert len(set(cells)) == 8
+    assert "9zvxg" not in cells
+
+
+def test_neighbors_are_geographically_close():
+    code = gh.encode(44.9778, -93.2650, 6)
+    center = gh.decode(code)
+    height_km, width_km = gh.cell_size_km(6)
+    for neighbor in gh.neighbors(code):
+        distance = center.distance_km(gh.decode(neighbor))
+        assert distance <= 2.0 * max(height_km, width_km)
+
+
+@given(coords, st.integers(min_value=3, max_value=8))
+def test_property_neighbors_inverse_moves(coord, precision):
+    lat, lon = coord
+    code = gh.encode(lat, lon, precision)
+    assert gh.adjacent(gh.adjacent(code, "n"), "s") == code
+    assert gh.adjacent(gh.adjacent(code, "e"), "w") == code
+
+
+# ----------------------------------------------------------------------
+# Radius coverage
+# ----------------------------------------------------------------------
+def test_precision_for_radius_monotone():
+    precisions = [gh.precision_for_radius_km(r) for r in (0.01, 1, 10, 100, 1000)]
+    assert precisions == sorted(precisions, reverse=True)
+
+
+def test_precision_for_radius_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        gh.precision_for_radius_km(0.0)
+
+
+def test_covering_cells_cover_points_within_radius():
+    center = GeoPoint(44.9778, -93.2650)
+    radius = 40.0
+    cells = gh.covering_cells(center, radius)
+    precision = len(cells[0])
+    # points on the radius circle must land in one of the covering cells
+    for bearing_deg in range(0, 360, 45):
+        import math
+
+        rad = math.radians(bearing_deg)
+        point = center.offset_km(radius * 0.99 * math.cos(rad), radius * 0.99 * math.sin(rad))
+        assert gh.encode(point.lat, point.lon, precision) in cells
+
+
+def test_cell_size_km_known_precision_5():
+    height, width = gh.cell_size_km(5)
+    assert height == pytest.approx(4.9, rel=0.05)
+
+
+def test_cell_size_rejects_bad_precision():
+    with pytest.raises(ValueError):
+        gh.cell_size_km(0)
+    with pytest.raises(ValueError):
+        gh.cell_size_km(13)
+
+
+def test_common_prefix_length():
+    assert gh.common_prefix_length("9zvxg", "9zvxg") == 5
+    assert gh.common_prefix_length("9zvxg", "9zabc") == 2
+    assert gh.common_prefix_length("abc", "xyz") == 0
+    assert gh.common_prefix_length("ABC", "abc") == 3  # case-insensitive

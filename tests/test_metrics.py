@@ -1,0 +1,208 @@
+"""Unit tests for stats, time series, the collector and report rendering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.report import format_cdf, format_table
+from repro.metrics.stats import (
+    cdf_points,
+    mean,
+    percentile,
+    stddev,
+    summarize,
+)
+from repro.metrics.timeseries import TimeSeries, bin_series
+
+
+# ----------------------------------------------------------------------
+# stats
+# ----------------------------------------------------------------------
+def test_mean_and_stddev():
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+    assert stddev([2.0, 2.0, 2.0]) == 0.0
+    assert stddev([0.0, 10.0]) == 5.0
+
+
+def test_single_value_stddev_zero():
+    assert stddev([7.0]) == 0.0
+
+
+def test_empty_inputs_raise():
+    for fn in (mean, stddev, cdf_points, summarize):
+        with pytest.raises(ValueError):
+            fn([])
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_percentile():
+    values = list(range(101))
+    assert percentile(values, 50) == 50.0
+    assert percentile(values, 0) == 0.0
+    assert percentile(values, 100) == 100.0
+    with pytest.raises(ValueError):
+        percentile(values, 101)
+
+
+def test_cdf_points_shape():
+    points = cdf_points([30.0, 10.0, 20.0])
+    assert points == [(10.0, 1 / 3), (20.0, 2 / 3), (30.0, 1.0)]
+
+
+def test_summarize_fields():
+    summary = summarize([10.0, 20.0, 30.0, 40.0])
+    assert summary.count == 4
+    assert summary.mean_ms == 25.0
+    assert summary.min_ms == 10.0
+    assert summary.max_ms == 40.0
+    assert "mean=25.0" in str(summary)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e4), min_size=1, max_size=200))
+def test_property_cdf_monotone_and_complete(values):
+    points = cdf_points(values)
+    fractions = [f for _, f in points]
+    assert fractions == sorted(fractions)
+    assert fractions[-1] == pytest.approx(1.0)
+    xs = [v for v, _ in points]
+    assert xs == sorted(xs)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e4), min_size=2, max_size=200))
+def test_property_mean_between_min_max(values):
+    assert min(values) - 1e-9 <= mean(values) <= max(values) + 1e-9
+
+
+# ----------------------------------------------------------------------
+# time series
+# ----------------------------------------------------------------------
+def test_timeseries_append_and_window():
+    series = TimeSeries(name="t")
+    series.append(0.0, 1.0)
+    series.append(10.0, 2.0)
+    series.append(20.0, 3.0)
+    assert len(series) == 3
+    assert series.window(5.0, 20.0) == [2.0]
+
+
+def test_timeseries_rejects_out_of_order():
+    series = TimeSeries()
+    series.append(10.0, 1.0)
+    with pytest.raises(ValueError):
+        series.append(5.0, 2.0)
+
+
+def test_timeseries_value_at_step_semantics():
+    series = TimeSeries()
+    series.append(10.0, 1.0)
+    series.append(20.0, 2.0)
+    assert series.value_at(5.0) is None
+    assert series.value_at(15.0) == 1.0
+    assert series.value_at(20.0) == 2.0
+    assert series.value_at(99.0) == 2.0
+
+
+def test_bin_series_means():
+    times = [0.0, 1.0, 5.0, 6.0]
+    values = [10.0, 20.0, 30.0, 50.0]
+    binned = bin_series(times, values, bin_ms=5.0)
+    assert binned == [(0.0, 15.0), (5.0, 40.0)]
+
+
+def test_bin_series_respects_bounds():
+    binned = bin_series([0.0, 10.0, 20.0], [1.0, 2.0, 3.0], 5.0, start_ms=5.0, end_ms=15.0)
+    assert binned == [(10.0, 2.0)]
+
+
+def test_bin_series_validation():
+    with pytest.raises(ValueError):
+        bin_series([0.0], [1.0], 0.0)
+    with pytest.raises(ValueError):
+        bin_series([0.0], [1.0, 2.0], 5.0)
+
+
+def test_bin_series_skips_empty_bins():
+    binned = bin_series([0.0, 100.0], [1.0, 2.0], 10.0)
+    assert binned == [(0.0, 1.0), (100.0, 2.0)]
+
+
+# ----------------------------------------------------------------------
+# collector
+# ----------------------------------------------------------------------
+def test_collector_frame_reductions():
+    collector = MetricsCollector()
+    collector.record_frame("u1", "V1", 0.0, 40.0)
+    collector.record_frame("u1", "V1", 100.0, 60.0)
+    collector.record_frame("u2", "V2", 100.0, 100.0)
+    collector.record_frame("u2", "V2", 200.0, None)  # lost
+    assert collector.completed_latencies() == [40.0, 60.0, 100.0]
+    assert collector.completed_latencies(user_id="u1") == [40.0, 60.0]
+    assert collector.completed_latencies(start_ms=50.0, end_ms=150.0) == [60.0, 100.0]
+    assert collector.lost_frames() == 1
+    assert collector.lost_frames("u1") == 0
+
+
+def test_collector_per_user_means():
+    collector = MetricsCollector()
+    collector.record_frame("u1", "V1", 0.0, 40.0)
+    collector.record_frame("u1", "V1", 1.0, 60.0)
+    collector.record_frame("u2", "V2", 2.0, 10.0)
+    means = collector.per_user_mean_latency()
+    assert means == {"u1": 50.0, "u2": 10.0}
+
+
+def test_collector_counters():
+    collector = MetricsCollector()
+    collector.record_probe("u1", 3)
+    collector.record_probe("u2")
+    collector.record_test_invocation("V1")
+    collector.record_join("u1", accepted=True)
+    collector.record_join("u1", accepted=False)
+    collector.record_failure("u1", 100.0)
+    collector.record_covered_failover("u2", 200.0)
+    collector.record_switch("u1")
+    assert collector.total_probes() == 4
+    assert collector.total_test_invocations() == 1
+    assert collector.join_accepts["u1"] == 1
+    assert collector.join_rejects["u1"] == 1
+    assert collector.total_failures() == 1
+    assert collector.failure_events == [("u1", 100.0)]
+    assert collector.failover_events == [("u2", 200.0)]
+    assert collector.total_switches() == 1
+
+
+def test_collector_population_series():
+    collector = MetricsCollector()
+    collector.record_alive_nodes(0.0, 3)
+    collector.record_alive_nodes(10.0, 4)
+    assert collector.alive_nodes.values == [3.0, 4.0]
+
+
+# ----------------------------------------------------------------------
+# report rendering
+# ----------------------------------------------------------------------
+def test_format_table_aligns_and_titles():
+    text = format_table(["name", "ms"], [["V1", 24.0], ["D6", 30.0]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "V1" in text and "24.0" in text
+    # all data rows share the header's column separator positions
+    assert lines[1].index("|") == lines[3].index("|")
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [["only-one"]])
+
+
+def test_format_cdf_picks_quantiles():
+    points = cdf_points(list(range(1, 101)))
+    text = format_cdf(points)
+    assert "p50" in text
+    assert "50.0" in text
+
+
+def test_format_cdf_empty_raises():
+    with pytest.raises(ValueError):
+        format_cdf([])

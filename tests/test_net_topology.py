@@ -1,0 +1,100 @@
+"""Unit tests for NetworkTopology and Link."""
+
+import random
+
+import pytest
+
+from repro.geo.point import GeoPoint
+from repro.net.latency import JitterModel, DistanceRttModel, NetworkTier
+from repro.net.link import CONNECTION_SETUP_RTTS, Link, LinkState
+from repro.net.topology import NetworkEndpoint, NetworkTopology
+
+
+@pytest.fixture
+def topology():
+    topo = NetworkTopology(
+        rtt_model=DistanceRttModel(jitter=JitterModel(sigma=0.0, spike_probability=0.0)),
+        rng=random.Random(1),
+    )
+    topo.add_endpoint(NetworkEndpoint("user", GeoPoint(44.97, -93.25)))
+    topo.add_endpoint(
+        NetworkEndpoint("edge", GeoPoint(44.95, -93.20), uplink_mbps=40.0)
+    )
+    return topo
+
+
+def test_registry_roundtrip(topology):
+    assert topology.has_endpoint("user")
+    assert topology.endpoint("user").endpoint_id == "user"
+    assert sorted(topology.endpoint_ids()) == ["edge", "user"]
+    assert len(topology) == 2
+
+
+def test_unknown_endpoint_raises(topology):
+    with pytest.raises(KeyError, match="nope"):
+        topology.endpoint("nope")
+
+
+def test_remove_endpoint(topology):
+    topology.remove_endpoint("edge")
+    assert not topology.has_endpoint("edge")
+    topology.remove_endpoint("edge")  # idempotent
+
+
+def test_add_endpoint_replaces(topology):
+    topology.add_endpoint(NetworkEndpoint("user", GeoPoint(10.0, 10.0)))
+    assert topology.endpoint("user").point.lat == 10.0
+
+
+def test_rtt_symmetric_in_expectation(topology):
+    assert topology.expected_rtt_ms("user", "edge") == pytest.approx(
+        topology.expected_rtt_ms("edge", "user")
+    )
+
+
+def test_one_way_is_half_rtt_without_jitter(topology):
+    assert topology.one_way_ms("user", "edge") == pytest.approx(
+        topology.expected_rtt_ms("user", "edge") / 2.0
+    )
+
+
+def test_transfer_uses_sender_uplink(topology):
+    topology.bandwidth_model.contention_sigma = 0.0
+    # user has default uplink 20 Mbps -> 8 ms for 0.02 MB
+    assert topology.expected_transfer_ms("user", "edge", 0.02e6) == pytest.approx(8.0)
+
+
+def test_distance_km(topology):
+    assert topology.distance_km("user", "edge") > 0
+
+
+def test_endpoint_info_carries_access_extra():
+    endpoint = NetworkEndpoint(
+        "x", GeoPoint(0, 0), tier=NetworkTier.LAN, access_extra_ms=3.0
+    )
+    assert endpoint.info().access_extra_ms == 3.0
+    assert endpoint.info().tier is NetworkTier.LAN
+
+
+# ----------------------------------------------------------------------
+# Link
+# ----------------------------------------------------------------------
+def test_link_starts_establishing():
+    link = Link("u", "e", rtt_ms=20.0)
+    assert link.state is LinkState.ESTABLISHING
+    assert not link.usable
+
+
+def test_link_mark_up_and_down():
+    link = Link("u", "e", rtt_ms=20.0)
+    link.mark_up(now=100.0)
+    assert link.usable
+    assert link.established_at == 100.0
+    link.mark_down()
+    assert not link.usable
+    assert link.state is LinkState.DOWN
+
+
+def test_link_establish_cost_scales_with_rtt():
+    link = Link("u", "e", rtt_ms=20.0)
+    assert link.establish_ms() == pytest.approx(CONNECTION_SETUP_RTTS * 20.0)

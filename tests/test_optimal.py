@@ -1,0 +1,129 @@
+"""Unit and property tests for the optimal-assignment solver."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.optimal import (
+    OptimalInstance,
+    evaluate_assignment,
+    solve_optimal,
+)
+from repro.nodes.hardware import HardwareProfile, profile_by_name
+
+
+def make_instance(n_users=3, node_specs=None, network=None, default_fps=20.0):
+    node_specs = node_specs or {
+        "fast": profile_by_name("V1"),
+        "slow": profile_by_name("V5"),
+    }
+    users = [f"u{i}" for i in range(n_users)]
+    nodes = list(node_specs)
+    if network is None:
+        network = {(u, n): 10.0 for u in users for n in nodes}
+    return OptimalInstance(
+        user_ids=users,
+        node_ids=nodes,
+        profiles=dict(node_specs),
+        expected_network_ms=network,
+        default_fps=default_fps,
+    )
+
+
+def test_instance_validation():
+    with pytest.raises(ValueError):
+        OptimalInstance([], ["n"], {"n": profile_by_name("V1")}, {})
+    with pytest.raises(ValueError):
+        OptimalInstance(["u"], [], {}, {})
+    with pytest.raises(ValueError):  # missing profile
+        OptimalInstance(["u"], ["n"], {}, {("u", "n"): 10.0})
+    with pytest.raises(ValueError):  # missing network entry
+        OptimalInstance(["u"], ["n"], {"n": profile_by_name("V1")}, {})
+
+
+def test_evaluate_requires_complete_assignment():
+    instance = make_instance(2)
+    with pytest.raises(ValueError, match="unassigned"):
+        evaluate_assignment(instance, {"u0": "fast"})
+    with pytest.raises(ValueError, match="unknown node"):
+        evaluate_assignment(instance, {"u0": "fast", "u1": "nope"})
+
+
+def test_evaluate_single_user_cost():
+    instance = make_instance(1)
+    cost = evaluate_assignment(instance, {"u0": "fast"})
+    # network 10 + idle-ish sojourn of one 20fps user on V1
+    assert cost > 10.0 + profile_by_name("V1").base_frame_ms - 1.0
+    assert cost < 80.0
+
+
+def test_exhaustive_prefers_fast_idle_node():
+    instance = make_instance(1)
+    assignment, cost = solve_optimal(instance)
+    assert assignment == {"u0": "fast"}
+
+
+def test_optimal_spreads_under_contention():
+    """Six full-rate users cannot all sit on one V1."""
+    instance = make_instance(6)
+    assignment, _ = solve_optimal(instance)
+    assert len(set(assignment.values())) == 2
+
+
+def test_optimal_respects_network_asymmetry():
+    network = {
+        ("u0", "fast"): 200.0,  # terrible path to the fast node
+        ("u0", "slow"): 5.0,
+    }
+    instance = make_instance(1, network=network)
+    assignment, _ = solve_optimal(instance)
+    assert assignment == {"u0": "slow"}
+
+
+def test_heuristic_path_used_for_large_instances():
+    node_specs = {f"n{i}": profile_by_name("t2.xlarge") for i in range(6)}
+    instance = make_instance(10, node_specs=node_specs)
+    assignment, cost = solve_optimal(instance, exhaustive_limit=10)
+    assert set(assignment) == set(instance.user_ids)
+    assert cost == pytest.approx(evaluate_assignment(instance, assignment))
+
+
+def test_heuristic_matches_exhaustive_on_small_instances():
+    for seed in range(3):
+        network = {
+            (f"u{i}", n): 5.0 + ((i * 7 + j * 13 + seed * 17) % 40)
+            for i in range(4)
+            for j, n in enumerate(["fast", "slow"])
+        }
+        instance = make_instance(4, network=network)
+        _, exact = solve_optimal(instance)  # 2^4 = 16: exhaustive
+        _, heuristic = solve_optimal(instance, exhaustive_limit=1, seed=seed)
+        assert heuristic == pytest.approx(exact, rel=0.02)
+
+
+def test_solver_is_deterministic():
+    node_specs = {f"n{i}": profile_by_name("t2.medium") for i in range(5)}
+    instance = make_instance(9, node_specs=node_specs)
+    a = solve_optimal(instance, exhaustive_limit=1, seed=5)
+    b = solve_optimal(instance, exhaustive_limit=1, seed=5)
+    assert a == b
+
+
+@given(st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=10))
+@settings(max_examples=20, deadline=None)
+def test_property_solver_no_worse_than_all_on_one_node(n_users, seed_offset):
+    node_specs = {
+        "a": profile_by_name("V1"),
+        "b": HardwareProfile("b", "x", 4, 40.0 + seed_offset),
+    }
+    instance = make_instance(n_users, node_specs=node_specs)
+    _, best = solve_optimal(instance)
+    for node in instance.node_ids:
+        lumped = {u: node for u in instance.user_ids}
+        assert best <= evaluate_assignment(instance, lumped) + 1e-9
+
+
+def test_custom_per_user_fps():
+    instance = make_instance(2)
+    instance.user_fps["u0"] = 5.0
+    assert instance.fps("u0") == 5.0
+    assert instance.fps("u1") == 20.0

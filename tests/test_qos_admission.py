@@ -1,0 +1,46 @@
+"""Tests for the QoS admission experiment (§IV-D extension)."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.experiments.qos_admission import run_qos_admission
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_qos_admission(
+        SystemConfig(seed=42),
+        qos_latency_ms=90.0,
+        user_counts=[6, 20],
+        settle_ms=8_000.0,
+        measure_ms=8_000.0,
+        join_stagger_ms=1_000.0,
+    )
+
+
+def test_light_load_admits_everyone(result):
+    cell = result.with_qos[6]
+    assert cell.admitted == 6
+    assert cell.rejected == 0
+
+
+def test_overload_triggers_admission_control(result):
+    with_qos = result.with_qos[20]
+    without = result.without_qos[20]
+    assert with_qos.rejected > 0
+    assert without.rejected == 0
+
+
+def test_admission_control_protects_admitted_users(result):
+    with_qos = result.with_qos[20]
+    without = result.without_qos[20]
+    # Admitted users under QoS suffer far fewer violations than the
+    # open-door population.
+    assert with_qos.violation_rate < without.violation_rate / 2
+    assert with_qos.admitted_mean_ms < without.admitted_mean_ms
+
+
+def test_accounting_is_complete(result):
+    for n, cell in result.with_qos.items():
+        assert cell.admitted + cell.rejected == n
+        assert 0.0 <= cell.violation_rate <= 1.0

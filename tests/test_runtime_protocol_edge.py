@@ -1,0 +1,128 @@
+"""Edge cases for the live runtime's protocol layer."""
+
+import asyncio
+
+import pytest
+
+from repro.geo.point import GeoPoint
+from repro.nodes.hardware import profile_by_name
+from repro.runtime import protocol
+from repro.runtime.edge_server import LiveEdgeServer
+from repro.runtime.protocol import PersistentConnection
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_oversized_frame_rejected():
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(b"x" * (protocol.MAX_FRAME_BYTES + 10) + b"\n")
+        reader.feed_eof()
+        with pytest.raises((protocol.ProtocolError, ValueError, LookupError)):
+            await protocol.read_frame(reader)
+
+    run(scenario())
+
+
+def test_read_frame_eof_returns_none():
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_eof()
+        return await protocol.read_frame(reader)
+
+    assert run(scenario()) is None
+
+
+def test_request_to_dead_port_raises():
+    async def scenario():
+        with pytest.raises(OSError):
+            # port 1 on localhost: connection refused
+            await protocol.request("127.0.0.1", 1, "status", timeout=1.0)
+
+    run(scenario())
+
+
+def test_persistent_connection_reconnects_lazily():
+    async def scenario():
+        edge = LiveEdgeServer(
+            "e1", profile_by_name("V1"), GeoPoint(44.98, -93.26), time_scale=0.01
+        )
+        await edge.start()
+        connection = PersistentConnection(edge.host, edge.port, timeout=2.0)
+        first = await connection.request("rtt_probe")
+        assert first["ok"]
+        assert connection.connected
+        await connection.close()
+        assert not connection.connected
+        # a new request transparently re-opens the socket
+        second = await connection.request("rtt_probe")
+        assert second["ok"]
+        await connection.close()
+        await edge.stop()
+
+    run(scenario())
+
+
+def test_persistent_connection_detects_peer_death():
+    async def scenario():
+        edge = LiveEdgeServer(
+            "e1", profile_by_name("V1"), GeoPoint(44.98, -93.26), time_scale=0.01
+        )
+        await edge.start()
+        connection = PersistentConnection(edge.host, edge.port, timeout=2.0)
+        await connection.request("rtt_probe")
+        await edge.stop()  # node dies; standing socket severed
+        with pytest.raises((protocol.ProtocolError, OSError, asyncio.TimeoutError)):
+            await connection.request("rtt_probe")
+        await connection.close()
+
+    run(scenario())
+
+
+def test_edge_malformed_frame_closes_connection_quietly():
+    async def scenario():
+        edge = LiveEdgeServer(
+            "e1", profile_by_name("V1"), GeoPoint(44.98, -93.26), time_scale=0.01
+        )
+        await edge.start()
+        reader, writer = await asyncio.open_connection(edge.host, edge.port)
+        writer.write(b"this is not json\n")
+        await writer.drain()
+        # server drops the connection instead of crashing
+        data = await reader.read()
+        assert data == b""
+        writer.close()
+        # the node is still perfectly serviceable afterwards
+        reply = await protocol.request(edge.host, edge.port, "status")
+        assert reply["ok"]
+        await edge.stop()
+
+    run(scenario())
+
+
+def test_frame_shedding_under_queue_pressure():
+    async def scenario():
+        edge = LiveEdgeServer(
+            "slow", profile_by_name("V5"), GeoPoint(44.9, -93.1), time_scale=0.05
+        )
+        edge.max_queue_depth = 2
+        await edge.start()
+        # fire a burst far beyond the queue bound
+        replies = await asyncio.gather(
+            *[
+                protocol.request(edge.host, edge.port, "frame", timeout=10.0)
+                for _ in range(8)
+            ]
+        )
+        await edge.stop()
+        return replies
+
+    replies = run(scenario())
+    shed = [r for r in replies if not r.get("ok")]
+    served = [r for r in replies if r.get("ok")]
+    assert shed, "queue bound never engaged"
+    assert served, "everything was shed"
+    for r in shed:
+        assert r["error"] == "overloaded"

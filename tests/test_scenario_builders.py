@@ -1,0 +1,106 @@
+"""Property-style tests for the experiment scenario builders."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.experiments.scenario import (
+    CHURN_NODE_MIX,
+    EMULATION_NODE_MIX,
+    build_emulation_system,
+    build_real_world_system,
+    emulation_node_profiles,
+)
+from repro.geo.region import MSP_CENTER
+
+
+def test_real_world_layout_is_seed_deterministic():
+    def layout(seed):
+        scenario = build_real_world_system(SystemConfig(seed=seed), n_users=5)
+        topo = scenario.system.topology
+        return {
+            eid: (topo.endpoint(eid).point.lat, topo.endpoint(eid).point.lon)
+            for eid in topo.endpoint_ids()
+        }
+
+    assert layout(5) == layout(5)
+    assert layout(5) != layout(6)
+
+
+def test_real_world_volunteers_within_metro():
+    scenario = build_real_world_system(SystemConfig(seed=5), n_users=3)
+    topo = scenario.system.topology
+    for node_id in scenario.volunteer_ids:
+        assert MSP_CENTER.distance_km(topo.endpoint(node_id).point) <= 17.0
+
+
+def test_real_world_cloud_is_far():
+    scenario = build_real_world_system(SystemConfig(seed=5), n_users=1)
+    topo = scenario.system.topology
+    assert MSP_CENTER.distance_km(topo.endpoint(scenario.cloud_id).point) > 500.0
+
+
+def test_real_world_users_have_isps_and_uplinks():
+    scenario = build_real_world_system(SystemConfig(seed=5), n_users=6)
+    topo = scenario.system.topology
+    for user_id in scenario.user_ids:
+        endpoint = topo.endpoint(user_id)
+        assert endpoint.isp is not None
+        assert endpoint.uplink_mbps == 20.0
+
+
+def test_real_world_dedicated_flag_set():
+    scenario = build_real_world_system(SystemConfig(seed=5), n_users=1)
+    system = scenario.system
+    for node_id in scenario.dedicated_ids:
+        assert system.nodes[node_id].dedicated
+    for node_id in scenario.volunteer_ids:
+        assert not system.nodes[node_id].dedicated
+
+
+def test_real_world_cloud_is_elastic():
+    scenario = build_real_world_system(SystemConfig(seed=5), n_users=1)
+    cloud = scenario.system.nodes[scenario.cloud_id]
+    # elastic: can absorb many concurrent frames without queueing
+    assert cloud.profile.parallelism >= 16
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42])
+def test_emulation_rtt_range_matches_paper(seed):
+    """§V-D1: pairwise RTTs of 8-55 ms."""
+    scenario = build_emulation_system(SystemConfig(seed=seed))
+    rtts = list(scenario.expected_rtt.values())
+    assert min(rtts) >= 5.0
+    assert max(rtts) <= 70.0
+    # genuine heterogeneity: a >2x spread between best and worst pairs
+    assert max(rtts) > 2.0 * min(rtts)
+
+
+def test_emulation_node_mix_counts():
+    profiles = emulation_node_profiles(EMULATION_NODE_MIX)
+    names = [p.name for p in profiles]
+    assert names.count("t2.medium") == 4
+    assert names.count("t2.xlarge") == 4
+    assert names.count("t2.2xlarge") == 1
+
+
+def test_churn_node_mix_counts():
+    profiles = emulation_node_profiles(CHURN_NODE_MIX)
+    names = [p.name for p in profiles]
+    assert names.count("t2.medium") == 8
+    assert names.count("t2.xlarge") == 8
+    assert names.count("t2.2xlarge") == 2
+
+
+def test_emulation_spawn_nodes_false_registers_users_only():
+    scenario = build_emulation_system(SystemConfig(seed=3), spawn_nodes=False)
+    assert scenario.node_ids == []
+    assert scenario.system.alive_node_count() == 0
+    assert len(scenario.user_ids) == 15
+
+
+def test_emulation_expected_rtt_covers_all_pairs():
+    scenario = build_emulation_system(SystemConfig(seed=3), n_users=4)
+    assert len(scenario.expected_rtt) == 4 * 9
+    for (user, node), value in scenario.expected_rtt.items():
+        assert user.startswith("u") and node.startswith("e")
+        assert value > 0

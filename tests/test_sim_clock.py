@@ -1,0 +1,66 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+
+
+def test_starts_at_zero_by_default():
+    assert SimClock().now == 0.0
+
+
+def test_starts_at_custom_time():
+    assert SimClock(12.5).now == 12.5
+
+
+def test_rejects_negative_start():
+    with pytest.raises(ValueError):
+        SimClock(-1.0)
+
+
+def test_advance_moves_forward():
+    clock = SimClock()
+    clock.advance_to(5.0)
+    assert clock.now == 5.0
+    clock.advance_to(7.25)
+    assert clock.now == 7.25
+
+
+def test_advance_to_same_time_is_allowed():
+    clock = SimClock(3.0)
+    clock.advance_to(3.0)
+    assert clock.now == 3.0
+
+
+def test_advance_backwards_raises():
+    clock = SimClock(10.0)
+    with pytest.raises(ValueError, match="backwards"):
+        clock.advance_to(9.999)
+
+
+def test_now_seconds_converts_from_ms():
+    clock = SimClock(1_500.0)
+    assert clock.now_seconds == pytest.approx(1.5)
+
+
+def test_reset_returns_to_start():
+    clock = SimClock()
+    clock.advance_to(100.0)
+    clock.reset()
+    assert clock.now == 0.0
+
+
+def test_reset_to_custom_time():
+    clock = SimClock()
+    clock.advance_to(100.0)
+    clock.reset(50.0)
+    assert clock.now == 50.0
+
+
+def test_reset_rejects_negative():
+    with pytest.raises(ValueError):
+        SimClock().reset(-5.0)
+
+
+def test_repr_mentions_time():
+    assert "12.5" in repr(SimClock(12.5))

@@ -1,0 +1,147 @@
+"""Unit and property tests for the event queue."""
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro.sim.events import EventQueue
+
+
+def test_pop_returns_none_when_empty():
+    assert EventQueue().pop() is None
+
+
+def test_events_pop_in_time_order():
+    queue = EventQueue()
+    queue.push(5.0, lambda: None)
+    queue.push(1.0, lambda: None)
+    queue.push(3.0, lambda: None)
+    times = [queue.pop().time for _ in range(3)]
+    assert times == [1.0, 3.0, 5.0]
+
+
+def test_same_time_events_pop_in_insertion_order():
+    queue = EventQueue()
+    order = []
+    first = queue.push(2.0, lambda: order.append("first"))
+    second = queue.push(2.0, lambda: order.append("second"))
+    assert queue.pop() is first
+    assert queue.pop() is second
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventQueue()
+    keep = queue.push(1.0, lambda: None)
+    cancel = queue.push(0.5, lambda: None)
+    cancel.cancel()
+    assert queue.pop() is keep
+    assert queue.pop() is None
+
+
+def test_cancel_drops_callback_reference():
+    holder = {"alive": True}
+
+    def callback():
+        return holder
+
+    queue = EventQueue()
+    event = queue.push(1.0, callback)
+    event.cancel()
+    assert event.callback is not callback
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    early = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    early.cancel()
+    assert queue.peek_time() == 2.0
+
+
+def test_peek_time_empty_is_none():
+    assert EventQueue().peek_time() is None
+
+
+def test_len_counts_heap_entries():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert len(queue) == 2
+    assert bool(queue)
+    queue.clear()
+    assert len(queue) == 0
+    assert not queue
+
+
+def test_pending_snapshot_sorted_and_excludes_cancelled():
+    queue = EventQueue()
+    a = queue.push(3.0, lambda: None)
+    b = queue.push(1.0, lambda: None)
+    c = queue.push(2.0, lambda: None)
+    c.cancel()
+    assert queue.pending() == (b, a)
+
+
+def test_event_repr_shows_state():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None, label="hello")
+    assert "pending" in repr(event)
+    assert "hello" in repr(event)
+    event.cancel()
+    assert "cancelled" in repr(event)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+def test_property_pop_order_is_nondecreasing(times):
+    queue = EventQueue()
+    for t in times:
+        queue.push(t, lambda: None)
+    popped = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        popped.append(event.time)
+    assert popped == sorted(popped)
+    assert len(popped) == len(times)
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=100),
+    st.data(),
+)
+def test_property_cancellation_removes_exactly_those_events(times, data):
+    queue = EventQueue()
+    events = [queue.push(t, lambda: None) for t in times]
+    to_cancel = data.draw(
+        st.lists(st.integers(min_value=0, max_value=len(events) - 1), unique=True)
+    )
+    for index in to_cancel:
+        events[index].cancel()
+    surviving = sorted(
+        t for i, t in enumerate(times) if i not in set(to_cancel)
+    )
+    popped = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        popped.append(event.time)
+    assert popped == surviving
+
+
+def test_large_random_workload_stays_ordered():
+    rng = random.Random(7)
+    queue = EventQueue()
+    for _ in range(5_000):
+        queue.push(rng.uniform(0, 1000), lambda: None)
+    previous = -1.0
+    count = 0
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        assert event.time >= previous
+        previous = event.time
+        count += 1
+    assert count == 5_000

@@ -1,0 +1,187 @@
+"""Unit tests for the simulator kernel."""
+
+import pytest
+
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+
+
+def test_schedule_and_run_until_executes_in_order(sim):
+    log = []
+    sim.schedule(10.0, lambda: log.append("b"))
+    sim.schedule(5.0, lambda: log.append("a"))
+    sim.run_until(20.0)
+    assert log == ["a", "b"]
+    assert sim.now == 20.0
+
+
+def test_run_until_includes_boundary_events(sim):
+    log = []
+    sim.schedule_at(10.0, lambda: log.append("edge"))
+    sim.run_until(10.0)
+    assert log == ["edge"]
+
+
+def test_run_until_leaves_future_events_pending(sim):
+    log = []
+    sim.schedule(50.0, lambda: log.append("later"))
+    sim.run_until(10.0)
+    assert log == []
+    sim.run_until(60.0)
+    assert log == ["later"]
+
+
+def test_clock_advances_to_event_time_during_dispatch(sim):
+    seen = []
+    sim.schedule(7.5, lambda: seen.append(sim.now))
+    sim.run_until(100.0)
+    assert seen == [7.5]
+
+
+def test_negative_delay_clamped_to_now(sim):
+    sim.schedule(3.0, lambda: None)
+    sim.run_until(3.0)
+    log = []
+    sim.schedule(-5.0, lambda: log.append(sim.now))
+    sim.run_until(3.0)
+    assert log == [3.0]
+
+
+def test_schedule_at_past_raises(sim):
+    sim.schedule(5.0, lambda: None)
+    sim.run_until(5.0)
+    with pytest.raises(ValueError, match="past"):
+        sim.schedule_at(4.0, lambda: None)
+
+
+def test_events_scheduled_during_dispatch_run_same_pass(sim):
+    log = []
+
+    def outer():
+        log.append("outer")
+        sim.schedule(1.0, lambda: log.append("inner"))
+
+    sim.schedule(1.0, outer)
+    sim.run_until(10.0)
+    assert log == ["outer", "inner"]
+
+
+def test_step_executes_single_event(sim):
+    log = []
+    sim.schedule(1.0, lambda: log.append(1))
+    sim.schedule(2.0, lambda: log.append(2))
+    assert sim.step()
+    assert log == [1]
+    assert sim.step()
+    assert log == [1, 2]
+    assert not sim.step()
+
+
+def test_run_drains_queue(sim):
+    log = []
+    for i in range(5):
+        sim.schedule(float(i), lambda i=i: log.append(i))
+    sim.run()
+    assert log == [0, 1, 2, 3, 4]
+
+
+def test_run_respects_max_events(sim):
+    log = []
+    for i in range(5):
+        sim.schedule(float(i), lambda i=i: log.append(i))
+    sim.run(max_events=2)
+    assert log == [0, 1]
+
+
+def test_stop_halts_run_until(sim):
+    log = []
+    sim.schedule(1.0, lambda: (log.append("first"), sim.stop()))
+    sim.schedule(2.0, lambda: log.append("second"))
+    sim.run_until(10.0)
+    assert log == ["first", ("second",)] or log[0] == "first"
+    assert "second" not in log
+
+
+def test_exceptions_propagate_without_handler(sim):
+    def boom():
+        raise RuntimeError("kaboom")
+
+    sim.schedule(1.0, boom)
+    with pytest.raises(RuntimeError, match="kaboom"):
+        sim.run_until(5.0)
+
+
+def test_error_handler_swallows_and_continues():
+    captured = []
+
+    def handler(exc: BaseException, event: Event) -> None:
+        captured.append(str(exc))
+
+    sim = Simulator(error_handler=handler)
+    sim.schedule(1.0, lambda: (_ for _ in ()).throw(RuntimeError("bad node")))
+    done = []
+    sim.schedule(2.0, lambda: done.append(True))
+    sim.run_until(5.0)
+    assert captured == ["bad node"]
+    assert done == [True]
+
+
+def test_events_processed_counter(sim):
+    for i in range(3):
+        sim.schedule(float(i), lambda: None)
+    sim.run_until(10.0)
+    assert sim.events_processed == 3
+
+
+# ----------------------------------------------------------------------
+# Periodic timers
+# ----------------------------------------------------------------------
+def test_every_fires_at_period(sim):
+    ticks = []
+    sim.every(10.0, lambda: ticks.append(sim.now))
+    sim.run_until(35.0)
+    assert ticks == [10.0, 20.0, 30.0]
+
+
+def test_every_with_start_after(sim):
+    ticks = []
+    sim.every(10.0, lambda: ticks.append(sim.now), start_after=0.0)
+    sim.run_until(25.0)
+    assert ticks == [0.0, 10.0, 20.0]
+
+
+def test_every_cancel_stops_future_firings(sim):
+    ticks = []
+    handle = sim.every(10.0, lambda: ticks.append(sim.now))
+    sim.run_until(15.0)
+    handle.cancel()
+    sim.run_until(100.0)
+    assert ticks == [10.0]
+    assert handle.cancelled
+
+
+def test_every_cancel_from_inside_callback(sim):
+    ticks = []
+    handle = sim.every(5.0, lambda: (ticks.append(sim.now), handle.cancel()))
+    sim.run_until(50.0)
+    assert ticks == [5.0]
+
+
+def test_every_with_jitter_uses_callback(sim):
+    ticks = []
+    sim.every(10.0, lambda: ticks.append(sim.now), jitter=lambda: 1.0)
+    sim.run_until(35.0)
+    assert ticks == [10.0, 21.0, 32.0]
+
+
+def test_every_rejects_nonpositive_period(sim):
+    with pytest.raises(ValueError):
+        sim.every(0.0, lambda: None)
+
+
+def test_every_negative_jitter_never_goes_nonpositive(sim):
+    ticks = []
+    sim.every(10.0, lambda: ticks.append(sim.now), jitter=lambda: -20.0)
+    sim.run_until(30.0)
+    # delay would be -10 -> falls back to the nominal period
+    assert ticks == [10.0, 20.0, 30.0]

@@ -1,0 +1,169 @@
+"""Discovery-query throughput: spatial-index fast path vs linear scan.
+
+Fills a Central Manager's registry with N synthetic metro-scale
+heartbeats, then answers the same batch of discovery queries two ways:
+
+- **indexed** — ``policy.select(query, index=manager.spatial_index)``,
+  the geohash-bucketed fast path ``CentralManager.discover`` uses.
+- **linear** — ``policy.select(query, nodes=manager.alive_statuses())``,
+  the pre-index full-registry scan (haversine against every node per
+  query).
+
+Every query's TopN answer is asserted bit-identical between the two
+paths before timing, then both are timed and the speedup is written to
+``BENCH_perf.json``.
+
+Run:  PYTHONPATH=src python benchmarks/perf/bench_discovery.py --nodes 5000
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import random
+import sys
+import time
+from pathlib import Path
+from typing import List
+
+from repro.core.config import SystemConfig
+from repro.core.messages import DiscoveryQuery, NodeStatus
+from repro.core.policies.global_policies import (
+    GeoProximityFilter,
+    GlobalSelectionPolicy,
+)
+from repro.core.system import EdgeSystem
+from repro.geo.geohash import encode
+from repro.geo.point import GeoPoint
+from repro.geo.region import MSP_CENTER
+from repro.metrics.bench import record_bench_section
+
+
+def random_point(rng: random.Random, center: GeoPoint, radius_km: float) -> GeoPoint:
+    distance = radius_km * math.sqrt(rng.random())
+    bearing = rng.uniform(0.0, 2.0 * math.pi)
+    return center.offset_km(
+        distance * math.cos(bearing), distance * math.sin(bearing)
+    )
+
+
+def synthetic_status(node_id: str, point: GeoPoint, rng: random.Random) -> NodeStatus:
+    return NodeStatus(
+        node_id=node_id,
+        lat=point.lat,
+        lon=point.lon,
+        geohash=encode(point.lat, point.lon, precision=9),
+        cores=rng.choice((2, 4, 6, 8, 16)),
+        capacity_fps=rng.uniform(5.0, 60.0),
+        attached_users=rng.randrange(0, 5),
+        utilization=rng.random(),
+        reported_at_ms=0.0,
+    )
+
+
+def build_manager(n_nodes: int, region_km: float, radius_km: float, seed: int):
+    """A manager over N synthetic heartbeats in a metro-sized disc."""
+    rng = random.Random(seed)
+    # Wide fallback = the whole metro: "remote nodes ... useful as a
+    # last resort" never live outside the region the fleet occupies.
+    policy = GlobalSelectionPolicy(
+        geo_filter=GeoProximityFilter(radius_km=radius_km, wide_radius_km=region_km * 2)
+    )
+    system = EdgeSystem(SystemConfig(seed=seed), global_policy=policy)
+    manager = system.manager
+    for i in range(n_nodes):
+        point = random_point(rng, MSP_CENTER, region_km)
+        manager.receive_heartbeat(synthetic_status(f"n{i:05d}", point, rng))
+    return system, manager, rng
+
+
+def make_queries(
+    n_queries: int, region_km: float, top_n: int, rng: random.Random
+) -> List[DiscoveryQuery]:
+    queries = []
+    for i in range(n_queries):
+        point = random_point(rng, MSP_CENTER, region_km)
+        queries.append(
+            DiscoveryQuery(
+                user_id=f"u{i:04d}", lat=point.lat, lon=point.lon, top_n=top_n
+            )
+        )
+    return queries
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=5000)
+    parser.add_argument("--queries", type=int, default=300)
+    parser.add_argument("--repeat", type=int, default=3, help="timing repetitions; best is kept")
+    # 80 km ~= the paper's "within 50 miles" emulation region (§V-D).
+    parser.add_argument("--region-km", type=float, default=80.0, help="metro disc radius")
+    parser.add_argument("--radius-km", type=float, default=4.0, help="discovery radius")
+    parser.add_argument("--top-n", type=int, default=3, help="SystemConfig's default TopN")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--output", type=Path, default=Path(__file__).resolve().parents[2] / "BENCH_perf.json"
+    )
+    args = parser.parse_args(argv)
+
+    system, manager, rng = build_manager(
+        args.nodes, args.region_km, args.radius_km, args.seed
+    )
+    policy = manager.policy
+    queries = make_queries(args.queries, args.region_km, args.top_n, rng)
+    index = manager.spatial_index
+
+    # Parity first: the indexed answer must be bit-identical to the scan.
+    mismatches = 0
+    for query in queries:
+        indexed = policy.select(query, index=index)
+        linear = policy.select(query, nodes=manager.alive_statuses())
+        if indexed != linear:
+            mismatches += 1
+            print(f"PARITY MISMATCH for {query.user_id}: {indexed} != {linear}")
+    if mismatches:
+        print(f"FAILED: {mismatches}/{len(queries)} queries disagree")
+        return 1
+
+    def timed(run) -> float:
+        best = float("inf")
+        for _ in range(args.repeat):
+            t0 = time.perf_counter()
+            run()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    linear_s = timed(
+        lambda: [policy.select(q, nodes=manager.alive_statuses()) for q in queries]
+    )
+    indexed_s = timed(lambda: [policy.select(q, index=index) for q in queries])
+
+    linear_qps = len(queries) / linear_s
+    indexed_qps = len(queries) / indexed_s
+    speedup = indexed_qps / linear_qps
+
+    result = {
+        "nodes": args.nodes,
+        "queries": len(queries),
+        "region_km": args.region_km,
+        "discovery_radius_km": args.radius_km,
+        "top_n": args.top_n,
+        "seed": args.seed,
+        "linear_queries_per_s": round(linear_qps, 1),
+        "indexed_queries_per_s": round(indexed_qps, 1),
+        "speedup": round(speedup, 2),
+        "parity": "identical",
+    }
+    record_bench_section(args.output, "discovery", result)
+
+    print(f"nodes={args.nodes}  queries={len(queries)}  "
+          f"radius={args.radius_km}km over {args.region_km}km region")
+    print(f"  linear scan : {linear_qps:10.1f} queries/s")
+    print(f"  spatial idx : {indexed_qps:10.1f} queries/s")
+    print(f"  speedup     : {speedup:10.2f}x   (parity: identical)")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

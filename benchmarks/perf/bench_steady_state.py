@@ -1,0 +1,97 @@
+"""Steady-state simulation throughput: wall-clock cost per simulated second.
+
+Builds a full metro :class:`EdgeSystem` — volunteer fleet + AR clients,
+heartbeats, probing loops, frame streams — with the fluent
+:class:`~repro.api.ScenarioBuilder`, runs it for a stretch of simulated
+time, and reports how many events/second the kernel sustains and how
+much wall-clock one simulated second costs. This is the end-to-end
+number the event-queue and timer tuning moves.
+
+Run:  PYTHONPATH=src python benchmarks/perf/bench_steady_state.py --nodes 300
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import random
+import sys
+import time
+from pathlib import Path
+from typing import List
+
+from repro.api import EndpointSpec, ScenarioBuilder
+from repro.core.config import SystemConfig
+from repro.geo.point import GeoPoint
+from repro.geo.region import MSP_CENTER
+from repro.metrics.bench import record_bench_section
+from repro.nodes.hardware import VOLUNTEER_PROFILES
+
+
+def random_point(rng: random.Random, center: GeoPoint, radius_km: float) -> GeoPoint:
+    distance = radius_km * math.sqrt(rng.random())
+    bearing = rng.uniform(0.0, 2.0 * math.pi)
+    return center.offset_km(
+        distance * math.cos(bearing), distance * math.sin(bearing)
+    )
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=300)
+    parser.add_argument("--users", type=int, default=30)
+    parser.add_argument("--sim-seconds", type=float, default=20.0)
+    parser.add_argument("--region-km", type=float, default=40.0)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--output", type=Path, default=Path(__file__).resolve().parents[2] / "BENCH_perf.json"
+    )
+    args = parser.parse_args(argv)
+
+    rng = random.Random(args.seed)
+    builder = ScenarioBuilder(SystemConfig(seed=args.seed)).default_node_spec(
+        EndpointSpec(MSP_CENTER, uplink_mbps=40.0, downlink_mbps=300.0)
+    )
+    for i in range(args.nodes):
+        profile = VOLUNTEER_PROFILES[i % len(VOLUNTEER_PROFILES)]
+        builder.node(
+            f"n{i:05d}", profile, point=random_point(rng, MSP_CENTER, args.region_km)
+        )
+    for i in range(args.users):
+        builder.client(
+            f"u{i:04d}", point=random_point(rng, MSP_CENTER, args.region_km)
+        )
+    system = builder.build()
+
+    system.run_for(2_000.0)  # warm-up: joins, first discoveries, attach
+    events_before = system.sim.events_processed
+    t0 = time.perf_counter()
+    system.run_for(args.sim_seconds * 1000.0)
+    wall_s = time.perf_counter() - t0
+    events = system.sim.events_processed - events_before
+
+    events_per_s = events / wall_s
+    wall_per_sim_s = wall_s / args.sim_seconds
+    result = {
+        "nodes": args.nodes,
+        "users": args.users,
+        "sim_seconds": args.sim_seconds,
+        "region_km": args.region_km,
+        "seed": args.seed,
+        "events_processed": events,
+        "events_per_wall_s": round(events_per_s, 1),
+        "wall_s_per_sim_s": round(wall_per_sim_s, 4),
+    }
+    record_bench_section(args.output, "steady_state", result)
+
+    print(f"nodes={args.nodes}  users={args.users}  "
+          f"{args.sim_seconds:.0f} simulated seconds")
+    print(f"  events      : {events}")
+    print(f"  throughput  : {events_per_s:10.1f} events/wall-s")
+    print(f"  cost        : {wall_per_sim_s:10.4f} wall-s per simulated second")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

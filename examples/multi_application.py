@@ -11,6 +11,7 @@ Run:  python examples/multi_application.py
 """
 
 from repro import EdgeSystem, SystemConfig
+from repro.api import EndpointSpec
 from repro.core.multiapp import ApplicationSpec, MultiAppDeployment
 from repro.geo import GeoPoint
 from repro.nodes import profile_by_name
@@ -38,13 +39,13 @@ def main() -> None:
     clients = []
     for i in range(3):
         user = f"ar-user-{i + 1}"
-        system.register_client_endpoint(user, GeoPoint(44.97 - i * 0.01, -93.25))
+        system.add_client_endpoint(user, EndpointSpec(GeoPoint(44.97 - i * 0.01, -93.25)))
         client = deployment.make_client(user, "ar-assistance")
         client.start()
         clients.append(client)
     for i in range(2):
         user = f"ocr-user-{i + 1}"
-        system.register_client_endpoint(user, GeoPoint(44.94 + i * 0.01, -93.21))
+        system.add_client_endpoint(user, EndpointSpec(GeoPoint(44.94 + i * 0.01, -93.21)))
         client = deployment.make_client(user, "ocr-scanner")
         client.start()
         clients.append(client)

@@ -7,27 +7,25 @@ client-centric selection decided and what latency each user saw.
 Run:  python examples/quickstart.py
 """
 
-from repro import EdgeClient, EdgeSystem, SystemConfig
+from repro.api import ScenarioBuilder
+from repro.core.config import SystemConfig
 from repro.geo import GeoPoint
 from repro.nodes import profile_by_name
 
 
 def main() -> None:
-    config = SystemConfig(top_n=2, seed=7)
-    system = EdgeSystem(config)
-
-    # Three volunteers in a metro area: a fast desktop, an old 6-core
-    # laptop, and a slow ultrabook (Table II's V1, V2, V5).
-    system.spawn_node("V1", profile_by_name("V1"), GeoPoint(44.980, -93.260))
-    system.spawn_node("V2", profile_by_name("V2"), GeoPoint(44.950, -93.200))
-    system.spawn_node("V5", profile_by_name("V5"), GeoPoint(44.900, -93.100))
-
-    for user_id, point in [
-        ("alice", GeoPoint(44.970, -93.250)),
-        ("bob", GeoPoint(44.930, -93.180)),
-    ]:
-        system.register_client_endpoint(user_id, point)
-        system.add_client(EdgeClient(system, user_id))
+    # Three volunteers in a metro area — a fast desktop, an old 6-core
+    # laptop, and a slow ultrabook (Table II's V1, V2, V5) — plus two
+    # users running the AR workload.
+    system = (
+        ScenarioBuilder(SystemConfig(top_n=2, seed=7))
+        .node("V1", profile_by_name("V1"), point=GeoPoint(44.980, -93.260))
+        .node("V2", profile_by_name("V2"), point=GeoPoint(44.950, -93.200))
+        .node("V5", profile_by_name("V5"), point=GeoPoint(44.900, -93.100))
+        .client("alice", point=GeoPoint(44.970, -93.250))
+        .client("bob", point=GeoPoint(44.930, -93.180))
+        .build()
+    )
 
     system.run_for(30_000)  # 30 simulated seconds
 

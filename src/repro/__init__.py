@@ -10,21 +10,24 @@ speaking the same protocol.
 
 Quickstart::
 
-    from repro import EdgeSystem, EdgeClient, SystemConfig
+    from repro import ScenarioBuilder, SystemConfig
     from repro.geo import GeoPoint
     from repro.nodes import profile_by_name
 
-    system = EdgeSystem(SystemConfig(top_n=3, seed=7))
-    system.spawn_node("V1", profile_by_name("V1"), GeoPoint(44.98, -93.26))
-    system.spawn_node("V2", profile_by_name("V2"), GeoPoint(44.95, -93.20))
-    system.register_client_endpoint("u1", GeoPoint(44.97, -93.25))
-    system.add_client(EdgeClient(system, "u1"))
+    system = (
+        ScenarioBuilder(SystemConfig(top_n=3, seed=7))
+        .node("V1", profile_by_name("V1"), point=GeoPoint(44.98, -93.26))
+        .node("V2", profile_by_name("V2"), point=GeoPoint(44.95, -93.20))
+        .client("u1", point=GeoPoint(44.97, -93.25))
+        .build()
+    )
     system.run_for(30_000)                     # 30 simulated seconds
     print(system.clients["u1"].stats.mean_latency_ms)
 """
 
+from repro.api import ScenarioBuilder
 from repro.core.adaptive_robustness import AdaptiveRobustness
-from repro.core.client import ClientStats, EdgeClient
+from repro.core.client import ClientLike, ClientStats, EdgeClient
 from repro.core.config import SystemConfig
 from repro.core.edge_server import EdgeServer
 from repro.core.manager import CentralManager
@@ -32,6 +35,7 @@ from repro.core.multiapp import ApplicationSpec, MultiAppDeployment
 from repro.core.policies.reputation import ReputationTracker
 from repro.core.system import EdgeSystem
 from repro.metrics.collector import MetricsCollector
+from repro.net.topology import EndpointSpec
 
 __version__ = "1.0.0"
 
@@ -41,6 +45,9 @@ __all__ = [
     "EdgeServer",
     "CentralManager",
     "SystemConfig",
+    "ScenarioBuilder",
+    "EndpointSpec",
+    "ClientLike",
     "ClientStats",
     "MetricsCollector",
     "AdaptiveRobustness",

@@ -1,0 +1,269 @@
+"""The typed scenario-building API.
+
+This module is the recommended front door for constructing simulated
+deployments. It replaces the seven-keyword ``spawn_node(...)`` /
+``register_client_endpoint(...)`` calls of the seed API with two ideas:
+
+- :class:`EndpointSpec` — one frozen value object carrying a
+  participant's entire network identity (position, tier, ISP, bandwidth
+  caps, last-mile overhead). Defined next to the topology it feeds
+  (:mod:`repro.net.topology`) and re-exported here.
+- :class:`ScenarioBuilder` — a fluent, declarative builder: declare
+  nodes, user endpoints and clients (with per-kind spec defaults so
+  shared network facts are stated once), then ``build()`` a fully wired
+  :class:`~repro.core.system.EdgeSystem`.
+
+Quickstart::
+
+    from repro.api import EndpointSpec, ScenarioBuilder
+    from repro.core.client import EdgeClient
+    from repro.core.config import SystemConfig
+    from repro.geo.point import GeoPoint
+    from repro.nodes.hardware import profile_by_name
+
+    scenario = (
+        ScenarioBuilder(SystemConfig(top_n=3, seed=7))
+        .default_node_spec(EndpointSpec(GeoPoint(44.97, -93.26), uplink_mbps=40.0))
+        .node("V1", profile_by_name("V1"), point=GeoPoint(44.98, -93.26))
+        .node("V2", profile_by_name("V2"), point=GeoPoint(44.95, -93.20))
+        .client("u1", EdgeClient, spec=EndpointSpec(GeoPoint(44.97, -93.25)))
+        .build()
+    )
+    scenario.run_for(30_000)
+
+The old keyword-heavy methods survive as deprecated thin wrappers on
+:class:`~repro.core.system.EdgeSystem`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.client import ClientLike, EdgeClient
+from repro.core.config import SystemConfig
+from repro.core.policies.global_policies import GlobalSelectionPolicy
+from repro.core.system import EdgeSystem
+from repro.geo.point import GeoPoint
+from repro.net.topology import EndpointSpec, NetworkTopology
+from repro.nodes.hardware import HardwareProfile
+from repro.nodes.host_workload import HostWorkloadSchedule
+from repro.workload.ar import ARApplication, DEFAULT_AR_APP
+
+__all__ = [
+    "ClientFactory",
+    "ClientLike",
+    "EndpointSpec",
+    "ScenarioBuilder",
+]
+
+#: Builds a client for a system — ``EdgeClient`` itself and every
+#: baseline subclass already match this shape.
+ClientFactory = Callable[[EdgeSystem, str], ClientLike]
+
+
+@dataclass
+class _NodeDecl:
+    node_id: str
+    profile: HardwareProfile
+    spec: EndpointSpec
+    dedicated: bool
+    host_schedule: Optional[HostWorkloadSchedule]
+    start: bool
+
+
+@dataclass
+class _ClientDecl:
+    user_id: str
+    spec: EndpointSpec
+    factory: Optional[ClientFactory]
+    start: bool
+
+
+@dataclass
+class BuiltScenario:
+    """What :meth:`ScenarioBuilder.build_scenario` hands back: the wired
+    system plus the ids it created, so experiments can iterate entities
+    without re-deriving them."""
+
+    system: EdgeSystem
+    node_ids: List[str] = field(default_factory=list)
+    user_ids: List[str] = field(default_factory=list)
+
+
+class ScenarioBuilder:
+    """Fluent, declarative construction of an :class:`EdgeSystem`.
+
+    Every mutator returns ``self``; nothing touches a simulator until
+    :meth:`build` (declarations are replayed in order, so node startup
+    and client arrival ordering is exactly the declaration ordering).
+    """
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        *,
+        topology: Optional[NetworkTopology] = None,
+        app: ARApplication = DEFAULT_AR_APP,
+        manager_point: Optional[GeoPoint] = None,
+        global_policy: Optional[GlobalSelectionPolicy] = None,
+    ) -> None:
+        self._config = config
+        self._topology = topology
+        self._app = app
+        self._manager_point = manager_point
+        self._global_policy = global_policy
+        self._node_default: Optional[EndpointSpec] = None
+        self._client_default: Optional[EndpointSpec] = None
+        self._decls: List[Tuple[str, object]] = []
+
+    # ------------------------------------------------------------------
+    # Defaults
+    # ------------------------------------------------------------------
+    def default_node_spec(self, spec: EndpointSpec) -> "ScenarioBuilder":
+        """Network spec template for nodes declared with only a point."""
+        self._node_default = spec
+        return self
+
+    def default_client_spec(self, spec: EndpointSpec) -> "ScenarioBuilder":
+        """Network spec template for clients declared with only a point."""
+        self._client_default = spec
+        return self
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+    def node(
+        self,
+        node_id: str,
+        profile: HardwareProfile,
+        spec: Optional[EndpointSpec] = None,
+        *,
+        point: Optional[GeoPoint] = None,
+        dedicated: bool = False,
+        host_schedule: Optional[HostWorkloadSchedule] = None,
+        start: bool = True,
+    ) -> "ScenarioBuilder":
+        """Declare an edge node.
+
+        Give either a full ``spec``, or just a ``point`` to inherit the
+        :meth:`default_node_spec` template at that position.
+        """
+        self._decls.append(
+            (
+                "node",
+                _NodeDecl(
+                    node_id,
+                    profile,
+                    self._resolve(spec, point, self._node_default, node_id),
+                    dedicated,
+                    host_schedule,
+                    start,
+                ),
+            )
+        )
+        return self
+
+    def client_endpoint(
+        self,
+        user_id: str,
+        spec: Optional[EndpointSpec] = None,
+        *,
+        point: Optional[GeoPoint] = None,
+    ) -> "ScenarioBuilder":
+        """Declare a user endpoint without a client object (experiments
+        that attach strategy-specific clients later)."""
+        self._decls.append(
+            (
+                "client",
+                _ClientDecl(
+                    user_id,
+                    self._resolve(spec, point, self._client_default, user_id),
+                    None,
+                    False,
+                ),
+            )
+        )
+        return self
+
+    def client(
+        self,
+        user_id: str,
+        factory: ClientFactory = EdgeClient,
+        spec: Optional[EndpointSpec] = None,
+        *,
+        point: Optional[GeoPoint] = None,
+        start: bool = True,
+    ) -> "ScenarioBuilder":
+        """Declare a user endpoint plus a client built by ``factory``
+        (``EdgeClient`` and every baseline class qualify as factories)."""
+        self._decls.append(
+            (
+                "client",
+                _ClientDecl(
+                    user_id,
+                    self._resolve(spec, point, self._client_default, user_id),
+                    factory,
+                    start,
+                ),
+            )
+        )
+        return self
+
+    @staticmethod
+    def _resolve(
+        spec: Optional[EndpointSpec],
+        point: Optional[GeoPoint],
+        default: Optional[EndpointSpec],
+        entity_id: str,
+    ) -> EndpointSpec:
+        if spec is not None:
+            if point is not None:
+                raise ValueError(
+                    f"{entity_id!r}: give either spec= or point=, not both"
+                )
+            return spec
+        if point is None:
+            raise ValueError(f"{entity_id!r}: needs a spec= or a point=")
+        if default is not None:
+            return default.moved_to(point)
+        return EndpointSpec(point)
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def build_scenario(self) -> BuiltScenario:
+        """Wire everything and return the system plus created ids."""
+        system = EdgeSystem(
+            self._config,
+            topology=self._topology,
+            app=self._app,
+            manager_point=self._manager_point,
+            global_policy=self._global_policy,
+        )
+        built = BuiltScenario(system=system)
+        for kind, decl in self._decls:
+            if kind == "node":
+                assert isinstance(decl, _NodeDecl)
+                system.add_node(
+                    decl.node_id,
+                    decl.profile,
+                    decl.spec,
+                    dedicated=decl.dedicated,
+                    host_schedule=decl.host_schedule,
+                    start=decl.start,
+                )
+                built.node_ids.append(decl.node_id)
+            else:
+                assert isinstance(decl, _ClientDecl)
+                system.add_client_endpoint(decl.user_id, decl.spec)
+                if decl.factory is not None:
+                    system.add_client(
+                        decl.factory(system, decl.user_id), start=decl.start
+                    )
+                built.user_ids.append(decl.user_id)
+        return built
+
+    def build(self) -> EdgeSystem:
+        """Wire everything and return just the system."""
+        return self.build_scenario().system

@@ -9,6 +9,7 @@ from repro.churn.trace import ChurnTrace, NodeEpisode
 from repro.core.system import EdgeSystem
 from repro.geo.point import GeoPoint
 from repro.net.latency import NetworkTier
+from repro.net.topology import EndpointSpec
 from repro.nodes.hardware import HardwareProfile
 
 
@@ -98,11 +99,10 @@ class ChurnInjector:
         sim = self.system.sim
 
         def spawn() -> None:
-            self.system.spawn_node(
+            self.system.add_node(
                 episode.node_id,
                 profile,
-                point,
-                tier=self.tier,
+                EndpointSpec(point, tier=self.tier),
             )
 
         def fail() -> None:

@@ -27,7 +27,15 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Deque, Dict, List, Optional
+from typing import (
+    TYPE_CHECKING,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    runtime_checkable,
+)
 
 from repro.core.config import SystemConfig
 from repro.core.failure_monitor import FailureMonitor
@@ -65,6 +73,38 @@ class ClientStats:
         if not self.latencies_ms:
             raise ValueError("no completed frames yet")
         return sum(self.latencies_ms) / len(self.latencies_ms)
+
+
+@runtime_checkable
+class ClientLike(Protocol):
+    """The contract :class:`~repro.core.system.EdgeSystem` requires of a
+    registered client.
+
+    Every client — :class:`EdgeClient`, the baselines, or a custom
+    strategy — must expose this surface; ``EdgeSystem.add_client``
+    validates it structurally at registration. The system never reaches
+    into client internals beyond these members: in particular, failure
+    notification asks the *client* whether it observes a node
+    (:meth:`observes_node`) rather than duck-typing over
+    ``failure_monitor``/``links`` attributes, which remain optional
+    implementation details of :class:`EdgeClient`.
+    """
+
+    user_id: str
+
+    def start(self) -> None:
+        """Begin operating on the system's simulator."""
+        ...
+
+    def observes_node(self, node_id: str) -> bool:
+        """True if this client holds any relationship to ``node_id``
+        (open connection, current attachment, or backup) through which
+        it would eventually notice the node failing."""
+        ...
+
+    def on_edge_failure(self, node_id: str) -> None:
+        """Deliver a broken-connection notification for ``node_id``."""
+        ...
 
 
 class EdgeClient:
@@ -412,6 +452,15 @@ class EdgeClient:
     # ------------------------------------------------------------------
     # Failure handling
     # ------------------------------------------------------------------
+    def observes_node(self, node_id: str) -> bool:
+        """See :meth:`ClientLike.observes_node`: connection, attachment
+        or backup-list membership all make a failure observable."""
+        return (
+            node_id in self.links
+            or node_id == self.current_edge
+            or node_id in self.failure_monitor.backups
+        )
+
     def on_edge_failure(self, node_id: str) -> None:
         """A connection to ``node_id`` broke (delivered by the system
         ``failure_detection_ms`` after the node died)."""

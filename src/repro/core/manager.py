@@ -12,10 +12,12 @@ baseline is a manager/load-balancer-side policy by construction.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional
+import heapq
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.messages import CandidateList, DiscoveryQuery, NodeStatus
 from repro.core.policies.global_policies import GlobalSelectionPolicy
+from repro.geo.spatial_index import GeohashSpatialIndex
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.policies.reputation import ReputationTracker
@@ -44,6 +46,15 @@ class CentralManager:
         #: policy to act on the scores; see policies/reputation.py).
         self.reputation = reputation
         self._registry: Dict[str, NodeStatus] = {}
+        #: Geohash-bucketed spatial index over the registry, maintained
+        #: incrementally on heartbeat/expiry so discovery never scans the
+        #: full registry (the metro-scale fast path).
+        self.spatial_index: GeohashSpatialIndex[NodeStatus] = GeohashSpatialIndex()
+        #: Min-heap of (reported_at_ms, node_id): the oldest heartbeat is
+        #: always on top, so expiring stale nodes pops only actually-stale
+        #: entries (amortized O(1) per query) instead of scanning all N.
+        #: Entries superseded by fresher heartbeats are lazily discarded.
+        self._expiry_heap: List[Tuple[float, str]] = []
         self.queries_served = 0
         self.heartbeats_received = 0
         # Smooth-WRR state for the resource-aware baseline.
@@ -56,34 +67,45 @@ class CentralManager:
         """Ingest a node status report."""
         self.heartbeats_received += 1
         self._registry[status.node_id] = status
+        self.spatial_index.insert(status)
+        heapq.heappush(self._expiry_heap, (status.reported_at_ms, status.node_id))
         if self.reputation is not None:
             self.reputation.record_online(status.node_id, self.system.sim.now)
 
     def forget_node(self, node_id: str) -> None:
         """Explicitly remove a node (e.g. administrative deregistration)."""
         self._registry.pop(node_id, None)
+        self.spatial_index.remove(node_id)
         self._wrr_current.pop(node_id, None)
 
-    def alive_statuses(self) -> List[NodeStatus]:
-        """Statuses not older than the heartbeat timeout.
+    def prune_stale(self) -> None:
+        """Expire registry entries older than the heartbeat timeout.
 
-        Stale entries are pruned on read — a dead node silently ages out
-        after ``heartbeat_timeout_ms``, which is exactly the window in
-        which discovery can still hand out a dead candidate (the client
-        tolerates this: probes to it fail and it is skipped).
+        A dead node silently ages out after ``heartbeat_timeout_ms``,
+        which is exactly the window in which discovery can still hand out
+        a dead candidate (the client tolerates this: probes to it fail
+        and it is skipped). The expiry heap keeps this amortized O(1):
+        only entries that are actually stale — or superseded by a fresher
+        heartbeat for the same node — are ever popped.
         """
         now = self.system.sim.now
         timeout = self.system.config.heartbeat_timeout_ms
-        stale = [
-            node_id
-            for node_id, status in self._registry.items()
-            if now - status.reported_at_ms > timeout
-        ]
-        for node_id in stale:
-            self._registry.pop(node_id, None)
+        heap = self._expiry_heap
+        registry = self._registry
+        while heap and now - heap[0][0] > timeout:
+            reported_at, node_id = heapq.heappop(heap)
+            status = registry.get(node_id)
+            if status is None or status.reported_at_ms != reported_at:
+                continue  # superseded by a fresher heartbeat (or forgotten)
+            registry.pop(node_id, None)
+            self.spatial_index.remove(node_id)
             self._wrr_current.pop(node_id, None)
             if self.reputation is not None:
                 self.reputation.record_departure(node_id, now)
+
+    def alive_statuses(self) -> List[NodeStatus]:
+        """Statuses not older than the heartbeat timeout (pruned on read)."""
+        self.prune_stale()
         return list(self._registry.values())
 
     def known_node_ids(self) -> List[str]:
@@ -93,10 +115,17 @@ class CentralManager:
     # Edge discovery (global edge selection)
     # ------------------------------------------------------------------
     def discover(self, query: DiscoveryQuery) -> CandidateList:
-        """Answer an edge discovery query with the TopN candidate list."""
+        """Answer an edge discovery query with the TopN candidate list.
+
+        The fast path: stale entries are expired from the heap (amortized
+        O(1)), then selection runs against the spatial index — per-cell
+        candidate lookups instead of a full-registry scan, so query cost
+        scales with local density rather than metro population.
+        """
         self.queries_served += 1
         self.system.metrics.record_discovery(query.user_id)
-        node_ids, widened = self.policy.select(query, self.alive_statuses())
+        self.prune_stale()
+        node_ids, widened = self.policy.select(query, index=self.spatial_index)
         return CandidateList(
             user_id=query.user_id,
             node_ids=tuple(node_ids),

@@ -301,8 +301,12 @@ class MultiAppDeployment:
         """Register a node hosting the given applications (default: all)."""
         from repro.net.topology import NetworkEndpoint
 
+        existing = self.nodes.get(node_id)
+        # A node id may be reused only after its previous holder failed;
+        # the endpoint is then replaced explicitly (cache invalidation).
         self.system.topology.add_endpoint(
-            NetworkEndpoint(node_id, point, tier=tier, **endpoint_kwargs)
+            NetworkEndpoint(node_id, point, tier=tier, **endpoint_kwargs),
+            replace=existing is not None and not existing.alive,
         )
         hosted = [self.specs[name] for name in (apps or list(self.specs))]
         node = MultiAppEdgeServer(

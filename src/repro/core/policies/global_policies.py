@@ -13,12 +13,14 @@ inaccuracy and mismatch" — final accuracy comes from client probing.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.messages import DiscoveryQuery, NodeStatus
 from repro.geo import geohash as gh
-from repro.geo.point import GeoPoint
+from repro.geo.point import GeoPoint, haversine_km_coords
+from repro.geo.spatial_index import GeohashSpatialIndex
 
 
 @dataclass(frozen=True)
@@ -64,6 +66,38 @@ class GeoProximityFilter:
             return wide, True
         return local, False
 
+    def apply_indexed(
+        self,
+        user_point: GeoPoint,
+        index: GeohashSpatialIndex,
+        min_candidates: Optional[int] = None,
+        *,
+        exclude: Sequence[str] = (),
+        predicate: Optional[Callable[[NodeStatus], bool]] = None,
+    ) -> Tuple[List[NodeStatus], bool]:
+        """Index-backed :meth:`apply`: cell-prefix lookups, no registry scan.
+
+        ``exclude``/``predicate`` are applied here (rather than by the
+        caller pre-filtering a node list) because with an index there is
+        no materialized pool to pre-filter — only the per-cell
+        candidates ever get touched. Returns exactly what :meth:`apply`
+        would for the same registry contents: the prefilter differs only
+        in how cells are intersected with the registry, and the exact
+        haversine cut below makes the outcome identical.
+        """
+        needed = self.min_candidates if min_candidates is None else min_candidates
+        local = self._within_indexed(
+            user_point, index, self.radius_km, exclude, predicate
+        )
+        if len(local) >= needed:
+            return local, False
+        wide = self._within_indexed(
+            user_point, index, self.wide_radius_km, exclude, predicate
+        )
+        if len(wide) > len(local):
+            return wide, True
+        return local, False
+
     def _within(
         self, user_point: GeoPoint, nodes: Sequence[NodeStatus], radius_km: float
     ) -> List[NodeStatus]:
@@ -74,9 +108,32 @@ class GeoProximityFilter:
             n for n in nodes if n.geohash[:precision] in cells
         ]
         # ... then an exact haversine cut (cells overshoot the disc).
+        ulat, ulon = user_point.lat, user_point.lon
         return [
-            n for n in prefiltered if user_point.distance_km(n.point) <= radius_km
+            n
+            for n in prefiltered
+            if haversine_km_coords(ulat, ulon, n.lat, n.lon) <= radius_km
         ]
+
+    def _within_indexed(
+        self,
+        user_point: GeoPoint,
+        index: GeohashSpatialIndex,
+        radius_km: float,
+        exclude: Sequence[str],
+        predicate: Optional[Callable[[NodeStatus], bool]],
+    ) -> List[NodeStatus]:
+        cells = gh.covering_cells(user_point, radius_km)
+        ulat, ulon = user_point.lat, user_point.lon
+        out: List[NodeStatus] = []
+        for status in index.query_cells(cells):
+            if status.node_id in exclude:
+                continue
+            if predicate is not None and not predicate(status):
+                continue
+            if haversine_km_coords(ulat, ulon, status.lat, status.lon) <= radius_km:
+                out.append(status)
+        return out
 
 
 #: Score bonus (in free-core units) for sharing the user's ISP tag.
@@ -106,13 +163,16 @@ def availability_sort_key(
     the ordering is deterministic.
     """
 
-    user_point = query.point
+    ulat, ulon = query.lat, query.lon
+    user_isp = query.isp
 
     def key(node: NodeStatus) -> Tuple[float, str]:
         score = node.availability_score
-        if query.isp is not None and node.isp == query.isp:
+        if user_isp is not None and node.isp == user_isp:
             score += AFFILIATION_BONUS
-        score -= DISTANCE_PENALTY_PER_KM * user_point.distance_km(node.point)
+        score -= DISTANCE_PENALTY_PER_KM * haversine_km_coords(
+            ulat, ulon, node.lat, node.lon
+        )
         return (-score, node.node_id)
 
     return key
@@ -135,19 +195,49 @@ class GlobalSelectionPolicy:
     node_predicate: Optional[Callable[[NodeStatus], bool]] = None
 
     def select(
-        self, query: DiscoveryQuery, nodes: Sequence[NodeStatus]
+        self,
+        query: DiscoveryQuery,
+        nodes: Optional[Sequence[NodeStatus]] = None,
+        *,
+        index: Optional[GeohashSpatialIndex] = None,
     ) -> Tuple[List[str], bool]:
         """Produce the TopN candidate node ids for ``query``.
+
+        Candidates come either from ``nodes`` (a materialized status
+        list, linearly scanned — the seed behaviour, still used by
+        baselines and parity tests) or from ``index`` (the manager's
+        spatial index; the metro-scale fast path). Exactly one source
+        must be given. Both sources produce bit-identical results for
+        the same registry contents: the geo prefilters differ, but the
+        exact haversine cut and the total-order sort key (which breaks
+        ties by node id) do not.
 
         Returns:
             (node id list, widened flag). The list may be shorter than
             TopN when the system simply has fewer nodes.
         """
-        pool = [n for n in nodes if n.node_id not in query.exclude]
-        if self.node_predicate is not None:
-            pool = [n for n in pool if self.node_predicate(n)]
-        candidates, widened = self.geo_filter.apply(
-            query.point, pool, min_candidates=query.top_n
+        if (nodes is None) == (index is None):
+            raise TypeError("select() needs exactly one of `nodes` or `index`")
+        if index is not None:
+            candidates, widened = self.geo_filter.apply_indexed(
+                query.point,
+                index,
+                min_candidates=query.top_n,
+                exclude=query.exclude,
+                predicate=self.node_predicate,
+            )
+        else:
+            pool = [n for n in nodes if n.node_id not in query.exclude]
+            if self.node_predicate is not None:
+                pool = [n for n in pool if self.node_predicate(n)]
+            candidates, widened = self.geo_filter.apply(
+                query.point, pool, min_candidates=query.top_n
+            )
+        # nsmallest(k) is documented to equal sorted(...)[:k]; with the
+        # node-id tie-breaker in the key the TopN is deterministic and
+        # independent of candidate order, at O(C log k) instead of a
+        # full O(C log C) sort.
+        best = heapq.nsmallest(
+            query.top_n, candidates, key=self.sort_key_factory(query)
         )
-        candidates.sort(key=self.sort_key_factory(query))
-        return [n.node_id for n in candidates[: query.top_n]], widened
+        return [n.node_id for n in best], widened

@@ -19,8 +19,10 @@ dynamics need:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+import warnings
+from typing import Dict, List, Optional
 
+from repro.core.client import ClientLike
 from repro.core.config import SystemConfig
 from repro.core.edge_server import EdgeServer
 from repro.core.manager import CentralManager
@@ -28,7 +30,7 @@ from repro.core.policies.global_policies import GeoProximityFilter, GlobalSelect
 from repro.geo.point import GeoPoint
 from repro.metrics.collector import MetricsCollector
 from repro.net.latency import NetworkTier
-from repro.net.topology import NetworkEndpoint, NetworkTopology
+from repro.net.topology import EndpointSpec, NetworkEndpoint, NetworkTopology
 from repro.nodes.hardware import HardwareProfile
 from repro.nodes.host_workload import HostWorkloadSchedule
 from repro.sim.kernel import Simulator
@@ -92,11 +94,55 @@ class EdgeSystem:
         self.manager = CentralManager(self, policy)
 
         self.nodes: Dict[str, EdgeServer] = {}
-        self.clients: Dict[str, object] = {}  # EdgeClient or baseline subclass
+        self.clients: Dict[str, ClientLike] = {}
 
     # ------------------------------------------------------------------
     # Node lifecycle
     # ------------------------------------------------------------------
+    def add_node(
+        self,
+        node_id: str,
+        profile: HardwareProfile,
+        spec: EndpointSpec,
+        *,
+        dedicated: bool = False,
+        host_schedule: Optional[HostWorkloadSchedule] = None,
+        start: bool = True,
+    ) -> EdgeServer:
+        """Register and (optionally) start a new edge node.
+
+        A node id may be reused after :meth:`fail_node`: the dead node's
+        endpoint is then *explicitly* replaced (stale memoized network
+        state is invalidated with it), never silently overwritten.
+
+        Raises:
+            ValueError: if the id is already in use by an alive node, or
+                collides with a non-node endpoint (a user or the
+                manager).
+        """
+        existing = self.nodes.get(node_id)
+        if existing is not None and existing.alive:
+            raise ValueError(f"node id already alive: {node_id!r}")
+        if existing is None and self.topology.has_endpoint(node_id):
+            raise ValueError(
+                f"endpoint id {node_id!r} is already taken by a non-node "
+                "endpoint (user or manager)"
+            )
+        self.topology.add_endpoint(spec.endpoint(node_id), replace=existing is not None)
+        assert self.topology.has_endpoint(node_id)
+        node = EdgeServer(
+            self,
+            node_id,
+            profile,
+            dedicated=dedicated,
+            host_schedule=host_schedule,
+        )
+        self.nodes[node_id] = node
+        if start:
+            node.start()
+        self._record_population()
+        return node
+
     def spawn_node(
         self,
         node_id: str,
@@ -112,37 +158,31 @@ class EdgeSystem:
         host_schedule: Optional[HostWorkloadSchedule] = None,
         start: bool = True,
     ) -> EdgeServer:
-        """Register and (optionally) start a new edge node.
-
-        Raises:
-            ValueError: if the id is already in use by an alive node.
-        """
-        existing = self.nodes.get(node_id)
-        if existing is not None and existing.alive:
-            raise ValueError(f"node id already alive: {node_id!r}")
-        self.topology.add_endpoint(
-            NetworkEndpoint(
-                node_id,
+        """Deprecated: use :meth:`add_node` with an
+        :class:`~repro.net.topology.EndpointSpec` (or
+        :class:`~repro.api.ScenarioBuilder`) instead of seven unpacked
+        network keywords. Thin wrapper; behaviour is identical."""
+        warnings.warn(
+            "EdgeSystem.spawn_node is deprecated; use add_node(node_id, "
+            "profile, EndpointSpec(...)) or repro.api.ScenarioBuilder",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.add_node(
+            node_id,
+            profile,
+            EndpointSpec(
                 point,
                 tier=tier,
                 isp=isp,
                 uplink_mbps=uplink_mbps,
                 downlink_mbps=downlink_mbps,
                 access_extra_ms=access_extra_ms,
-            )
-        )
-        node = EdgeServer(
-            self,
-            node_id,
-            profile,
+            ),
             dedicated=dedicated,
             host_schedule=host_schedule,
+            start=start,
         )
-        self.nodes[node_id] = node
-        if start:
-            node.start()
-        self._record_population()
-        return node
 
     def fail_node(self, node_id: str) -> None:
         """Kill a node without notification (crash / volunteer leaves).
@@ -159,14 +199,8 @@ class EdgeSystem:
         detection = self.config.failure_detection_ms
 
         for client in list(self.clients.values()):
-            monitor_backups = getattr(client, "failure_monitor", None)
-            has_link = node_id in getattr(client, "links", {})
-            is_current = getattr(client, "current_edge", None) == node_id
-            in_backups = (
-                monitor_backups is not None and node_id in monitor_backups.backups
-            )
-            if has_link or is_current or in_backups:
-                handler: Callable[[str], None] = client.on_edge_failure  # type: ignore[attr-defined]
+            if client.observes_node(node_id):
+                handler = client.on_edge_failure
                 self.sim.schedule(
                     detection,
                     lambda h=handler: h(node_id),
@@ -185,6 +219,10 @@ class EdgeSystem:
     # ------------------------------------------------------------------
     # Client lifecycle
     # ------------------------------------------------------------------
+    def add_client_endpoint(self, user_id: str, spec: EndpointSpec) -> None:
+        """Register a user device's network endpoint from a spec."""
+        self.topology.add_endpoint(spec.endpoint(user_id))
+
     def register_client_endpoint(
         self,
         user_id: str,
@@ -196,22 +234,49 @@ class EdgeSystem:
         downlink_mbps: Optional[float] = None,
         access_extra_ms: float = 0.0,
     ) -> None:
-        """Register a user device's network endpoint."""
-        self.topology.add_endpoint(
-            NetworkEndpoint(
-                user_id,
+        """Deprecated: use :meth:`add_client_endpoint` with an
+        :class:`~repro.net.topology.EndpointSpec`. Thin wrapper."""
+        warnings.warn(
+            "EdgeSystem.register_client_endpoint is deprecated; use "
+            "add_client_endpoint(user_id, EndpointSpec(...)) or "
+            "repro.api.ScenarioBuilder",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.add_client_endpoint(
+            user_id,
+            EndpointSpec(
                 point,
                 tier=tier,
                 isp=isp,
                 uplink_mbps=uplink_mbps,
                 downlink_mbps=downlink_mbps,
                 access_extra_ms=access_extra_ms,
-            )
+            ),
         )
 
-    def add_client(self, client: object, start: bool = True) -> None:
-        """Add a started client (any :class:`EdgeClient` subclass)."""
-        user_id = getattr(client, "user_id")
+    def add_client(self, client: ClientLike, *, start: bool = True) -> None:
+        """Register (and by default start) a client.
+
+        Args:
+            client: anything satisfying :class:`~repro.core.client.
+                ClientLike` — validated structurally here so a
+                mis-shaped client fails at registration, not at the
+                first node failure.
+            start: keyword-only; False registers without starting (the
+                caller will start it later, e.g. staggered arrival).
+        """
+        if not isinstance(client, ClientLike):
+            missing = [
+                name
+                for name in ("user_id", "start", "observes_node", "on_edge_failure")
+                if not hasattr(client, name)
+            ]
+            raise TypeError(
+                f"client {client!r} does not satisfy ClientLike "
+                f"(missing: {', '.join(missing) or 'attribute types'})"
+            )
+        user_id = client.user_id
         if user_id in self.clients:
             raise ValueError(f"client id already in use: {user_id!r}")
         if not self.topology.has_endpoint(user_id):
@@ -220,7 +285,7 @@ class EdgeSystem:
             )
         self.clients[user_id] = client
         if start:
-            client.start()  # type: ignore[attr-defined]
+            client.start()
 
     # ------------------------------------------------------------------
     def run_for(self, duration_ms: float) -> None:

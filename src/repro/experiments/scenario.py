@@ -27,7 +27,7 @@ from repro.core.system import EdgeSystem
 from repro.geo.point import GeoPoint
 from repro.geo.region import MSP_CENTER, MetroArea, PlacementStyle
 from repro.net.latency import DistanceRttModel, JitterModel, NetworkTier
-from repro.net.topology import NetworkTopology
+from repro.net.topology import EndpointSpec, NetworkTopology
 from repro.nodes.hardware import (
     CLOUD_NODE,
     DEDICATED_PROFILES,
@@ -89,34 +89,38 @@ def build_real_world_system(
         for profile in volunteer_profiles or VOLUNTEER_PROFILES:
             point = metro.sample(PlacementStyle.GAUSSIAN)
             isp = METRO_ISPS[len(volunteer_ids) % len(METRO_ISPS)]
-            system.spawn_node(
+            system.add_node(
                 profile.name,
                 profile,
-                point,
-                tier=NetworkTier.HOME_WIFI,
-                isp=isp,
-                uplink_mbps=40.0,
-                downlink_mbps=300.0,
-                # "volunteer-based edge nodes ... with heterogeneous
-                # network access" (Fig. 1): last-mile quality varies a
-                # lot more than metro distance does. The spread keeps
-                # the class mean below the Local Zone's (Fig. 1's
-                # headline) while individual volunteers can land above
-                # it (Fig. 1's spread).
-                access_extra_ms=placement_rng.uniform(0.0, 12.0),
+                EndpointSpec(
+                    point,
+                    tier=NetworkTier.HOME_WIFI,
+                    isp=isp,
+                    uplink_mbps=40.0,
+                    downlink_mbps=300.0,
+                    # "volunteer-based edge nodes ... with heterogeneous
+                    # network access" (Fig. 1): last-mile quality varies a
+                    # lot more than metro distance does. The spread keeps
+                    # the class mean below the Local Zone's (Fig. 1's
+                    # headline) while individual volunteers can land above
+                    # it (Fig. 1's spread).
+                    access_extra_ms=placement_rng.uniform(0.0, 12.0),
+                ),
             )
             volunteer_ids.append(profile.name)
 
     dedicated_ids: List[str] = []
     if include_dedicated:
         for profile in DEDICATED_PROFILES:
-            system.spawn_node(
+            system.add_node(
                 profile.name,
                 profile,
-                LOCAL_ZONE_POINT,
-                tier=NetworkTier.LOCAL_ZONE,
-                uplink_mbps=1000.0,
-                downlink_mbps=1000.0,
+                EndpointSpec(
+                    LOCAL_ZONE_POINT,
+                    tier=NetworkTier.LOCAL_ZONE,
+                    uplink_mbps=1000.0,
+                    downlink_mbps=1000.0,
+                ),
                 dedicated=True,
             )
             dedicated_ids.append(profile.name)
@@ -133,13 +137,15 @@ def build_real_world_system(
             base_frame_ms=CLOUD_NODE.base_frame_ms,
             parallelism=32,
         )
-        system.spawn_node(
+        system.add_node(
             elastic_cloud.name,
             elastic_cloud,
-            CLOUD_POINT,
-            tier=NetworkTier.CLOUD,
-            uplink_mbps=10_000.0,
-            downlink_mbps=10_000.0,
+            EndpointSpec(
+                CLOUD_POINT,
+                tier=NetworkTier.CLOUD,
+                uplink_mbps=10_000.0,
+                downlink_mbps=10_000.0,
+            ),
             dedicated=True,
         )
         cloud_id = elastic_cloud.name
@@ -149,14 +155,16 @@ def build_real_world_system(
         user_id = f"u{i + 1:02d}"
         point = metro.sample(PlacementStyle.UNIFORM_DISC)
         isp = METRO_ISPS[i % len(METRO_ISPS)]
-        system.register_client_endpoint(
+        system.add_client_endpoint(
             user_id,
-            point,
-            tier=NetworkTier.HOME_WIFI,
-            isp=isp,
-            uplink_mbps=20.0,
-            downlink_mbps=200.0,
-            access_extra_ms=placement_rng.uniform(0.0, 4.0),
+            EndpointSpec(
+                point,
+                tier=NetworkTier.HOME_WIFI,
+                isp=isp,
+                uplink_mbps=20.0,
+                downlink_mbps=200.0,
+                access_extra_ms=placement_rng.uniform(0.0, 4.0),
+            ),
         )
         user_ids.append(user_id)
 
@@ -242,12 +250,14 @@ def build_emulation_system(
             profile = EMULATION_PROFILES[name]
             for _ in range(count):
                 node_id = f"e{index:02d}-{name}"
-                system.spawn_node(
+                system.add_node(
                     node_id,
                     profile,
-                    metro.sample(PlacementStyle.UNIFORM_DISC),
-                    tier=NetworkTier.HOME_WIFI,
-                    access_extra_ms=placement_rng.uniform(0.0, 12.0),
+                    EndpointSpec(
+                        metro.sample(PlacementStyle.UNIFORM_DISC),
+                        tier=NetworkTier.HOME_WIFI,
+                        access_extra_ms=placement_rng.uniform(0.0, 12.0),
+                    ),
                 )
                 node_ids.append(node_id)
                 index += 1
@@ -255,12 +265,14 @@ def build_emulation_system(
     user_ids: List[str] = []
     for i in range(n_users):
         user_id = f"u{i + 1:02d}"
-        system.register_client_endpoint(
+        system.add_client_endpoint(
             user_id,
-            metro.sample(PlacementStyle.UNIFORM_DISC),
-            tier=NetworkTier.HOME_WIFI,
-            uplink_mbps=50.0,
-            access_extra_ms=placement_rng.uniform(0.0, 12.0),
+            EndpointSpec(
+                metro.sample(PlacementStyle.UNIFORM_DISC),
+                tier=NetworkTier.HOME_WIFI,
+                uplink_mbps=50.0,
+                access_extra_ms=placement_rng.uniform(0.0, 12.0),
+            ),
         )
         user_ids.append(user_id)
 

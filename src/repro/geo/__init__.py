@@ -27,8 +27,10 @@ from repro.geo.geohash import (
 )
 from repro.geo.point import GeoPoint, haversine_km
 from repro.geo.region import MetroArea, PlacementStyle
+from repro.geo.spatial_index import GeohashSpatialIndex
 
 __all__ = [
+    "GeohashSpatialIndex",
     "GeoPoint",
     "haversine_km",
     "GEOHASH_ALPHABET",

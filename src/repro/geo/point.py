@@ -58,8 +58,22 @@ def haversine_km(a: GeoPoint, b: GeoPoint) -> float:
     Standard haversine formula; numerically stable for the short
     (metro-scale) distances this library mostly deals with.
     """
-    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
-    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    return haversine_km_coords(a.lat, a.lon, b.lat, b.lon)
+
+
+def haversine_km_coords(
+    alat: float, alon: float, blat: float, blon: float
+) -> float:
+    """:func:`haversine_km` on raw coordinates.
+
+    Hot paths (discovery filtering over thousands of heartbeats) call
+    this directly on stored lat/lon floats, skipping GeoPoint
+    construction per candidate. Bit-identical to :func:`haversine_km` —
+    that function delegates here — which selection-parity guarantees
+    rely on.
+    """
+    lat1, lon1 = math.radians(alat), math.radians(alon)
+    lat2, lon2 = math.radians(blat), math.radians(blon)
     dlat = lat2 - lat1
     dlon = lon2 - lon1
     h = (

@@ -1,0 +1,171 @@
+"""Geohash-bucketed spatial index for the Central Manager's registry.
+
+The paper's global selection geo-filters candidates by GeoHash cell
+prefix (§IV-B). The seed implementation re-derived that filter from a
+full registry scan on every discovery query — O(N) per query, which is
+the gating cost of client-centric selection at metro scale (cf. the
+candidate-filtering bottlenecks discussed by Renau & Ullah,
+arXiv:2510.08228, and Burbano et al., arXiv:2511.10146).
+
+:class:`GeohashSpatialIndex` replaces the scan with cell-prefix buckets:
+every indexed node is registered under each prefix of its geohash up to
+``max_precision``, so a proximity query — the query cell plus its 8
+neighbors at any precision — is a handful of dict lookups returning only
+the statuses inside those cells. Inserts, updates and removals are
+O(``max_precision``), so the index is maintained incrementally on every
+heartbeat and expiry instead of being rebuilt.
+
+The index is a *prefilter*, exactly like the scan it replaces: cells
+overshoot the query disc, and callers still apply the exact haversine
+cut. Because the final cut is identical, indexed queries return exactly
+the same candidate set as a linear scan (a property the test suite
+checks on randomized registries).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterable, List, Protocol, Sequence, Set, TypeVar
+
+
+class Located(Protocol):
+    """Anything placeable in the index: an id plus a geohash.
+
+    The Central Manager indexes
+    :class:`~repro.core.messages.NodeStatus` objects; the index itself
+    only reads these two fields (keeping :mod:`repro.geo` independent of
+    the core message vocabulary).
+    """
+
+    node_id: str
+    geohash: str
+
+
+S = TypeVar("S", bound=Located)
+
+#: Bucket depth. Precision 6 cells are ~0.6 km — deeper than any
+#: realistic discovery radius; queries at deeper precisions degrade
+#: gracefully (see :meth:`GeohashSpatialIndex.query_cells`).
+DEFAULT_MAX_PRECISION = 6
+
+
+class GeohashSpatialIndex(Generic[S]):
+    """Incrementally-maintained geohash prefix buckets over node statuses.
+
+    Args:
+        max_precision: deepest prefix length bucketed. Queries at coarser
+            or equal precision are direct bucket hits; deeper queries are
+            truncated to ``max_precision`` (a superset, still corrected
+            by the caller's exact distance cut).
+    """
+
+    __slots__ = ("max_precision", "_status", "_cell_of", "_buckets")
+
+    def __init__(self, max_precision: int = DEFAULT_MAX_PRECISION) -> None:
+        if max_precision < 1:
+            raise ValueError(f"max_precision must be >= 1, got {max_precision}")
+        self.max_precision = max_precision
+        #: node_id -> latest status (single write per heartbeat; buckets
+        #: hold ids only, so a status refresh never touches the buckets
+        #: unless the node moved cells).
+        self._status: Dict[str, S] = {}
+        #: node_id -> the max_precision cell it is bucketed under.
+        self._cell_of: Dict[str, str] = {}
+        #: geohash prefix (len 1..max_precision) -> ids inside that cell.
+        #: Dict-as-ordered-set: iteration follows insertion order, so
+        #: query results are deterministic across processes (a plain
+        #: set of strings would not be, under hash randomization).
+        self._buckets: Dict[str, Dict[str, None]] = {}
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def insert(self, status: S) -> None:
+        """Insert or refresh a node's status (handles cell changes)."""
+        node_id = status.node_id
+        cell = status.geohash[: self.max_precision]
+        if not cell:
+            raise ValueError(f"status for {node_id!r} has an empty geohash")
+        old_cell = self._cell_of.get(node_id)
+        if old_cell is not None and old_cell != cell:
+            self._unbucket(node_id, old_cell)
+            old_cell = None
+        if old_cell is None:
+            self._cell_of[node_id] = cell
+            buckets = self._buckets
+            for depth in range(1, len(cell) + 1):
+                prefix = cell[:depth]
+                members = buckets.get(prefix)
+                if members is None:
+                    buckets[prefix] = {node_id: None}
+                else:
+                    members[node_id] = None
+        self._status[node_id] = status
+
+    def remove(self, node_id: str) -> None:
+        """Remove a node; a no-op for unknown ids."""
+        cell = self._cell_of.pop(node_id, None)
+        if cell is None:
+            return
+        self._status.pop(node_id, None)
+        self._unbucket(node_id, cell)
+
+    def _unbucket(self, node_id: str, cell: str) -> None:
+        buckets = self._buckets
+        for depth in range(1, len(cell) + 1):
+            prefix = cell[:depth]
+            members = buckets.get(prefix)
+            if members is None:
+                continue
+            members.pop(node_id, None)
+            if not members:
+                del buckets[prefix]
+
+    def clear(self) -> None:
+        self._status.clear()
+        self._cell_of.clear()
+        self._buckets.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query_cells(self, cells: Sequence[str]) -> List[S]:
+        """Statuses of every node inside the given same-precision cells.
+
+        Cells deeper than ``max_precision`` are truncated to it; since a
+        parent cell contains all its children this only widens the
+        candidate set, never narrows it, and the caller's exact distance
+        cut restores precision. Duplicate cells (possible after
+        truncation, or near the poles) are collapsed.
+        """
+        status = self._status
+        buckets = self._buckets
+        out: List[S] = []
+        seen_cells: Set[str] = set()
+        for cell in cells:
+            prefix = cell[: self.max_precision]
+            if prefix in seen_cells:
+                continue
+            seen_cells.add(prefix)
+            members = buckets.get(prefix)
+            if members:
+                out.extend(status[node_id] for node_id in members)
+        return out
+
+    def statuses(self) -> Iterable[S]:
+        """All indexed statuses (no particular order)."""
+        return self._status.values()
+
+    def node_ids(self) -> List[str]:
+        return list(self._status)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._status
+
+    def __len__(self) -> int:
+        return len(self._status)
+
+    def __repr__(self) -> str:
+        return (
+            f"GeohashSpatialIndex(nodes={len(self._status)}, "
+            f"buckets={len(self._buckets)}, max_precision={self.max_precision})"
+        )

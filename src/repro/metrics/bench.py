@@ -1,0 +1,43 @@
+"""BENCH_perf.json bookkeeping for the perf-benchmark harness.
+
+``benchmarks/perf/*`` scripts each measure one axis (discovery-query
+throughput, steady-state event throughput) and record their section into
+a single merged report at the repo root, so the performance trajectory
+of the fast path is tracked as one file across revisions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+
+def record_bench_section(path: Path, section: str, payload: Dict[str, Any]) -> None:
+    """Merge ``payload`` into the report at ``path`` under ``section``.
+
+    Other sections are preserved; an unreadable/corrupt report is
+    replaced rather than crashing the benchmark that produced real data.
+    """
+    report: Dict[str, Any] = {}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, dict):
+                report = loaded
+        except (OSError, json.JSONDecodeError):
+            pass
+    report[section] = payload
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def read_bench_section(path: Path, section: str) -> Dict[str, Any]:
+    """The recorded section, or {} if the report/section is missing."""
+    if not path.exists():
+        return {}
+    try:
+        loaded = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {}
+    value = loaded.get(section) if isinstance(loaded, dict) else None
+    return value if isinstance(value, dict) else {}

@@ -97,7 +97,22 @@ class JitterModel:
 
 
 class RttModel(Protocol):
-    """Anything that can produce RTT samples between two endpoints."""
+    """Anything that can produce RTT samples between two endpoints.
+
+    Two optional class attributes let :class:`~repro.net.topology.
+    NetworkTopology` put a model on its memoized fast path (both default
+    to False for models that do not declare them):
+
+    - ``jitter_decomposable``: the model guarantees
+      ``sample_rtt_ms(s, d, rng) == jitter.apply(expected_rtt_ms(s, d), rng)``
+      (same RNG consumption), so the topology may sample from a cached
+      expected value. All built-in models satisfy this.
+    - ``cacheable_expected``: ``expected_rtt_ms`` is a pure function of
+      the two endpoint identities for the model's lifetime, so the
+      topology may memoize it per endpoint pair.
+      :class:`MatrixRttModel` does *not* declare this — ``set_rtt`` can
+      change pairs after first use.
+    """
 
     def expected_rtt_ms(self, src: "EndpointInfo", dst: "EndpointInfo") -> float:
         """Mean RTT, used by optimal solvers and reports."""
@@ -150,6 +165,9 @@ class DistanceRttModel:
         jitter: the jitter model, or None for deterministic RTTs.
     """
 
+    jitter_decomposable = True
+    cacheable_expected = True
+
     def __init__(
         self,
         floor_ms: float = 1.0,
@@ -197,6 +215,9 @@ class MatrixRttModel:
     covers unset pairs; self-pairs return ~0.
     """
 
+    jitter_decomposable = True
+    # NOT cacheable_expected: set_rtt() may reconfigure pairs anytime.
+
     def __init__(
         self,
         default_ms: float = 30.0,
@@ -243,6 +264,9 @@ class HashedPairRttModel:
     analogue of the paper's ``tc``-configured pairwise latencies drawn
     from "real-world measurement data" (8-55 ms in §V-D1).
     """
+
+    jitter_decomposable = True
+    cacheable_expected = True
 
     def __init__(
         self,

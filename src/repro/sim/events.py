@@ -66,6 +66,8 @@ def _noop() -> None:
 class EventQueue:
     """A stable min-heap of :class:`Event` objects."""
 
+    __slots__ = ("_heap", "_counter")
+
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._counter = itertools.count()
@@ -89,6 +91,22 @@ class EventQueue:
         """
         while self._heap:
             event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def pop_until(self, limit: float) -> Optional[Event]:
+        """Pop the earliest pending event with ``time <= limit``, or None.
+
+        Equivalent to ``peek_time()`` + ``pop()`` but walks past each
+        cancelled entry once instead of twice — this is the kernel's
+        ``run_until`` hot path.
+        """
+        heap = self._heap
+        while heap:
+            if heap[0].time > limit:
+                return None
+            event = heapq.heappop(heap)
             if not event.cancelled:
                 return event
         return None

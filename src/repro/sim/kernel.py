@@ -127,17 +127,34 @@ class Simulator:
             raise ValueError(f"period must be positive, got {period}")
         handle = TimerHandle()
         first_delay = period if start_after is None else start_after
+        push = self.queue.push
+        clock = self.clock
 
-        def fire() -> None:
-            if handle.cancelled:
-                return
-            callback()
-            if handle.cancelled:  # callback may have cancelled the timer
-                return
-            delay = period + (jitter() if jitter is not None else 0.0)
-            if delay <= 0:
-                delay = period
-            handle._current_event = self.schedule(delay, fire, label)
+        # Two reschedule variants so the (far more common) unjittered
+        # timer pays no per-fire jitter branches; heartbeats and monitor
+        # loops fire millions of times in metro-scale runs.
+        if jitter is None:
+
+            def fire() -> None:
+                if handle.cancelled:
+                    return
+                callback()
+                if handle.cancelled:  # callback may have cancelled the timer
+                    return
+                handle._current_event = push(clock.now + period, fire, label)
+
+        else:
+
+            def fire() -> None:
+                if handle.cancelled:
+                    return
+                callback()
+                if handle.cancelled:
+                    return
+                delay = period + jitter()
+                if delay <= 0:
+                    delay = period
+                handle._current_event = push(clock.now + delay, fire, label)
 
         handle._current_event = self.schedule(first_delay, fire, label)
         return handle
@@ -161,18 +178,17 @@ class Simulator:
         """
         self._running = True
         self._stop_requested = False
+        pop_until = self.queue.pop_until
+        advance_to = self.clock.advance_to
         try:
             while not self._stop_requested:
-                next_time = self.queue.peek_time()
-                if next_time is None or next_time > until:
-                    break
-                event = self.queue.pop()
+                event = pop_until(until)
                 if event is None:
                     break
-                self.clock.advance_to(event.time)
+                advance_to(event.time)
                 self._dispatch(event)
             if self.clock.now < until and not self._stop_requested:
-                self.clock.advance_to(until)
+                advance_to(until)
         finally:
             self._running = False
 

@@ -54,6 +54,25 @@ def test_stale_nodes_age_out(system):
 def test_forget_node(system):
     system.manager.forget_node("V1")
     assert "V1" not in system.manager.known_node_ids()
+    assert "V1" not in system.manager.spatial_index
+
+
+def test_spatial_index_tracks_registry_through_expiry(system):
+    assert sorted(system.manager.spatial_index.node_ids()) == ["V1", "V2", "V5"]
+    system.nodes["V2"].fail()
+    system.run_for(system.config.heartbeat_timeout_ms + 1_500.0)
+    system.manager.prune_stale()
+    assert "V2" not in system.manager.spatial_index
+    # survivors keep heartbeating and stay indexed
+    assert sorted(system.manager.spatial_index.node_ids()) == ["V1", "V5"]
+
+
+def test_expiry_heap_keeps_fresh_nodes(system):
+    """Superseded heap entries (older heartbeats of a live node) must be
+    skipped, not expire the node."""
+    system.run_for(system.config.heartbeat_timeout_ms * 3)
+    system.manager.prune_stale()
+    assert sorted(system.manager.known_node_ids()) == ["V1", "V2", "V5"]
 
 
 def test_discover_far_user_widens(system):

@@ -5,7 +5,12 @@ import random
 import pytest
 
 from repro.geo.point import GeoPoint
-from repro.net.latency import JitterModel, DistanceRttModel, NetworkTier
+from repro.net.latency import (
+    JitterModel,
+    DistanceRttModel,
+    MatrixRttModel,
+    NetworkTier,
+)
 from repro.net.link import CONNECTION_SETUP_RTTS, Link, LinkState
 from repro.net.topology import NetworkEndpoint, NetworkTopology
 
@@ -41,8 +46,13 @@ def test_remove_endpoint(topology):
     topology.remove_endpoint("edge")  # idempotent
 
 
-def test_add_endpoint_replaces(topology):
-    topology.add_endpoint(NetworkEndpoint("user", GeoPoint(10.0, 10.0)))
+def test_add_endpoint_duplicate_requires_explicit_replace(topology):
+    with pytest.raises(ValueError, match="already registered"):
+        topology.add_endpoint(NetworkEndpoint("user", GeoPoint(10.0, 10.0)))
+
+
+def test_add_endpoint_replace_is_explicit(topology):
+    topology.add_endpoint(NetworkEndpoint("user", GeoPoint(10.0, 10.0)), replace=True)
     assert topology.endpoint("user").point.lat == 10.0
 
 
@@ -74,6 +84,84 @@ def test_endpoint_info_carries_access_extra():
     )
     assert endpoint.info().access_extra_ms == 3.0
     assert endpoint.info().tier is NetworkTier.LAN
+
+
+# ----------------------------------------------------------------------
+# RTT memoization
+# ----------------------------------------------------------------------
+def test_expected_rtt_is_memoized(topology):
+    first = topology.expected_rtt_ms("user", "edge")
+    assert ("user", "edge") in topology._expected_cache
+    assert topology.expected_rtt_ms("user", "edge") == first
+
+
+def test_replace_endpoint_invalidates_its_pairs(topology):
+    before = topology.expected_rtt_ms("user", "edge")
+    topology.add_endpoint(
+        NetworkEndpoint("edge", GeoPoint(45.5, -94.0)), replace=True
+    )
+    after = topology.expected_rtt_ms("user", "edge")
+    assert after != before  # the node moved; a stale cache would hide it
+
+
+def test_remove_endpoint_invalidates_its_pairs(topology):
+    topology.expected_rtt_ms("user", "edge")
+    topology.remove_endpoint("edge")
+    assert ("user", "edge") not in topology._expected_cache
+    # pairs not touching the removed endpoint survive
+    topology.add_endpoint(NetworkEndpoint("other", GeoPoint(44.96, -93.22)))
+    topology.expected_rtt_ms("user", "other")
+    topology.remove_endpoint("other")
+    assert ("user", "other") not in topology._expected_cache
+
+
+def test_swapping_rtt_model_drops_cache(topology):
+    topology.expected_rtt_ms("user", "edge")
+    topology.rtt_model = DistanceRttModel(
+        jitter=JitterModel(sigma=0.0, spike_probability=0.0)
+    )
+    assert topology._expected_cache == {}
+
+
+def test_matrix_model_expected_rtt_never_cached():
+    """MatrixRttModel.set_rtt can retune pairs mid-run, so its expected
+    RTTs must be recomputed every call — a cache would pin old values."""
+    model = MatrixRttModel(default_ms=30.0)
+    topo = NetworkTopology(rtt_model=model, rng=random.Random(3))
+    topo.add_endpoint(NetworkEndpoint("a", GeoPoint(44.97, -93.25)))
+    topo.add_endpoint(NetworkEndpoint("b", GeoPoint(44.95, -93.20)))
+    assert topo.expected_rtt_ms("a", "b") == pytest.approx(30.0)
+    model.set_rtt("a", "b", 55.0)
+    assert topo.expected_rtt_ms("a", "b") == pytest.approx(55.0)
+
+
+def test_memoized_samples_match_unmemoized_stream():
+    """rtt_ms through the cache fast path must be bit-identical to what
+    the model would sample directly with the same RNG stream."""
+
+    def build():
+        topo = NetworkTopology(
+            rtt_model=DistanceRttModel(jitter=JitterModel(sigma=0.2)),
+            rng=random.Random(11),
+        )
+        topo.add_endpoint(NetworkEndpoint("user", GeoPoint(44.97, -93.25)))
+        topo.add_endpoint(NetworkEndpoint("edge", GeoPoint(44.95, -93.20)))
+        return topo
+
+    cached = build()
+    via_cache = [cached.rtt_ms("user", "edge") for _ in range(50)]
+
+    uncached = build()
+    model = uncached.rtt_model
+    direct = [
+        model.sample_rtt_ms(
+            uncached.endpoint("user").info(),
+            uncached.endpoint("edge").info(),
+            uncached.rng,
+        )
+        for _ in range(50)
+    ]
+    assert via_cache == direct
 
 
 # ----------------------------------------------------------------------

@@ -48,6 +48,30 @@ def test_spawn_reuses_id_after_failure():
     assert node.alive
 
 
+def test_node_id_reuse_reregisters_endpoint():
+    """Regression: a node id reused after fail_node must re-register its
+    endpoint — the replacement may sit somewhere else entirely, and any
+    memoized network state for the old endpoint must not leak to it."""
+    from repro.net.topology import EndpointSpec
+
+    system = EdgeSystem(SystemConfig(seed=1))
+    system.add_node("V1", profile_by_name("V1"), EndpointSpec(GeoPoint(44.98, -93.26)))
+    rtt_before = system.topology.expected_rtt_ms(MANAGER_ID, "V1")
+    system.fail_node("V1")
+    system.add_node("V1", profile_by_name("V2"), EndpointSpec(GeoPoint(46.50, -94.00)))
+    assert system.topology.endpoint("V1").point == GeoPoint(46.50, -94.00)
+    assert system.topology.expected_rtt_ms(MANAGER_ID, "V1") != rtt_before
+
+
+def test_add_node_rejects_id_of_non_node_endpoint():
+    from repro.net.topology import EndpointSpec
+
+    system = EdgeSystem(SystemConfig(seed=1))
+    system.add_client_endpoint("alice", EndpointSpec(GeoPoint(44.97, -93.25)))
+    with pytest.raises(ValueError, match="non-node"):
+        system.add_node("alice", profile_by_name("V1"), EndpointSpec(GeoPoint(44.98, -93.26)))
+
+
 def test_fail_node_records_population_step():
     system = EdgeSystem(SystemConfig(seed=1))
     system.spawn_node("V1", profile_by_name("V1"), GeoPoint(44.98, -93.26))
@@ -88,8 +112,27 @@ def test_add_client_requires_registered_endpoint():
         def start(self):
             pass
 
+        def observes_node(self, node_id):
+            return False
+
+        def on_edge_failure(self, node_id):
+            pass
+
     with pytest.raises(ValueError, match="register"):
         system.add_client(Dummy())
+
+
+def test_add_client_rejects_mis_shaped_client():
+    system = EdgeSystem(SystemConfig(seed=1))
+
+    class NotAClient:
+        user_id = "ghost"
+
+        def start(self):
+            pass
+
+    with pytest.raises(TypeError, match="ClientLike"):
+        system.add_client(NotAClient())
 
 
 def test_add_client_rejects_duplicates():

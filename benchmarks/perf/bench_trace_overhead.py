@@ -1,0 +1,151 @@
+"""Cost of the observability layer on the steady-state hot path.
+
+Runs the :mod:`bench_steady_state` scenario three ways:
+
+- ``disabled``   — the default every system gets: a capture-disabled
+  tracer (metrics still flow through it as a subscriber);
+- ``noop_sink``  — a tracer with a :class:`~repro.obs.tracer.NullSink`
+  attached but capture still off, i.e. observability fully wired into a
+  production run that is not being watched;
+- ``enabled``    — full event capture into the ring + NullSink, what a
+  traced debugging run pays.
+
+The headline claim (DESIGN.md "Observability") is that the first two
+are indistinguishable: wiring a sink costs nothing until capture is
+turned on, because emission sites guard detail-event construction on
+``tracer.enabled``. This benchmark asserts that claim (< ``--tolerance``
+percent, min-of-``--repeats`` wall time) and records all three
+configurations under the ``trace_overhead`` section of BENCH_perf.json.
+
+Run:  PYTHONPATH=src python benchmarks/perf/bench_trace_overhead.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import random
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.api import EndpointSpec, ScenarioBuilder
+from repro.core.config import SystemConfig
+from repro.geo.point import GeoPoint
+from repro.geo.region import MSP_CENTER
+from repro.metrics.bench import record_bench_section
+from repro.nodes.hardware import VOLUNTEER_PROFILES
+from repro.obs.tracer import NullSink
+
+
+def random_point(rng: random.Random, center: GeoPoint, radius_km: float) -> GeoPoint:
+    distance = radius_km * math.sqrt(rng.random())
+    bearing = rng.uniform(0.0, 2.0 * math.pi)
+    return center.offset_km(
+        distance * math.cos(bearing), distance * math.sin(bearing)
+    )
+
+
+def build_system(args: argparse.Namespace, *, trace: bool, sink: Optional[NullSink]):
+    rng = random.Random(args.seed)
+    builder = ScenarioBuilder(SystemConfig(seed=args.seed)).default_node_spec(
+        EndpointSpec(MSP_CENTER, uplink_mbps=40.0, downlink_mbps=300.0)
+    )
+    if trace or sink is not None:
+        builder.observe(trace=trace, sink=sink)
+    for i in range(args.nodes):
+        profile = VOLUNTEER_PROFILES[i % len(VOLUNTEER_PROFILES)]
+        builder.node(
+            f"n{i:05d}", profile, point=random_point(rng, MSP_CENTER, args.region_km)
+        )
+    for i in range(args.users):
+        builder.client(
+            f"u{i:04d}", point=random_point(rng, MSP_CENTER, args.region_km)
+        )
+    return builder.build()
+
+
+def measure(args: argparse.Namespace, *, trace: bool, sink_factory) -> Tuple[float, int]:
+    """Min wall seconds (and events) over ``--repeats`` fresh runs."""
+    best_wall = math.inf
+    events = 0
+    for _ in range(args.repeats):
+        system = build_system(args, trace=trace, sink=sink_factory())
+        system.run_for(1_000.0)  # warm-up: joins, first discoveries
+        before = system.sim.events_processed
+        t0 = time.perf_counter()
+        system.run_for(args.sim_seconds * 1000.0)
+        wall = time.perf_counter() - t0
+        events = system.sim.events_processed - before
+        best_wall = min(best_wall, wall)
+    return best_wall, events
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=120)
+    parser.add_argument("--users", type=int, default=12)
+    parser.add_argument("--sim-seconds", type=float, default=6.0)
+    parser.add_argument("--region-km", type=float, default=40.0)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--tolerance", type=float, default=3.0,
+        help="max %% slowdown of the wired-but-idle (noop_sink) config",
+    )
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parents[2] / "BENCH_perf.json",
+    )
+    args = parser.parse_args(argv)
+
+    configs = {
+        "disabled": dict(trace=False, sink_factory=lambda: None),
+        "noop_sink": dict(trace=False, sink_factory=NullSink),
+        "enabled": dict(trace=True, sink_factory=NullSink),
+    }
+    walls = {}
+    events = 0
+    for name, config in configs.items():
+        walls[name], events = measure(
+            args, trace=config["trace"], sink_factory=config["sink_factory"]
+        )
+
+    def overhead_pct(name: str) -> float:
+        return (walls[name] - walls["disabled"]) / walls["disabled"] * 100.0
+
+    result = {
+        "nodes": args.nodes,
+        "users": args.users,
+        "sim_seconds": args.sim_seconds,
+        "seed": args.seed,
+        "repeats": args.repeats,
+        "events_per_run": events,
+        "wall_s": {name: round(wall, 4) for name, wall in walls.items()},
+        "noop_sink_overhead_pct": round(overhead_pct("noop_sink"), 2),
+        "enabled_overhead_pct": round(overhead_pct("enabled"), 2),
+        "tolerance_pct": args.tolerance,
+    }
+    record_bench_section(args.output, "trace_overhead", result)
+
+    print(f"nodes={args.nodes}  users={args.users}  "
+          f"{args.sim_seconds:.0f} simulated seconds x{args.repeats} (min wall)")
+    for name, wall in walls.items():
+        extra = "" if name == "disabled" else f"  ({overhead_pct(name):+.2f}%)"
+        print(f"  {name:10s}: {wall:8.4f} s{extra}")
+    print(f"wrote {args.output}")
+
+    if overhead_pct("noop_sink") > args.tolerance:
+        print(
+            f"FAIL: wired-but-idle tracer costs "
+            f"{overhead_pct('noop_sink'):.2f}% > {args.tolerance:.1f}% budget",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: idle observability within the {args.tolerance:.1f}% budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

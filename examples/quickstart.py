@@ -2,7 +2,9 @@
 
 Builds three volunteer edge nodes with Table II hardware, attaches two
 users running the AR cognitive-assistance workload, and prints what the
-client-centric selection decided and what latency each user saw.
+client-centric selection decided, what latency each user saw, and —
+via the trace captured by ``.observe()`` — where that latency went
+(network RTT vs. queueing vs. processing).
 
 Run:  python examples/quickstart.py
 """
@@ -10,22 +12,26 @@ Run:  python examples/quickstart.py
 from repro.api import ScenarioBuilder
 from repro.core.config import SystemConfig
 from repro.geo import GeoPoint
+from repro.metrics.report import format_table
 from repro.nodes import profile_by_name
+from repro.obs import TraceAnalyzer
 
 
 def main() -> None:
     # Three volunteers in a metro area — a fast desktop, an old 6-core
     # laptop, and a slow ultrabook (Table II's V1, V2, V5) — plus two
     # users running the AR workload.
-    system = (
+    scenario = (
         ScenarioBuilder(SystemConfig(top_n=2, seed=7))
+        .observe(trace=True)
         .node("V1", profile_by_name("V1"), point=GeoPoint(44.980, -93.260))
         .node("V2", profile_by_name("V2"), point=GeoPoint(44.950, -93.200))
         .node("V5", profile_by_name("V5"), point=GeoPoint(44.900, -93.100))
         .client("alice", point=GeoPoint(44.970, -93.250))
         .client("bob", point=GeoPoint(44.930, -93.180))
-        .build()
+        .build_scenario()
     )
+    system = scenario.system
 
     system.run_for(30_000)  # 30 simulated seconds
 
@@ -40,6 +46,22 @@ def main() -> None:
             f"  {stats.probes_sent} probes, {stats.switches} switches"
         )
     print(f"  test-workload invocations: {system.metrics.total_test_invocations()}")
+
+    # Where did the latency go? The trace decomposes every completed
+    # frame into rtt / queue / process phase spans that sum exactly to
+    # the recorded end-to-end latency.
+    analyzer = TraceAnalyzer(scenario.tracer.events())
+    rows = [entry.row(user) for user, entry in analyzer.phase_breakdown().items()]
+    rows.append(analyzer.total_breakdown().row("(all)"))
+    print()
+    print(
+        format_table(
+            ["user", "frames", "lost", "rtt ms", "queue ms", "process ms",
+             "e2e ms"],
+            rows,
+            title="Latency-phase breakdown (means over completed frames)",
+        )
+    )
 
 
 if __name__ == "__main__":

@@ -36,6 +36,7 @@ from repro.core.policies.reputation import ReputationTracker
 from repro.core.system import EdgeSystem
 from repro.metrics.collector import MetricsCollector
 from repro.net.topology import EndpointSpec
+from repro.obs import TraceAnalyzer, Tracer
 
 __version__ = "1.0.0"
 
@@ -50,6 +51,8 @@ __all__ = [
     "ClientLike",
     "ClientStats",
     "MetricsCollector",
+    "Tracer",
+    "TraceAnalyzer",
     "AdaptiveRobustness",
     "MultiAppDeployment",
     "ApplicationSpec",

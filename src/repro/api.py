@@ -48,6 +48,8 @@ from repro.geo.point import GeoPoint
 from repro.net.topology import EndpointSpec, NetworkTopology
 from repro.nodes.hardware import HardwareProfile
 from repro.nodes.host_workload import HostWorkloadSchedule
+from repro.obs.profile import KernelProfiler
+from repro.obs.tracer import Tracer, as_sink
 from repro.workload.ar import ARApplication, DEFAULT_AR_APP
 
 __all__ = [
@@ -89,6 +91,9 @@ class BuiltScenario:
     system: EdgeSystem
     node_ids: List[str] = field(default_factory=list)
     user_ids: List[str] = field(default_factory=list)
+    #: The tracer wired into the system (disabled unless the builder's
+    #: :meth:`ScenarioBuilder.observe` asked for capture).
+    tracer: Optional[Tracer] = None
 
 
 class ScenarioBuilder:
@@ -116,6 +121,10 @@ class ScenarioBuilder:
         self._node_default: Optional[EndpointSpec] = None
         self._client_default: Optional[EndpointSpec] = None
         self._decls: List[Tuple[str, object]] = []
+        self._observe_trace = False
+        self._observe_sink: object = None
+        self._observe_capacity = 65536
+        self._observe_profile_kernel = False
 
     # ------------------------------------------------------------------
     # Defaults
@@ -128,6 +137,34 @@ class ScenarioBuilder:
     def default_client_spec(self, spec: EndpointSpec) -> "ScenarioBuilder":
         """Network spec template for clients declared with only a point."""
         self._client_default = spec
+        return self
+
+    def observe(
+        self,
+        trace: bool = True,
+        *,
+        sink: object = None,
+        capacity: int = 65536,
+        profile_kernel: bool = False,
+    ) -> "ScenarioBuilder":
+        """Turn on structured trace capture for the built system.
+
+        Args:
+            trace: capture trace events into the tracer's ring buffer.
+                When False the system still gets a tracer (metrics flow
+                through it either way) but event capture is disabled.
+            sink: optional streaming destination — a path/str (JSONL
+                file), an open file-like object, or any
+                :class:`~repro.obs.tracer.TraceSink`.
+            capacity: ring-buffer size (events) when tracing.
+            profile_kernel: additionally install a
+                :class:`~repro.obs.profile.KernelProfiler` on the
+                simulator, recording per-handler wall time + queue depth.
+        """
+        self._observe_trace = trace
+        self._observe_sink = sink
+        self._observe_capacity = capacity
+        self._observe_profile_kernel = profile_kernel
         return self
 
     # ------------------------------------------------------------------
@@ -234,14 +271,24 @@ class ScenarioBuilder:
     # ------------------------------------------------------------------
     def build_scenario(self) -> BuiltScenario:
         """Wire everything and return the system plus created ids."""
+        tracer: Optional[Tracer] = None
+        if self._observe_trace or self._observe_sink is not None:
+            tracer = Tracer(
+                enabled=self._observe_trace,
+                capacity=self._observe_capacity,
+                sink=as_sink(self._observe_sink),
+            )
         system = EdgeSystem(
             self._config,
             topology=self._topology,
             app=self._app,
             manager_point=self._manager_point,
             global_policy=self._global_policy,
+            trace=tracer,
         )
-        built = BuiltScenario(system=system)
+        if self._observe_profile_kernel:
+            system.sim.profiler = KernelProfiler()
+        built = BuiltScenario(system=system, tracer=system.trace)
         for kind, decl in self._decls:
             if kind == "node":
                 assert isinstance(decl, _NodeDecl)

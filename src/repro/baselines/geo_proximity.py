@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.client import EdgeClient
+from repro.obs.events import DiscoveryIssued, UncoveredFailure
 
 
 class GeoProximityClient(EdgeClient):
@@ -69,7 +70,7 @@ class GeoProximityClient(EdgeClient):
 
     def _closest_node_id(self) -> Optional[str]:
         self.stats.discovery_queries += 1
-        self.system.metrics.record_discovery(self.user_id)
+        self.system.trace.emit(DiscoveryIssued(self.system.sim.now, self.user_id))
         statuses = self.system.manager.alive_statuses()
         predicate = self.system.manager.policy.node_predicate
         if predicate is not None:
@@ -93,5 +94,5 @@ class GeoProximityClient(EdgeClient):
             return
         self.current_edge = None
         self.stats.uncovered_failures += 1
-        self.system.metrics.record_failure(self.user_id, self.system.sim.now)
+        self.system.trace.emit(UncoveredFailure(self.system.sim.now, self.user_id))
         self._begin_selection_round()

@@ -8,6 +8,7 @@ attaching to a uniformly random alive node.
 from __future__ import annotations
 
 from repro.core.client import EdgeClient
+from repro.obs.events import DiscoveryIssued, UncoveredFailure
 
 
 class RandomSelectClient(EdgeClient):
@@ -29,7 +30,7 @@ class RandomSelectClient(EdgeClient):
         if self._stopped:
             return
         self.stats.discovery_queries += 1
-        self.system.metrics.record_discovery(self.user_id)
+        self.system.trace.emit(DiscoveryIssued(self.system.sim.now, self.user_id))
         statuses = self.system.manager.alive_statuses()
         predicate = self.system.manager.policy.node_predicate
         if predicate is not None:
@@ -66,5 +67,5 @@ class RandomSelectClient(EdgeClient):
             return
         self.current_edge = None
         self.stats.uncovered_failures += 1
-        self.system.metrics.record_failure(self.user_id, self.system.sim.now)
+        self.system.trace.emit(UncoveredFailure(self.system.sim.now, self.user_id))
         self._begin_selection_round()

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.core.client import EdgeClient
 from repro.core.messages import DiscoveryQuery
+from repro.obs.events import DiscoveryIssued, UncoveredFailure
 
 
 class ResourceAwareWRRClient(EdgeClient):
@@ -40,7 +41,7 @@ class ResourceAwareWRRClient(EdgeClient):
         if self._stopped:
             return
         self.stats.discovery_queries += 1
-        self.system.metrics.record_discovery(self.user_id)
+        self.system.trace.emit(DiscoveryIssued(self.system.sim.now, self.user_id))
         endpoint = self.system.topology.endpoint(self.user_id)
         query = DiscoveryQuery(
             user_id=self.user_id,
@@ -83,5 +84,5 @@ class ResourceAwareWRRClient(EdgeClient):
             return
         self.current_edge = None
         self.stats.uncovered_failures += 1
-        self.system.metrics.record_failure(self.user_id, self.system.sim.now)
+        self.system.trace.emit(UncoveredFailure(self.system.sim.now, self.user_id))
         self._begin_selection_round()

@@ -10,6 +10,7 @@ probes each server with a pinned client).
 from __future__ import annotations
 
 from repro.core.client import EdgeClient
+from repro.obs.events import UncoveredFailure
 
 
 class StaticPinClient(EdgeClient):
@@ -57,5 +58,5 @@ class StaticPinClient(EdgeClient):
             return
         self.current_edge = None
         self.stats.uncovered_failures += 1
-        self.system.metrics.record_failure(self.user_id, self.system.sim.now)
+        self.system.trace.emit(UncoveredFailure(self.system.sim.now, self.user_id))
         self._begin_selection_round()

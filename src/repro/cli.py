@@ -256,6 +256,68 @@ def cmd_qos(args: argparse.Namespace) -> None:
     )
 
 
+def cmd_trace(args: argparse.Namespace) -> None:
+    from repro.obs.analyze import TraceAnalyzer, load_trace, validate_event_order
+
+    if args.summary is not None:
+        events = load_trace(args.summary)
+        source = args.summary
+    else:
+        if args.run == "live":
+            from repro.obs.scenarios import run_live_trace_scenario_sync
+
+            events = run_live_trace_scenario_sync(sink_path=args.out)
+        else:
+            from repro.obs.scenarios import run_sim_trace_scenario
+
+            events = run_sim_trace_scenario(seed=args.seed, sink_path=args.out)
+        source = args.out
+        print(f"trace: {len(events)} events from {args.run} run -> {args.out}")
+
+    analyzer = TraceAnalyzer(events)
+    print(
+        format_table(
+            ["event type", "count"],
+            [[kind, count] for kind, count in analyzer.event_type_counts().items()],
+            title=f"Trace summary — {source}",
+        )
+    )
+    breakdown = analyzer.phase_breakdown()
+    rows = [entry.row(user) for user, entry in breakdown.items()]
+    rows.append(analyzer.total_breakdown().row("(all)"))
+    print(
+        format_table(
+            ["user", "frames", "lost", "rtt ms", "queue ms", "process ms",
+             "e2e ms"],
+            rows,
+            title="Latency-phase breakdown (means over completed frames)",
+        )
+    )
+    histogram = analyzer.failover_gap_histogram(bin_ms=args.bin_ms)
+    if histogram:
+        print(
+            format_table(
+                ["gap bin (ms)", "recoveries"],
+                [[f"{start:.0f}-{start + args.bin_ms:.0f}", count]
+                 for start, count in histogram],
+                title="Failover recovery gaps (node_fail -> re-serve)",
+            )
+        )
+    if args.timeline:
+        print(f"timeline for {args.timeline}:")
+        for event in analyzer.per_user_timeline(args.timeline, limit=args.limit):
+            fields = {
+                k: v for k, v in event.items() if k not in ("type", "t_ms")
+            }
+            print(f"  {event['t_ms']:10.2f} ms  {event['type']:<20s} {fields}")
+    errors = analyzer.reconciliation_errors()
+    violations = validate_event_order(events)
+    for problem in [*errors, *violations]:
+        print(f"WARNING: {problem}")
+    if not errors and not violations:
+        print("phase reconciliation + event ordering: OK")
+
+
 COMMANDS = {
     "fig1": (cmd_fig1, "Fig. 1 network study"),
     "table2": (cmd_table2, "Table II hardware catalog"),
@@ -269,6 +331,7 @@ COMMANDS = {
     "fig9": (cmd_fig9, "Fig. 9 TopN sweep"),
     "fig10": (cmd_fig10, "Fig. 10 fault tolerance"),
     "qos": (cmd_qos, "QoS admission extension"),
+    "trace": (cmd_trace, "capture/summarize a structured trace"),
 }
 
 
@@ -294,6 +357,27 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--top-n", type=int, nargs="+", default=None)
         if name == "qos":
             sub.add_argument("--qos-ms", type=float, default=90.0)
+        if name == "trace":
+            sub.add_argument(
+                "--run", choices=("sim", "live"), default="sim",
+                help="which backend to capture from",
+            )
+            sub.add_argument(
+                "--out", default="trace.jsonl",
+                help="JSONL sink path for a fresh capture",
+            )
+            sub.add_argument(
+                "--summary", default=None, metavar="PATH",
+                help="summarize an existing JSONL trace instead of running",
+            )
+            sub.add_argument(
+                "--timeline", default=None, metavar="USER",
+                help="also print one user's event timeline",
+            )
+            sub.add_argument("--limit", type=int, default=40,
+                             help="max timeline rows")
+            sub.add_argument("--bin-ms", type=float, default=100.0,
+                             help="failover-gap histogram bin width")
     return parser
 
 

@@ -43,6 +43,21 @@ from repro.core.messages import CandidateList, DiscoveryQuery
 from repro.core.policies.local_policies import LocalSelectionPolicy, policy_for
 from repro.core.probing import ProbeOutcome
 from repro.net.link import CONNECTION_SETUP_RTTS, Link
+from repro.obs.events import (
+    CoveredFailover,
+    DiscoveryIssued,
+    DiscoveryReturned,
+    FrameDone,
+    FrameStart,
+    JoinAccept,
+    JoinAttempt,
+    JoinReject,
+    PhaseSpan,
+    ProbeAnswered,
+    ProbeSent,
+    Switch,
+    UncoveredFailure,
+)
 from repro.sim.kernel import TimerHandle
 from repro.workload.adaptive import AdaptiveRateController
 from repro.workload.ar import ARApplication
@@ -227,6 +242,9 @@ class EdgeClient:
     def _send_discovery(self, exclude: tuple = ()) -> None:
         """Edge discovery: one round trip to the Central Manager."""
         self.stats.discovery_queries += 1
+        self.system.trace.emit(
+            DiscoveryIssued(self.system.sim.now, self.user_id)
+        )
         endpoint = self.system.topology.endpoint(self.user_id)
         query = DiscoveryQuery(
             user_id=self.user_id,
@@ -246,6 +264,15 @@ class EdgeClient:
     def _on_candidates(self, candidates: CandidateList) -> None:
         if self._stopped:
             return
+        if self.system.trace.enabled:
+            self.system.trace.emit(
+                DiscoveryReturned(
+                    self.system.sim.now,
+                    self.user_id,
+                    candidates.node_ids,
+                    widened=candidates.widened,
+                )
+            )
         if not candidates.node_ids:
             # Nothing available: end the round; the periodic timer (or a
             # short retry while detached) tries again.
@@ -272,12 +299,13 @@ class EdgeClient:
         this is how proactive backup connections get established.
         """
         topology = self.system.topology
+        trace = self.system.trace
         outcomes: List[ProbeOutcome] = []
         max_rtt = 0.0
         samples = self.config.rtt_probe_samples
         for node_id in node_ids:
             self.stats.probes_sent += 1
-            self.system.metrics.record_probe(self.user_id)
+            trace.emit(ProbeSent(self.system.sim.now, self.user_id, node_id))
             if not topology.has_endpoint(node_id):
                 continue
             pings = [
@@ -291,6 +319,16 @@ class EdgeClient:
             reply = node.process_probe()
             if reply is None:
                 continue  # dead node: probe times out silently
+            if trace.enabled:
+                trace.emit(
+                    ProbeAnswered(
+                        self.system.sim.now + rtt,
+                        self.user_id,
+                        node_id,
+                        rtt,
+                        reply.what_if_ms,
+                    )
+                )
             outcomes.append(
                 ProbeOutcome(
                     node_id=node_id,
@@ -376,15 +414,21 @@ class EdgeClient:
         def deliver() -> None:
             if self._stopped:
                 return
+            trace = self.system.trace
+            now = self.system.sim.now
+            if trace.enabled:
+                trace.emit(JoinAttempt(now, self.user_id, best.node_id))
             if node is None or not node.alive:
+                trace.emit(JoinReject(now, self.user_id, best.node_id))
                 self._on_join_rejected()
                 return
             reply = node.join(self.user_id, best.seq_num, self.controller.fps)
-            self.system.metrics.record_join(self.user_id, reply.accepted)
             if reply.accepted:
+                trace.emit(JoinAccept(now, self.user_id, best.node_id))
                 self.stats.joins_accepted += 1
                 self._on_join_accepted(best, ranked)
             else:
+                trace.emit(JoinReject(now, self.user_id, best.node_id))
                 self.stats.joins_rejected += 1
                 self._on_join_rejected()
 
@@ -395,7 +439,14 @@ class EdgeClient:
         if previous is not None and previous != best.node_id:
             self._send_leave(previous, reason="switch")
             self.stats.switches += 1
-            self.system.metrics.record_switch(self.user_id)
+            self.system.trace.emit(
+                Switch(
+                    self.system.sim.now,
+                    self.user_id,
+                    from_node=previous,
+                    to_node=best.node_id,
+                )
+            )
         was_attached = previous is not None
         self.current_edge = best.node_id
         self._last_join_ms = self.system.sim.now
@@ -479,7 +530,9 @@ class EdgeClient:
         if backup_id is None:
             self.failure_monitor.note_uncovered()
             self.stats.uncovered_failures += 1
-            self.system.metrics.record_failure(self.user_id, self.system.sim.now)
+            self.system.trace.emit(
+                UncoveredFailure(self.system.sim.now, self.user_id)
+            )
             self._reactive_reconnect()
             return
         node = self.system.nodes.get(backup_id)
@@ -499,8 +552,8 @@ class EdgeClient:
             ):
                 self.failure_monitor.note_covered()
                 self.stats.covered_failovers += 1
-                self.system.metrics.record_covered_failover(
-                    self.user_id, self.system.sim.now
+                self.system.trace.emit(
+                    CoveredFailover(self.system.sim.now, self.user_id, backup_id)
                 )
                 self.current_edge = backup_id
                 self._last_join_ms = self.system.sim.now
@@ -562,45 +615,77 @@ class EdgeClient:
         assert edge_id is not None
         node = self.system.nodes.get(edge_id)
         topology = self.system.topology
+        trace = self.system.trace
         self.stats.frames_sent += 1
         if node is None or not topology.has_endpoint(edge_id):
             self._record_lost(frame, edge_id)
             return
+        if trace.enabled:
+            trace.emit(
+                FrameStart(self.system.sim.now, self.user_id, edge_id,
+                           frame.frame_id)
+            )
         transfer = topology.transfer_ms(self.user_id, edge_id, frame.size_bytes)
         uplink_delay = topology.one_way_ms(self.user_id, edge_id) + transfer
+        # Time the frame spent in the client-side backlog before leaving
+        # (0 for frames sent the moment they were captured) — part of the
+        # queue phase of the latency decomposition.
+        backlog_ms = self.system.sim.now - frame.created_ms
         arrival = self.system.sim.now + uplink_delay
 
         def arrive() -> None:
-            completion = node.receive_frame(frame, self.system.sim.now)
-            if completion is None:
+            completed = node.receive_frame(frame, self.system.sim.now)
+            if completed is None:
                 self._record_lost(frame, edge_id)
                 return
             downlink = topology.one_way_ms(edge_id, self.user_id)
 
             def respond() -> None:
                 if not node.alive and node.failed_at_ms is not None and (
-                    node.failed_at_ms < completion
+                    node.failed_at_ms < completed.completion_ms
                 ):
                     # The node died while the frame was queued/processing.
                     self._record_lost(frame, edge_id)
                     return
-                latency = self.system.sim.now - frame.created_ms
+                now = self.system.sim.now
+                latency = now - frame.created_ms
                 self.stats.frames_completed += 1
                 self.stats.latencies_ms.append(latency)
-                self.system.metrics.record_frame(
-                    self.user_id, edge_id, frame.created_ms, latency
+                if trace.enabled:
+                    # The three spans sum exactly to `latency`:
+                    # latency = backlog + uplink + wait + service + downlink.
+                    trace.emit(
+                        PhaseSpan(now, self.user_id, frame.frame_id, "rtt",
+                                  uplink_delay + downlink)
+                    )
+                    trace.emit(
+                        PhaseSpan(now, self.user_id, frame.frame_id, "queue",
+                                  backlog_ms + completed.wait_ms)
+                    )
+                    trace.emit(
+                        PhaseSpan(now, self.user_id, frame.frame_id, "process",
+                                  completed.service_ms)
+                    )
+                trace.emit(
+                    FrameDone(now, self.user_id, edge_id, frame.frame_id,
+                              frame.created_ms, latency)
                 )
                 self.controller.observe(latency)
 
             self.system.sim.schedule_at(
-                completion + downlink, respond, label=f"{self.user_id}.resp"
+                completed.completion_ms + downlink,
+                respond,
+                label=f"{self.user_id}.resp",
             )
 
         self.system.sim.schedule_at(arrival, arrive, label=f"{self.user_id}.uplink")
 
     def _record_lost(self, frame: Frame, edge_id: str) -> None:
         self.stats.frames_lost += 1
-        self.system.metrics.record_frame(self.user_id, edge_id, frame.created_ms, None)
+        self.system.trace.emit(
+            FrameDone(self.system.sim.now, self.user_id, edge_id,
+                      frame.frame_id, frame.created_ms, None)
+        )
 
     # ------------------------------------------------------------------
     def _send_leave(self, node_id: str, reason: str) -> None:

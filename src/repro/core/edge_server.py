@@ -29,7 +29,8 @@ from repro.core.messages import JoinReply, NodeStatus, ProbeReply
 from repro.geo import geohash as gh
 from repro.nodes.hardware import HardwareProfile
 from repro.nodes.host_workload import HostWorkloadSchedule
-from repro.nodes.processing import FrameProcessor, analytic_sojourn_ms
+from repro.nodes.processing import CompletedFrame, FrameProcessor, analytic_sojourn_ms
+from repro.obs.events import CacheHit, CacheMiss, TestWorkloadInvoked
 from repro.sim.kernel import TimerHandle
 from repro.workload.frames import Frame
 
@@ -121,6 +122,7 @@ class EdgeServer:
                 )
         self._apply_host_slowdown()
         # Prime the what-if cache so the very first probe sees real data.
+        self._mark_cache_stale("prime")
         self._invoke_test_workload()
 
     def fail(self) -> None:
@@ -158,6 +160,10 @@ class EdgeServer:
         if not self.alive:
             return None
         self.probes_served += 1
+        if self.system.trace.enabled:
+            self.system.trace.emit(
+                CacheHit(self.system.sim.now, self.node_id, self.what_if_ms)
+            )
         current = self.processor.recent_mean_sojourn_ms(self.system.sim.now)
         return ProbeReply(
             node_id=self.node_id,
@@ -184,6 +190,7 @@ class EdgeServer:
         self.seq_num += 1
         self.attached[user_id] = fps
         self.joins_accepted += 1
+        self._mark_cache_stale("join")
         delay = 2.0 * self.config.common_rtt_ms
         self.system.sim.schedule(
             delay, self._invoke_test_workload, label=f"{self.node_id}.testwl"
@@ -201,6 +208,7 @@ class EdgeServer:
         self.seq_num += 1
         self.attached[user_id] = fps
         self.joins_accepted += 1
+        self._mark_cache_stale("join")
         self._invoke_test_workload()
         return True
 
@@ -211,14 +219,19 @@ class EdgeServer:
         if user_id in self.attached:
             del self.attached[user_id]
             self.seq_num += 1
+            self._mark_cache_stale("leave")
             self._invoke_test_workload()
 
     # ------------------------------------------------------------------
     # Frame processing
     # ------------------------------------------------------------------
-    def receive_frame(self, frame: Frame, arrival_ms: float) -> Optional[float]:
-        """Enqueue an offloaded frame; return its completion time (ms).
+    def receive_frame(
+        self, frame: Frame, arrival_ms: float
+    ) -> Optional[CompletedFrame]:
+        """Enqueue an offloaded frame; return its completion record.
 
+        The :class:`~repro.nodes.processing.CompletedFrame` carries the
+        wait/service split the client turns into latency phase spans.
         Returns None when the node is dead (frame lost) or its queue is
         full (frame dropped).
         """
@@ -229,11 +242,21 @@ class EdgeServer:
         if completed is None:
             self.frames_dropped += 1
             return None
-        return completed.completion_ms
+        return completed
 
     # ------------------------------------------------------------------
     # What-if test workload + performance monitor
     # ------------------------------------------------------------------
+    def _mark_cache_stale(self, reason: str) -> None:
+        """Emit the cache-staleness trace event for one refresh trigger.
+
+        ``reason``: ``prime`` | ``join`` | ``leave`` | ``drift`` | ``idle``.
+        """
+        if self.system.trace.enabled:
+            self.system.trace.emit(
+                CacheMiss(self.system.sim.now, self.node_id, reason)
+            )
+
     def _invoke_test_workload(self) -> None:
         """Run the synthetic single-frame test workload and update the cache.
 
@@ -260,7 +283,7 @@ class EdgeServer:
         if completed is None:
             return  # queue saturated: cache keeps its (pessimistic) value
         self.test_workload_invocations += 1
-        self.system.metrics.record_test_invocation(self.node_id)
+        self.system.trace.emit(TestWorkloadInvoked(now, self.node_id))
         self._test_pending = True
 
         def update_cache() -> None:
@@ -317,6 +340,7 @@ class EdgeServer:
             idle_floor = self.processor.effective_service_ms
             if self.what_if_ms > 1.5 * idle_floor and not self.attached:
                 self.seq_num += 1
+                self._mark_cache_stale("idle")
                 self._invoke_test_workload()
             return
         baseline = self._monitor_baseline_ms
@@ -325,6 +349,7 @@ class EdgeServer:
         drift = abs(measured - baseline) / baseline
         if drift > self.config.perf_monitor_threshold:
             self.seq_num += 1
+            self._mark_cache_stale("drift")
             self._invoke_test_workload()
 
     def _apply_host_slowdown(self) -> None:

@@ -123,7 +123,6 @@ class CentralManager:
         scales with local density rather than metro population.
         """
         self.queries_served += 1
-        self.system.metrics.record_discovery(query.user_id)
         self.prune_stale()
         node_ids, widened = self.policy.select(query, index=self.spatial_index)
         return CandidateList(

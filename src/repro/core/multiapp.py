@@ -108,7 +108,7 @@ class _AppService(EdgeServer):
         if completed is None:
             self.frames_dropped += 1
             return None
-        return completed.completion_ms
+        return completed
 
     def _invoke_test_workload(self) -> None:  # type: ignore[override]
         """Same triggers as the base class, with per-app service time."""
@@ -121,7 +121,9 @@ class _AppService(EdgeServer):
         if completed is None:
             return
         self.test_workload_invocations += 1
-        self.system.metrics.record_test_invocation(self.node_id)
+        from repro.obs.events import TestWorkloadInvoked
+
+        self.system.trace.emit(TestWorkloadInvoked(now, self.node_id))
         self._test_pending = True
 
         def update_cache() -> None:

@@ -30,6 +30,8 @@ from repro.core.policies.global_policies import GeoProximityFilter, GlobalSelect
 from repro.geo.point import GeoPoint
 from repro.metrics.collector import MetricsCollector
 from repro.net.latency import NetworkTier
+from repro.obs.events import NodeFail, PopulationChanged
+from repro.obs.tracer import Tracer
 from repro.net.topology import EndpointSpec, NetworkEndpoint, NetworkTopology
 from repro.nodes.hardware import HardwareProfile
 from repro.nodes.host_workload import HostWorkloadSchedule
@@ -52,6 +54,11 @@ class EdgeSystem:
         manager_point: where the Central Manager lives (a cloud-tier
             endpoint by default — discovery costs a realistic RTT).
         global_policy: manager-side selection policy override.
+        trace: a :class:`~repro.obs.tracer.Tracer` to publish trace
+            events on; a capture-disabled one is created if omitted.
+            Either way the system's :class:`MetricsCollector` is
+            subscribed to it — metrics are reduced from the event
+            stream whether or not capture is on.
     """
 
     def __init__(
@@ -62,12 +69,15 @@ class EdgeSystem:
         app: ARApplication = DEFAULT_AR_APP,
         manager_point: Optional[GeoPoint] = None,
         global_policy: Optional[GlobalSelectionPolicy] = None,
+        trace: Optional[Tracer] = None,
     ) -> None:
         self.config = config or SystemConfig()
         self.app = app
         self.streams = RandomStreams(self.config.seed)
         self.sim = Simulator()
         self.metrics = MetricsCollector()
+        self.trace = trace if trace is not None else Tracer.disabled()
+        self.trace.subscribe(self.metrics.on_event)
         # NOTE: explicit None check — NetworkTopology has __len__, so an
         # empty (not-yet-populated) topology is falsy and `topology or ...`
         # would silently discard it.
@@ -195,6 +205,7 @@ class EdgeSystem:
         if node is None or not node.alive:
             return
         node.fail()
+        self.trace.emit(NodeFail(self.sim.now, node_id))
         self._record_population()
         detection = self.config.failure_detection_ms
 
@@ -214,7 +225,7 @@ class EdgeSystem:
         return len(self.alive_node_ids())
 
     def _record_population(self) -> None:
-        self.metrics.record_alive_nodes(self.sim.now, self.alive_node_count())
+        self.trace.emit(PopulationChanged(self.sim.now, self.alive_node_count()))
 
     # ------------------------------------------------------------------
     # Client lifecycle

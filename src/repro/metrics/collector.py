@@ -1,18 +1,41 @@
-"""The central metrics collector.
+"""The central metrics collector — a reducer over the trace-event bus.
 
 One collector instance is shared by every component of a running system
-(simulated or live). Components report raw events; experiment harnesses
-reduce them afterwards. Nothing in the selection algorithms ever *reads*
-the collector — measurement is strictly one-way.
+(simulated or live). Since the observability redesign, components no
+longer mutate the collector: they emit typed trace events on the
+system's :class:`~repro.obs.tracer.Tracer`, and the collector — wired as
+an always-on subscriber by :class:`~repro.core.system.EdgeSystem` —
+*reduces* those events into the aggregates the experiment harnesses
+read. Nothing in the selection algorithms ever reads the collector —
+measurement is strictly one-way.
+
+The pre-redesign mutation entry points (``record_frame`` & friends)
+survive for one release as :class:`DeprecationWarning` shims delegating
+to the same internal reducers, so external code keeps working while it
+migrates to ``Tracer.emit()``.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.metrics.timeseries import TimeSeries
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.events import TraceEvent
+
+
+def _warn_deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"MetricsCollector.{name} is deprecated; components should emit a "
+        f"{replacement} trace event via Tracer.emit() instead (the collector "
+        "reduces it identically)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass(frozen=True)
@@ -65,7 +88,59 @@ class MetricsCollector:
     )
 
     # ------------------------------------------------------------------
-    # Reporting entry points
+    # Trace-event reduction (the metrics-reporting API)
+    # ------------------------------------------------------------------
+    def on_event(self, event: "TraceEvent") -> None:
+        """Reduce one trace event; unknown types are ignored.
+
+        This is the collector's subscription entry point:
+        ``tracer.subscribe(collector.on_event)`` wires a collector to a
+        system's event bus (:class:`~repro.core.system.EdgeSystem` does
+        this automatically). Detail events the collector has no
+        aggregate for — phase spans, cache hits, probe answers — fall
+        through the dispatch untouched.
+        """
+        handler = _REDUCERS.get(event.type)
+        if handler is not None:
+            handler(self, event)
+
+    def _on_frame_done(self, event) -> None:
+        self.frames.append(
+            FrameRecord(event.user_id, event.node_id, event.created_ms,
+                        event.latency_ms)
+        )
+
+    def _on_probe_sent(self, event) -> None:
+        self.probes_sent[event.user_id] += 1
+
+    def _on_discovery_issued(self, event) -> None:
+        self.discovery_queries[event.user_id] += 1
+
+    def _on_test_workload(self, event) -> None:
+        self.test_invocations[event.node_id] += 1
+
+    def _on_join_accept(self, event) -> None:
+        self.join_accepts[event.user_id] += 1
+
+    def _on_join_reject(self, event) -> None:
+        self.join_rejects[event.user_id] += 1
+
+    def _on_uncovered_failure(self, event) -> None:
+        self.failures[event.user_id] += 1
+        self.failure_events.append((event.user_id, event.t_ms))
+
+    def _on_covered_failover(self, event) -> None:
+        self.covered_failovers[event.user_id] += 1
+        self.failover_events.append((event.user_id, event.t_ms))
+
+    def _on_switch(self, event) -> None:
+        self.switches[event.user_id] += 1
+
+    def _on_population(self, event) -> None:
+        self.alive_nodes.append(event.t_ms, float(event.count))
+
+    # ------------------------------------------------------------------
+    # Deprecated mutation entry points (one-release shims)
     # ------------------------------------------------------------------
     def record_frame(
         self,
@@ -74,35 +149,54 @@ class MetricsCollector:
         created_ms: float,
         latency_ms: Optional[float],
     ) -> None:
+        """Deprecated: emit a :class:`~repro.obs.events.FrameDone`."""
+        _warn_deprecated("record_frame", "FrameDone")
         self.frames.append(FrameRecord(user_id, edge_id, created_ms, latency_ms))
 
     def record_probe(self, user_id: str, count: int = 1) -> None:
+        """Deprecated: emit a :class:`~repro.obs.events.ProbeSent`."""
+        _warn_deprecated("record_probe", "ProbeSent")
         self.probes_sent[user_id] += count
 
     def record_discovery(self, user_id: str) -> None:
+        """Deprecated: emit a :class:`~repro.obs.events.DiscoveryIssued`."""
+        _warn_deprecated("record_discovery", "DiscoveryIssued")
         self.discovery_queries[user_id] += 1
 
     def record_test_invocation(self, node_id: str) -> None:
+        """Deprecated: emit a :class:`~repro.obs.events.TestWorkloadInvoked`."""
+        _warn_deprecated("record_test_invocation", "TestWorkloadInvoked")
         self.test_invocations[node_id] += 1
 
     def record_join(self, user_id: str, accepted: bool) -> None:
+        """Deprecated: emit :class:`~repro.obs.events.JoinAccept` /
+        :class:`~repro.obs.events.JoinReject`."""
+        _warn_deprecated("record_join", "JoinAccept/JoinReject")
         if accepted:
             self.join_accepts[user_id] += 1
         else:
             self.join_rejects[user_id] += 1
 
     def record_failure(self, user_id: str, now_ms: float = 0.0) -> None:
+        """Deprecated: emit an :class:`~repro.obs.events.UncoveredFailure`."""
+        _warn_deprecated("record_failure", "UncoveredFailure")
         self.failures[user_id] += 1
         self.failure_events.append((user_id, now_ms))
 
     def record_covered_failover(self, user_id: str, now_ms: float = 0.0) -> None:
+        """Deprecated: emit a :class:`~repro.obs.events.CoveredFailover`."""
+        _warn_deprecated("record_covered_failover", "CoveredFailover")
         self.covered_failovers[user_id] += 1
         self.failover_events.append((user_id, now_ms))
 
     def record_switch(self, user_id: str) -> None:
+        """Deprecated: emit a :class:`~repro.obs.events.Switch`."""
+        _warn_deprecated("record_switch", "Switch")
         self.switches[user_id] += 1
 
     def record_alive_nodes(self, now_ms: float, count: int) -> None:
+        """Deprecated: emit a :class:`~repro.obs.events.PopulationChanged`."""
+        _warn_deprecated("record_alive_nodes", "PopulationChanged")
         self.alive_nodes.append(now_ms, float(count))
 
     # ------------------------------------------------------------------
@@ -163,3 +257,19 @@ class MetricsCollector:
 
     def total_switches(self) -> int:
         return sum(self.switches.values())
+
+
+#: Event-type tag -> reducer method. Module-level so ``on_event`` pays a
+#: single dict lookup per event on the hot path.
+_REDUCERS: Dict[str, Callable[[MetricsCollector, object], None]] = {
+    "frame_done": MetricsCollector._on_frame_done,
+    "probe_sent": MetricsCollector._on_probe_sent,
+    "discovery_issued": MetricsCollector._on_discovery_issued,
+    "test_workload_invoked": MetricsCollector._on_test_workload,
+    "join_accept": MetricsCollector._on_join_accept,
+    "join_reject": MetricsCollector._on_join_reject,
+    "uncovered_failure": MetricsCollector._on_uncovered_failure,
+    "covered_failover": MetricsCollector._on_covered_failover,
+    "switch": MetricsCollector._on_switch,
+    "population": MetricsCollector._on_population,
+}

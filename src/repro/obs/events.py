@@ -1,0 +1,356 @@
+"""The typed trace-event catalog.
+
+One event class per observable step of the paper's lifecycle. Both
+execution backends emit the same types with the same fields; only the
+meaning of ``t_ms`` differs (simulation time vs. wall-clock milliseconds
+since the tracer's epoch). Events are deliberately plain mutable
+dataclasses — they are constructed on hot paths (every offloaded frame
+emits one ``FrameDone``), and a frozen dataclass pays an
+``object.__setattr__`` per field.
+
+Wire schema: :meth:`TraceEvent.to_dict` flattens an event to a JSON
+object ``{"type": <type tag>, "t_ms": ..., <fields>}``;
+:func:`event_from_dict` is the inverse. The JSONL sink writes one such
+object per line, which is what ``repro trace --summary`` and the
+golden-schema tests consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, Optional, Tuple, Type
+
+__all__ = [
+    "TraceEvent",
+    "DiscoveryIssued",
+    "DiscoveryReturned",
+    "ProbeSent",
+    "ProbeAnswered",
+    "JoinAttempt",
+    "JoinAccept",
+    "JoinReject",
+    "Switch",
+    "FrameStart",
+    "PhaseSpan",
+    "FrameDone",
+    "NodeFail",
+    "CoveredFailover",
+    "UncoveredFailure",
+    "TestWorkloadInvoked",
+    "CacheHit",
+    "CacheMiss",
+    "HeartbeatMissed",
+    "PopulationChanged",
+    "EVENT_TYPES",
+    "GOLDEN_LIFECYCLE_TYPES",
+    "PHASES",
+    "event_from_dict",
+]
+
+#: The three latency phases a completed frame decomposes into. Their
+#: spans sum exactly to the frame's end-to-end latency (the
+#: reconciliation invariant the analyzer and the tests check).
+PHASES = ("rtt", "queue", "process")
+
+
+@dataclass
+class TraceEvent:
+    """Base of every trace event: a type tag plus a timestamp.
+
+    ``t_ms`` is simulation time for the sim backend and wall-clock
+    milliseconds since the tracer's epoch for the live runtime — the
+    schema is identical either way.
+    """
+
+    type: ClassVar[str] = "trace"
+    t_ms: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flatten to the JSONL wire object (tuples become lists)."""
+        out: Dict[str, Any] = {"type": self.type}
+        for key, value in self.__dict__.items():
+            out[key] = list(value) if isinstance(value, tuple) else value
+        return out
+
+
+# ----------------------------------------------------------------------
+# Discovery (client <-> Central Manager)
+# ----------------------------------------------------------------------
+@dataclass
+class DiscoveryIssued(TraceEvent):
+    """A user sent an edge-discovery query to the Central Manager."""
+
+    type: ClassVar[str] = "discovery_issued"
+    user_id: str
+
+
+@dataclass
+class DiscoveryReturned(TraceEvent):
+    """The candidate list came back (with the TopN ids and whether the
+    search radius was widened)."""
+
+    type: ClassVar[str] = "discovery_returned"
+    user_id: str
+    candidates: Tuple[str, ...]
+    widened: bool = False
+
+
+# ----------------------------------------------------------------------
+# Probing (client <-> candidate node)
+# ----------------------------------------------------------------------
+@dataclass
+class ProbeSent(TraceEvent):
+    """``RTT_probe`` + ``Process_probe`` dispatched to one candidate."""
+
+    type: ClassVar[str] = "probe_sent"
+    user_id: str
+    node_id: str
+
+
+@dataclass
+class ProbeAnswered(TraceEvent):
+    """A candidate answered its probe (dead candidates never do)."""
+
+    type: ClassVar[str] = "probe_answered"
+    user_id: str
+    node_id: str
+    rtt_ms: float
+    what_if_ms: float
+
+
+# ----------------------------------------------------------------------
+# Join protocol
+# ----------------------------------------------------------------------
+@dataclass
+class JoinAttempt(TraceEvent):
+    """``Join()`` delivered to the chosen node (seqNum echo in flight)."""
+
+    type: ClassVar[str] = "join_attempt"
+    user_id: str
+    node_id: str
+
+
+@dataclass
+class JoinAccept(TraceEvent):
+    """The node accepted the join; the user is now served by it."""
+
+    type: ClassVar[str] = "join_accept"
+    user_id: str
+    node_id: str
+
+
+@dataclass
+class JoinReject(TraceEvent):
+    """seqNum mismatch (state changed since the probe): join refused."""
+
+    type: ClassVar[str] = "join_reject"
+    user_id: str
+    node_id: str
+
+
+@dataclass
+class Switch(TraceEvent):
+    """A voluntary better-node switch (hysteresis passed)."""
+
+    type: ClassVar[str] = "switch"
+    user_id: str
+    from_node: Optional[str] = None
+    to_node: Optional[str] = None
+
+
+# ----------------------------------------------------------------------
+# Frame lifecycle
+# ----------------------------------------------------------------------
+@dataclass
+class FrameStart(TraceEvent):
+    """An offloaded frame left the client toward its edge node."""
+
+    type: ClassVar[str] = "frame_start"
+    user_id: str
+    node_id: str
+    frame_id: int
+
+
+@dataclass
+class PhaseSpan(TraceEvent):
+    """One latency phase of a completed frame.
+
+    ``phase`` is one of :data:`PHASES`:
+
+    - ``rtt`` — network propagation + transfer (uplink and downlink);
+    - ``queue`` — waiting: client-side backlog while unattached plus
+      the node's frame-queue wait;
+    - ``process`` — the node's actual service time.
+
+    The three spans of a frame sum to its ``FrameDone.latency_ms``.
+    """
+
+    type: ClassVar[str] = "phase_span"
+    user_id: str
+    frame_id: int
+    phase: str
+    duration_ms: float
+
+
+@dataclass
+class FrameDone(TraceEvent):
+    """A frame completed (or was lost: ``latency_ms is None``)."""
+
+    type: ClassVar[str] = "frame_done"
+    user_id: str
+    node_id: str
+    frame_id: int
+    created_ms: float
+    latency_ms: Optional[float] = None
+
+
+# ----------------------------------------------------------------------
+# Failures and failover
+# ----------------------------------------------------------------------
+@dataclass
+class NodeFail(TraceEvent):
+    """A node crashed / left without notification."""
+
+    type: ClassVar[str] = "node_fail"
+    node_id: str
+
+
+@dataclass
+class CoveredFailover(TraceEvent):
+    """A failure absorbed by a proactive backup (no re-discovery)."""
+
+    type: ClassVar[str] = "covered_failover"
+    user_id: str
+    node_id: str
+
+
+@dataclass
+class UncoveredFailure(TraceEvent):
+    """Every backup was dead too: the user fell back to re-discovery
+    (the paper's Fig. 10b counts exactly these)."""
+
+    type: ClassVar[str] = "uncovered_failure"
+    user_id: str
+
+
+# ----------------------------------------------------------------------
+# Node-side triggers
+# ----------------------------------------------------------------------
+@dataclass
+class TestWorkloadInvoked(TraceEvent):
+    """A synthetic what-if frame went through the node's real queue."""
+
+    type: ClassVar[str] = "test_workload_invoked"
+    node_id: str
+
+
+@dataclass
+class CacheHit(TraceEvent):
+    """A ``Process_probe`` was served from the what-if cache (a read,
+    never a test-workload run — the paper's decoupling argument)."""
+
+    type: ClassVar[str] = "cache_hit"
+    node_id: str
+    what_if_ms: float
+
+
+@dataclass
+class CacheMiss(TraceEvent):
+    """A trigger declared the cache stale and scheduled a refresh.
+
+    ``reason`` is one of ``prime`` (node start), ``join``, ``leave``,
+    ``drift`` (performance monitor), ``idle`` (idle-node win-back).
+    """
+
+    type: ClassVar[str] = "cache_miss"
+    node_id: str
+    reason: str
+
+
+@dataclass
+class HeartbeatMissed(TraceEvent):
+    """A live node failed to reach the manager; it will retry after a
+    jittered exponential backoff of ``retry_in_ms``."""
+
+    type: ClassVar[str] = "heartbeat_missed"
+    node_id: str
+    attempt: int
+    retry_in_ms: float
+
+
+@dataclass
+class PopulationChanged(TraceEvent):
+    """The alive-node population changed (Fig. 8's grey stair line)."""
+
+    type: ClassVar[str] = "population"
+    count: int
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
+    cls.type: cls
+    for cls in (
+        DiscoveryIssued,
+        DiscoveryReturned,
+        ProbeSent,
+        ProbeAnswered,
+        JoinAttempt,
+        JoinAccept,
+        JoinReject,
+        Switch,
+        FrameStart,
+        PhaseSpan,
+        FrameDone,
+        NodeFail,
+        CoveredFailover,
+        UncoveredFailure,
+        TestWorkloadInvoked,
+        CacheHit,
+        CacheMiss,
+        HeartbeatMissed,
+        PopulationChanged,
+    )
+}
+
+#: The event types every traced end-to-end scenario — simulated or live
+#: loopback — must produce when it exercises the full lifecycle
+#: (discovery, probing, join, serving, a node failure, a covered
+#: failover). The golden-schema test asserts both backends emit exactly
+#: this surface. ``join_reject``/``uncovered_failure``/``switch``/
+#: ``heartbeat_missed`` are deliberately absent: they depend on race
+#: timing and scenario shape, not on the backend.
+GOLDEN_LIFECYCLE_TYPES = frozenset(
+    {
+        "discovery_issued",
+        "discovery_returned",
+        "probe_sent",
+        "probe_answered",
+        "join_attempt",
+        "join_accept",
+        "frame_start",
+        "phase_span",
+        "frame_done",
+        "node_fail",
+        "covered_failover",
+        "test_workload_invoked",
+        "cache_hit",
+        "cache_miss",
+        "population",
+    }
+)
+
+
+def event_from_dict(data: Dict[str, Any]) -> TraceEvent:
+    """Rehydrate a wire object (one parsed JSONL line) into its event.
+
+    Raises:
+        KeyError: unknown ``type`` tag.
+        TypeError: fields don't match the event class.
+    """
+    payload = dict(data)
+    cls = EVENT_TYPES[payload.pop("type")]
+    if cls is DiscoveryReturned and isinstance(payload.get("candidates"), list):
+        payload["candidates"] = tuple(payload["candidates"])
+    return cls(**payload)

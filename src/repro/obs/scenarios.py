@@ -1,0 +1,100 @@
+"""Canonical traced scenarios, shared by the ``repro trace`` CLI and the
+golden-schema tests.
+
+Both runners stage the same story — a small volunteer fleet, attached
+users offloading AR frames, one node failure mid-run, a covered
+failover — once on the discrete-event simulator and once on the live
+asyncio TCP runtime. Because every component reports through the same
+:class:`~repro.obs.tracer.Tracer` event schema, the two traces are
+directly comparable: same event types, same ordering rules, same
+phase-breakdown arithmetic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.obs.events import TraceEvent
+from repro.obs.tracer import Tracer
+
+
+def run_sim_trace_scenario(
+    seed: int = 7,
+    sink_path: Union[None, str, Path] = None,
+    duration_ms: float = 20_000.0,
+) -> List[TraceEvent]:
+    """The quickstart deployment, traced, with a mid-run node failure.
+
+    Three Table II volunteers (V1, V2, V5), two AR users; halfway
+    through, the node serving ``u1`` is killed so the trace contains a
+    failover. Returns the captured events (also streamed to
+    ``sink_path`` as JSONL when given).
+    """
+    from repro.api import ScenarioBuilder
+    from repro.core.config import SystemConfig
+    from repro.geo.point import GeoPoint
+    from repro.nodes.hardware import profile_by_name
+
+    scenario = (
+        ScenarioBuilder(SystemConfig(top_n=2, seed=seed))
+        .observe(trace=True, sink=sink_path)
+        .node("V1", profile_by_name("V1"), point=GeoPoint(44.980, -93.260))
+        .node("V2", profile_by_name("V2"), point=GeoPoint(44.950, -93.200))
+        .node("V5", profile_by_name("V5"), point=GeoPoint(44.900, -93.100))
+        .client("u1", point=GeoPoint(44.970, -93.250))
+        .client("u2", point=GeoPoint(44.930, -93.180))
+        .build_scenario()
+    )
+    system, tracer = scenario.system, scenario.tracer
+    assert tracer is not None
+    system.run_for(duration_ms / 2)
+    victim = system.clients["u1"].current_edge
+    if victim is not None:
+        system.fail_node(victim)
+    system.run_for(duration_ms / 2)
+    tracer.close()
+    return tracer.events()
+
+
+async def run_live_trace_scenario(
+    sink_path: Union[None, str, Path] = None,
+    frames: int = 6,
+) -> List[TraceEvent]:
+    """The same story on the live runtime: a three-edge loopback cluster,
+    one client offloading real frames, the serving edge hard-killed
+    mid-stream to force a covered failover."""
+    from repro.nodes.hardware import VOLUNTEER_PROFILES
+    from repro.runtime.launcher import LocalCluster
+
+    tracer = Tracer(enabled=True, sink=sink_path)
+    cluster = LocalCluster(
+        VOLUNTEER_PROFILES[:3],
+        n_clients=1,
+        time_scale=0.01,
+        heartbeat_period_s=0.05,
+        tracer=tracer,
+    )
+    await cluster.start()
+    try:
+        client = cluster.clients[0]
+        chosen = await client.select_and_join()
+        for _ in range(max(1, frames // 2)):
+            await client.offload_frame()
+        await cluster.kill_edge(chosen)
+        await client.offload_frame()  # lost frame -> covered failover
+        for _ in range(max(1, frames - frames // 2)):
+            await client.offload_frame()
+    finally:
+        await cluster.stop()
+    tracer.close()
+    return tracer.events()
+
+
+def run_live_trace_scenario_sync(
+    sink_path: Union[None, str, Path] = None,
+    frames: int = 6,
+) -> List[TraceEvent]:
+    """Blocking wrapper for non-async callers (the CLI)."""
+    return asyncio.run(run_live_trace_scenario(sink_path, frames))

@@ -13,6 +13,21 @@ from repro.core.policies.local_policies import (
 )
 from repro.core.probing import ProbeOutcome
 from repro.geo.point import GeoPoint
+from repro.obs.events import (
+    CoveredFailover,
+    DiscoveryIssued,
+    DiscoveryReturned,
+    FrameDone,
+    FrameStart,
+    JoinAccept,
+    JoinAttempt,
+    JoinReject,
+    PhaseSpan,
+    ProbeAnswered,
+    ProbeSent,
+    UncoveredFailure,
+)
+from repro.obs.tracer import Tracer
 from repro.runtime import protocol
 from repro.runtime.protocol import PersistentConnection
 
@@ -38,6 +53,7 @@ class LiveClient:
         top_n: int = 3,
         policy: Optional[LocalSelectionPolicy] = None,
         request_timeout: float = 5.0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.user_id = user_id
         self.point = point
@@ -46,6 +62,8 @@ class LiveClient:
         self.top_n = top_n
         self.policy = policy or sort_by_global_overhead
         self.request_timeout = request_timeout
+        self.tracer = tracer if tracer is not None else Tracer.disabled()
+        self._frame_counter = 0
 
         self.current_edge: Optional[str] = None
         self.backups: List[str] = []
@@ -59,6 +77,7 @@ class LiveClient:
     # ------------------------------------------------------------------
     async def discover(self) -> List[str]:
         """Edge discovery at the Central Manager."""
+        self.tracer.emit(DiscoveryIssued(self.tracer.now(), self.user_id))
         query = DiscoveryQuery(
             user_id=self.user_id,
             lat=self.point.lat,
@@ -75,6 +94,15 @@ class LiveClient:
         candidates = from_wire(reply["candidates"])
         for node_id, address in reply.get("addresses", {}).items():
             self.addresses[node_id] = (address[0], address[1])
+        if self.tracer.enabled:
+            self.tracer.emit(
+                DiscoveryReturned(
+                    self.tracer.now(),
+                    self.user_id,
+                    candidates.node_ids,
+                    widened=candidates.widened,
+                )
+            )
         return list(candidates.node_ids)
 
     async def _connection(self, node_id: str) -> PersistentConnection:
@@ -88,6 +116,7 @@ class LiveClient:
     async def probe(self, node_id: str) -> Optional[ProbeOutcome]:
         """``RTT_probe`` + ``Process_probe`` one candidate; None if dead."""
         self.probes_sent += 1
+        self.tracer.emit(ProbeSent(self.tracer.now(), self.user_id, node_id))
         try:
             connection = await self._connection(node_id)
             start = time.monotonic()
@@ -98,6 +127,13 @@ class LiveClient:
             self.connections.pop(node_id, None)
             return None
         probe = from_wire(reply["probe"])
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ProbeAnswered(
+                    self.tracer.now(), self.user_id, node_id, rtt_ms,
+                    probe.what_if_ms,
+                )
+            )
         return ProbeOutcome(
             node_id=node_id,
             d_prop_ms=rtt_ms,
@@ -125,14 +161,24 @@ class LiveClient:
                 continue
             best = ranked[0]
             connection = await self._connection(best.node_id)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    JoinAttempt(self.tracer.now(), self.user_id, best.node_id)
+                )
             try:
                 reply = await connection.request(
                     "join",
                     {"user_id": self.user_id, "seq_num": best.seq_num, "fps": 20.0},
                 )
             except (OSError, protocol.ProtocolError, asyncio.TimeoutError):
+                self.tracer.emit(
+                    JoinReject(self.tracer.now(), self.user_id, best.node_id)
+                )
                 continue
             if reply.get("accepted"):
+                self.tracer.emit(
+                    JoinAccept(self.tracer.now(), self.user_id, best.node_id)
+                )
                 if self.current_edge and self.current_edge != best.node_id:
                     await self.leave(self.current_edge)
                 self.current_edge = best.node_id
@@ -144,6 +190,9 @@ class LiveClient:
                     except KeyError:  # pragma: no cover - address unknown
                         pass
                 return best.node_id
+            self.tracer.emit(
+                JoinReject(self.tracer.now(), self.user_id, best.node_id)
+            )
             self.joins_rejected += 1  # state changed: repeat from discovery
         raise RuntimeError(f"{self.user_id}: no candidate accepted the join")
 
@@ -163,17 +212,48 @@ class LiveClient:
         """
         if self.current_edge is None:
             raise RuntimeError("not attached to any edge node")
-        connection = await self._connection(self.current_edge)
+        edge_id = self.current_edge
+        self._frame_counter += 1
+        frame_id = self._frame_counter
+        connection = await self._connection(edge_id)
+        tracer = self.tracer
+        created_ms = tracer.now()
+        if tracer.enabled:
+            tracer.emit(FrameStart(created_ms, self.user_id, edge_id, frame_id))
         start = time.monotonic()
         try:
             reply = await connection.request("frame")
         except (OSError, protocol.ProtocolError, asyncio.TimeoutError):
+            tracer.emit(
+                FrameDone(tracer.now(), self.user_id, edge_id, frame_id,
+                          created_ms, None)
+            )
             await self._failover()
             return None
         if not reply.get("ok"):
+            tracer.emit(
+                FrameDone(tracer.now(), self.user_id, edge_id, frame_id,
+                          created_ms, None)
+            )
             return None  # overloaded node shed the frame
         latency_ms = (time.monotonic() - start) * 1000.0
         self.latencies_ms.append(latency_ms)
+        if tracer.enabled:
+            now = tracer.now()
+            # Decompose the measured latency with the node's wall-clock
+            # wait/service split; the remainder is time on the wire.
+            wait_ms = float(reply.get("wait_wall_ms", 0.0))
+            service_ms = float(reply.get("service_wall_ms", 0.0))
+            rtt_ms = max(0.0, latency_ms - wait_ms - service_ms)
+            tracer.emit(PhaseSpan(now, self.user_id, frame_id, "rtt", rtt_ms))
+            tracer.emit(PhaseSpan(now, self.user_id, frame_id, "queue", wait_ms))
+            tracer.emit(
+                PhaseSpan(now, self.user_id, frame_id, "process", service_ms)
+            )
+        tracer.emit(
+            FrameDone(tracer.now(), self.user_id, edge_id, frame_id,
+                      created_ms, latency_ms)
+        )
         return latency_ms
 
     async def _failover(self) -> None:
@@ -190,9 +270,13 @@ class LiveClient:
             except (OSError, protocol.ProtocolError, asyncio.TimeoutError, KeyError):
                 continue
             if reply.get("accepted"):
+                self.tracer.emit(
+                    CoveredFailover(self.tracer.now(), self.user_id, backup)
+                )
                 self.current_edge = backup
                 return
         # uncovered failure: full re-discovery
+        self.tracer.emit(UncoveredFailure(self.tracer.now(), self.user_id))
         await self.select_and_join()
 
     async def close(self) -> None:

@@ -11,14 +11,17 @@ the three test-workload triggers and the ``seqNum`` join protocol follow
 from __future__ import annotations
 
 import asyncio
+import random
 import time
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.core.messages import NodeStatus, ProbeReply, to_wire
 from repro.geo import geohash as gh
 from repro.geo.point import GeoPoint
 from repro.nodes.hardware import HardwareProfile
 from repro.nodes.processing import analytic_sojourn_ms
+from repro.obs.events import CacheHit, CacheMiss, HeartbeatMissed, NodeFail, TestWorkloadInvoked
+from repro.obs.tracer import Tracer
 from repro.runtime import protocol
 
 
@@ -36,9 +39,11 @@ class LiveEdgeServer:
         manager_host: Optional[str] = None,
         manager_port: Optional[int] = None,
         heartbeat_period_s: float = 1.0,
+        max_heartbeat_backoff_s: float = 8.0,
         time_scale: float = 0.1,
         standard_fps: float = 20.0,
         dedicated: bool = False,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if time_scale <= 0:
             raise ValueError(f"time_scale must be positive: {time_scale}")
@@ -50,9 +55,13 @@ class LiveEdgeServer:
         self.manager_host = manager_host
         self.manager_port = manager_port
         self.heartbeat_period_s = heartbeat_period_s
+        self.max_heartbeat_backoff_s = max_heartbeat_backoff_s
         self.time_scale = time_scale
         self.standard_fps = standard_fps
         self.dedicated = dedicated
+        self.tracer = tracer if tracer is not None else Tracer.disabled()
+        self.heartbeat_failures = 0
+        self._backoff_rng = random.Random(node_id)
 
         self.seq_num = 0
         self.attached: dict = {}
@@ -76,6 +85,8 @@ class LiveEdgeServer:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.tracer.enabled:
+            self.tracer.emit(CacheMiss(self.tracer.now(), self.node_id, "prime"))
         await self._invoke_test_workload()
         if self.manager_host is not None and self.manager_port is not None:
             self._heartbeat_task = asyncio.ensure_future(self._heartbeat_loop())
@@ -87,6 +98,8 @@ class LiveEdgeServer:
         open sockets are severed so attached clients observe a broken
         connection (their failure-detection signal).
         """
+        if not self._dead:
+            self.tracer.emit(NodeFail(self.tracer.now(), self.node_id))
         self._dead = True
         if self._heartbeat_task is not None:
             self._heartbeat_task.cancel()
@@ -102,26 +115,39 @@ class LiveEdgeServer:
     # ------------------------------------------------------------------
     # Frame processing
     # ------------------------------------------------------------------
-    async def _process_frame(self, synthetic: bool = False) -> Optional[float]:
-        """Run one frame through the worker pool; return its sojourn (ms,
-        unscaled application time). None when the queue sheds it."""
+    async def _process_frame(
+        self, synthetic: bool = False
+    ) -> Optional[Tuple[float, float, float]]:
+        """Run one frame through the worker pool.
+
+        Returns ``(sojourn_ms, wait_wall_ms, service_wall_ms)`` or None
+        when the queue sheds the frame. ``sojourn_ms`` is the unscaled
+        application time (wall sojourn divided by ``time_scale``);
+        the wait/service components are *wall-clock* ms — they are what
+        the frame reply carries so clients can decompose their measured
+        end-to-end latency into queue/process/rtt phases exactly.
+        """
         if self._queue_depth >= self.max_queue_depth:
             return None
         self._queue_depth += 1
         arrival = time.monotonic()
+        service_start = arrival
         try:
             async with self._semaphore:
+                service_start = time.monotonic()
                 await asyncio.sleep(self.profile.base_frame_ms / 1000.0 * self.time_scale)
         finally:
             self._queue_depth -= 1
-        sojourn_scaled_s = time.monotonic() - arrival
-        sojourn_ms = sojourn_scaled_s / self.time_scale * 1000.0
+        done = time.monotonic()
+        wait_wall_ms = (service_start - arrival) * 1000.0
+        service_wall_ms = (done - service_start) * 1000.0
+        sojourn_ms = (done - arrival) / self.time_scale * 1000.0
         if not synthetic:
             self.frames_processed += 1
-            self._completions.append((time.monotonic(), sojourn_ms))
+            self._completions.append((done, sojourn_ms))
             if len(self._completions) > 64:
                 del self._completions[:-64]
-        return sojourn_ms
+        return sojourn_ms, wait_wall_ms, service_wall_ms
 
     def _recent_mean_sojourn_ms(self) -> Optional[float]:
         cutoff = time.monotonic() - 3.0
@@ -134,9 +160,11 @@ class LiveEdgeServer:
         """The "what-if" synthetic frame + demand projection (see the
         simulated twin for the rationale)."""
         self.test_workload_invocations += 1
-        measured = await self._process_frame(synthetic=True)
-        if measured is None:
+        result = await self._process_frame(synthetic=True)
+        if result is None:
             return
+        measured = result[0]
+        self.tracer.emit(TestWorkloadInvoked(self.tracer.now(), self.node_id))
         n = len(self.attached)
         projected = analytic_sojourn_ms(self.profile, (n + 1) * self.standard_fps)
         self.what_if_ms = max(measured, projected)
@@ -161,8 +189,17 @@ class LiveEdgeServer:
         )
 
     async def _heartbeat_loop(self) -> None:
+        """Heartbeat with bounded exponential backoff on failure.
+
+        A flat retry-next-period loop hammers an unreachable manager at
+        full rate forever (and every node in lockstep). Consecutive
+        failures instead double the delay up to ``max_heartbeat_backoff_s``
+        with +/-50% jitter so a recovering manager is not hit by a
+        synchronized thundering herd; one success resets the cadence.
+        """
         assert self.manager_host is not None and self.manager_port is not None
         while True:
+            delay_s = self.heartbeat_period_s
             try:
                 await protocol.request(
                     self.manager_host,
@@ -174,9 +211,23 @@ class LiveEdgeServer:
                         "port": self.port,
                     },
                 )
+                self.heartbeat_failures = 0
             except (OSError, protocol.ProtocolError, asyncio.TimeoutError):
-                pass  # manager briefly unreachable: retry next period
-            await asyncio.sleep(self.heartbeat_period_s)
+                self.heartbeat_failures += 1
+                backoff = min(
+                    self.heartbeat_period_s * (2.0 ** min(self.heartbeat_failures, 6)),
+                    self.max_heartbeat_backoff_s,
+                )
+                delay_s = backoff * (0.5 + self._backoff_rng.random())
+                self.tracer.emit(
+                    HeartbeatMissed(
+                        self.tracer.now(),
+                        self.node_id,
+                        self.heartbeat_failures,
+                        delay_s * 1000.0,
+                    )
+                )
+            await asyncio.sleep(delay_s)
 
     # ------------------------------------------------------------------
     # Connection handling / dispatch
@@ -215,6 +266,10 @@ class LiveEdgeServer:
         if op == "rtt_probe":
             return {"ok": True}  # the measurement is the round trip itself
         if op == "process_probe":
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    CacheHit(self.tracer.now(), self.node_id, self.what_if_ms)
+                )
             current = self._recent_mean_sojourn_ms()
             reply = ProbeReply(
                 node_id=self.node_id,
@@ -231,24 +286,35 @@ class LiveEdgeServer:
                 return {"ok": True, "accepted": False, "seq_num": self.seq_num}
             self.seq_num += 1
             self.attached[user_id] = payload.get("fps", self.standard_fps)
+            self._mark_cache_stale("join")
             asyncio.ensure_future(self._delayed_test_workload())
             return {"ok": True, "accepted": True, "seq_num": self.seq_num}
         if op == "unexpected_join":
             self.seq_num += 1
             self.attached[payload["user_id"]] = payload.get("fps", self.standard_fps)
+            self._mark_cache_stale("join")
             asyncio.ensure_future(self._invoke_test_workload())
             return {"ok": True, "accepted": True}
         if op == "leave":
             if payload["user_id"] in self.attached:
                 del self.attached[payload["user_id"]]
                 self.seq_num += 1
+                self._mark_cache_stale("leave")
                 asyncio.ensure_future(self._invoke_test_workload())
             return {"ok": True}
         if op == "frame":
-            sojourn = await self._process_frame()
-            if sojourn is None:
+            result = await self._process_frame()
+            if result is None:
                 return {"ok": False, "error": "overloaded"}
-            return {"ok": True, "proc_ms": sojourn, "result": "objects-detected"}
+            sojourn, wait_wall_ms, service_wall_ms = result
+            return {
+                "ok": True,
+                "proc_ms": sojourn,
+                # wall-clock split for the client's phase decomposition
+                "wait_wall_ms": wait_wall_ms,
+                "service_wall_ms": service_wall_ms,
+                "result": "objects-detected",
+            }
         if op == "status":
             return {
                 "ok": True,
@@ -260,6 +326,11 @@ class LiveEdgeServer:
                 "test_workload_invocations": self.test_workload_invocations,
             }
         return {"ok": False, "error": f"unknown op: {op!r}"}
+
+    def _mark_cache_stale(self, reason: str) -> None:
+        """Emit the cache-staleness trace event for one refresh trigger."""
+        if self.tracer.enabled:
+            self.tracer.emit(CacheMiss(self.tracer.now(), self.node_id, reason))
 
     async def _delayed_test_workload(self) -> None:
         """Join-triggered invocation, delayed by ~2x a common RTT

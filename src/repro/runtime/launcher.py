@@ -9,6 +9,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.geo.point import GeoPoint
 from repro.geo.region import MSP_CENTER, MetroArea
 from repro.nodes.hardware import HardwareProfile
+from repro.obs.tracer import Tracer
 from repro.runtime.client_runtime import LiveClient
 from repro.runtime.edge_server import LiveEdgeServer
 from repro.runtime.manager_server import ManagerServer
@@ -38,12 +39,14 @@ class LocalCluster:
         time_scale: float = 0.05,
         heartbeat_period_s: float = 0.2,
         top_n: int = 3,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if not profiles:
             raise ValueError("need at least one edge profile")
         self._rng = random.Random(seed)
+        self.tracer = tracer if tracer is not None else Tracer.disabled()
         metro = MetroArea(center=MSP_CENTER, radius_km=16.0, rng=self._rng)
-        self.manager = ManagerServer()
+        self.manager = ManagerServer(tracer=self.tracer)
         self.edges: List[LiveEdgeServer] = []
         self._edge_specs: List[Tuple[HardwareProfile, GeoPoint]] = [
             (profile, metro.sample()) for profile in profiles
@@ -68,6 +71,7 @@ class LocalCluster:
                 manager_port=self.manager.port,
                 heartbeat_period_s=self.heartbeat_period_s,
                 time_scale=self.time_scale,
+                tracer=self.tracer,
             )
             await edge.start()
             self.edges.append(edge)
@@ -81,6 +85,7 @@ class LocalCluster:
                     self.manager.host,
                     self.manager.port,
                     top_n=self.top_n,
+                    tracer=self.tracer,
                 )
             )
 

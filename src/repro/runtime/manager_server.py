@@ -8,6 +8,8 @@ from typing import Dict, Optional
 
 from repro.core.messages import CandidateList, DiscoveryQuery, NodeStatus, from_wire, to_wire
 from repro.core.policies.global_policies import GlobalSelectionPolicy
+from repro.obs.events import PopulationChanged
+from repro.obs.tracer import Tracer
 from repro.runtime import protocol
 
 
@@ -30,11 +32,13 @@ class ManagerServer:
         *,
         policy: Optional[GlobalSelectionPolicy] = None,
         heartbeat_timeout_s: float = 3.0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.policy = policy or GlobalSelectionPolicy()
         self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.tracer = tracer if tracer is not None else Tracer.disabled()
         self._registry: Dict[str, NodeStatus] = {}
         self._addresses: Dict[str, tuple] = {}
         self._received_at: Dict[str, float] = {}
@@ -67,6 +71,10 @@ class ManagerServer:
             self._registry.pop(node_id, None)
             self._addresses.pop(node_id, None)
             self._received_at.pop(node_id, None)
+        if stale:
+            self.tracer.emit(
+                PopulationChanged(self.tracer.now(), len(self._registry))
+            )
         return list(self._registry.values())
 
     async def _handle_connection(
@@ -98,10 +106,15 @@ class ManagerServer:
         payload = frame["payload"]
         if op == "heartbeat":
             status = from_wire(payload["status"])
+            is_new = status.node_id not in self._registry
             self._registry[status.node_id] = status
             self._addresses[status.node_id] = (payload["host"], payload["port"])
             self._received_at[status.node_id] = time.monotonic()
             self.heartbeats_received += 1
+            if is_new:
+                self.tracer.emit(
+                    PopulationChanged(self.tracer.now(), len(self._registry))
+                )
             return {"ok": True}
         if op == "discover":
             query: DiscoveryQuery = from_wire(payload["query"])

@@ -62,3 +62,32 @@ def test_parser_seed_default():
     parser = build_parser()
     args = parser.parse_args(["fig4"])
     assert args.seed == 42
+
+
+def test_trace_summary_of_existing_file(tmp_path, capsys):
+    from repro.obs import (
+        FrameDone,
+        FrameStart,
+        JoinAccept,
+        JoinAttempt,
+        PhaseSpan,
+        Tracer,
+    )
+
+    path = tmp_path / "trace.jsonl"
+    tracer = Tracer(sink=path)
+    tracer.emit(JoinAttempt(0.0, "u1", "V1"))
+    tracer.emit(JoinAccept(0.0, "u1", "V1"))
+    tracer.emit(FrameStart(1.0, "u1", "V1", 1))
+    tracer.emit(PhaseSpan(41.0, "u1", 1, "rtt", 10.0))
+    tracer.emit(PhaseSpan(41.0, "u1", 1, "queue", 2.0))
+    tracer.emit(PhaseSpan(41.0, "u1", 1, "process", 28.0))
+    tracer.emit(FrameDone(41.0, "u1", "V1", 1, 1.0, 40.0))
+    tracer.close()
+
+    assert main(["trace", "--summary", str(path), "--timeline", "u1"]) == 0
+    out = capsys.readouterr().out
+    assert "frame_done" in out
+    assert "Latency-phase breakdown" in out
+    assert "phase reconciliation + event ordering: OK" in out
+    assert "timeline for u1" in out

@@ -1,0 +1,140 @@
+"""Sweep-engine throughput: serial loop vs process-pool execution.
+
+Runs the ``fig9_topn`` sweep (TopN 1-5 x 5 seeds = 25 independent
+simulation runs by default) twice through ``repro.sweep.run_sweep``:
+
+- **serial**   — the plain in-process loop (``serial=True``).
+- **parallel** — a ``ProcessPoolExecutor`` with ``--workers`` processes.
+
+Determinism first, speed second: before timing is reported, the two
+executions' cross-seed aggregates must be **bit-identical**
+(``aggregates_digest`` over every cell and metric), and a resume pass
+over the parallel store must re-execute **zero** runs. Both checks and
+the measured wall-clock go into ``BENCH_perf.json``.
+
+The >=3x acceptance target assumes >=4 usable cores (the CI runners
+have 4). On smaller machines the speedup is recorded honestly along
+with ``cpu_count`` and the assertion is skipped — parallel overhead on
+a 1-core box is a fact, not a regression. Pass ``--require-speedup`` to
+force the assertion regardless.
+
+Run:  PYTHONPATH=src python benchmarks/perf/bench_sweep.py --workers 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List
+
+from repro.metrics.bench import record_bench_section
+from repro.sweep import RunStore, SweepSpec, aggregates_digest, run_sweep
+
+
+def usable_cpus() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--experiment", default="fig9_topn")
+    parser.add_argument("--top-n-max", type=int, default=5,
+                        help="grid is top_n=1..top_n_max")
+    parser.add_argument("--seeds", type=int, default=5)
+    parser.add_argument("--base-seed", type=int, default=42)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--require-speedup", action="store_true",
+                        help="assert the 3x target even on <4 cores")
+    parser.add_argument("--speedup-target", type=float, default=3.0)
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parents[2] / "BENCH_perf.json",
+    )
+    args = parser.parse_args(argv)
+
+    top_ns = list(range(1, args.top_n_max + 1))
+    spec = SweepSpec.build(
+        args.experiment, {"top_n": top_ns},
+        n_seeds=args.seeds, base_seed=args.base_seed,
+    )
+    cpus = usable_cpus()
+    print(f"sweep: {spec.total_runs()} runs "
+          f"({len(top_ns)} cells x {args.seeds} seeds), "
+          f"{args.workers} workers on {cpus} usable cpus")
+
+    with tempfile.TemporaryDirectory(prefix="bench_sweep.") as tmp:
+        tmp_path = Path(tmp)
+
+        t0 = time.perf_counter()
+        serial = run_sweep(spec, RunStore(tmp_path / "serial"), serial=True)
+        serial_s = time.perf_counter() - t0
+
+        parallel_store = RunStore(tmp_path / "parallel")
+        t0 = time.perf_counter()
+        parallel = run_sweep(spec, parallel_store, workers=args.workers)
+        parallel_s = time.perf_counter() - t0
+
+        # Determinism: parallel aggregates bit-identical to serial's.
+        serial_digest = aggregates_digest(serial.aggregates())
+        parallel_digest = aggregates_digest(parallel.aggregates())
+        if serial_digest != parallel_digest:
+            print("FAILED: parallel aggregates differ from serial")
+            return 1
+        if serial.failed or parallel.failed:
+            print(f"FAILED: {serial.failed} serial / {parallel.failed} "
+                  "parallel runs did not complete")
+            return 1
+
+        # Resume: a second pass over the same store executes nothing.
+        resumed = run_sweep(spec, parallel_store, workers=args.workers)
+        if resumed.executed != 0:
+            print(f"FAILED: resume re-executed {resumed.executed} runs")
+            return 1
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
+    target_met = speedup >= args.speedup_target
+
+    result = {
+        "experiment": args.experiment,
+        "runs": spec.total_runs(),
+        "seeds": args.seeds,
+        "top_ns": top_ns,
+        "workers": args.workers,
+        "cpu_count": cpus,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(speedup, 2),
+        "speedup_target": args.speedup_target,
+        "speedup_target_met": target_met,
+        "aggregates": "identical",
+        "resume_reexecuted": 0,
+    }
+    record_bench_section(args.output, "sweep", result)
+
+    print(f"  serial   : {serial_s:8.2f} s")
+    print(f"  parallel : {parallel_s:8.2f} s   ({args.workers} workers)")
+    print(f"  speedup  : {speedup:8.2f}x   (aggregates: identical, "
+          f"resume re-executed: 0)")
+    print(f"wrote {args.output}")
+
+    if args.require_speedup or cpus >= 4:
+        if not target_met:
+            print(f"FAILED: speedup {speedup:.2f}x < "
+                  f"{args.speedup_target:.1f}x target with {cpus} cpus")
+            return 1
+    elif not target_met:
+        print(f"note: {args.speedup_target:.1f}x target not asserted "
+              f"(only {cpus} usable cpu(s); CI asserts on 4)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,9 @@ Usage::
     python -m repro fig9 --top-n 1 2 3   # restrict the TopN sweep
     python -m repro table3
     python -m repro qos --qos-ms 80
+    python -m repro sweep run --experiment fig9_topn --seeds 5 --workers 4
+    python -m repro sweep status --store .sweeps/fig9_topn
+    python -m repro sweep report --store .sweeps/fig9_topn
 
 Every command prints the same tables the benchmark harness does; seeds
 make runs reproducible. This is deliberately thin plumbing over
@@ -318,6 +321,182 @@ def cmd_trace(args: argparse.Namespace) -> None:
         print("phase reconciliation + event ordering: OK")
 
 
+# ----------------------------------------------------------------------
+# Sweep engine (repro.sweep)
+# ----------------------------------------------------------------------
+def _parse_param_value(raw: str):
+    """``--param`` value coercion: int, then float, then bare string."""
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def _parse_grid(pairs: Optional[List[str]]) -> Optional[dict]:
+    if not pairs:
+        return None
+    grid = {}
+    for pair in pairs:
+        name, sep, values = pair.partition("=")
+        if not sep or not name or not values:
+            raise SystemExit(
+                f"--param must look like name=v1,v2,...: got {pair!r}"
+            )
+        grid[name] = [_parse_param_value(v) for v in values.split(",")]
+    return grid
+
+
+def _sweep_store(args: argparse.Namespace, experiment: str):
+    from pathlib import Path
+
+    from repro.sweep import RunStore
+
+    root = args.store or str(Path(".sweeps") / experiment)
+    return RunStore(root)
+
+
+def cmd_sweep_run(args: argparse.Namespace) -> None:
+    from repro.obs import Tracer
+    from repro.sweep import (
+        SweepInterrupted,
+        SweepSpec,
+        get_experiment,
+        run_sweep,
+    )
+
+    experiment = get_experiment(args.experiment)
+    grid = _parse_grid(args.param) or dict(experiment.default_grid)
+    spec = SweepSpec.build(
+        experiment.name,
+        grid,
+        n_seeds=args.seeds,
+        base_seed=args.base_seed,
+        salt=args.salt,
+    )
+    store = _sweep_store(args, experiment.name)
+    tracer = Tracer(sink=args.trace_out) if args.trace_out else None
+    print(
+        f"sweep {experiment.name}: {spec.total_runs()} runs "
+        f"({'serial' if args.serial or args.workers == 1 else f'{args.workers} workers'}) "
+        f"-> {store.root}"
+    )
+    try:
+        result = run_sweep(
+            spec,
+            store,
+            workers=args.workers,
+            serial=args.serial,
+            timeout_s=args.timeout_s,
+            retries=args.retries,
+            limit=args.limit,
+            tracer=tracer,
+        )
+    except SweepInterrupted as interrupted:
+        print(f"sweep interrupted by --limit: {interrupted}")
+        print(f"resume with the same command; store: {store.root}")
+        return
+    finally:
+        if tracer is not None:
+            tracer.close()
+    print(
+        f"executed={result.executed} skipped(cached)={result.skipped} "
+        f"failed={result.failed} retried={result.retried} "
+        f"wall={result.wall_s:.2f}s"
+    )
+    _print_sweep_report(store, metric=None)
+
+
+def cmd_sweep_status(args: argparse.Namespace) -> None:
+    from repro.sweep import RunStore
+
+    store = RunStore(args.store)
+    spec = store.load_manifest()
+    if spec is None:
+        print(f"no sweep manifest in {store.root}")
+        return
+    records = {r.run_key: r for r in store.records()}
+    runs = spec.expand()
+    done = sum(1 for r in runs if records.get(r.run_key) and records[r.run_key].ok)
+    failed = [
+        records[r.run_key]
+        for r in runs
+        if records.get(r.run_key) and not records[r.run_key].ok
+    ]
+    print(f"sweep: {spec.experiment}  (store: {store.root})")
+    print(f"completed: {done}/{len(runs)}")
+    print(f"failed: {len(failed)}")
+    print(f"pending: {len(runs) - done - len(failed)}")
+    if failed:
+        print(
+            format_table(
+                ["run key", "params", "seed", "status", "error"],
+                [
+                    [f.run_key, str(f.params), f.seed_index, f.status,
+                     (f.error or "")[:60]]
+                    for f in failed
+                ],
+                title="failed runs (re-executed on next sweep run)",
+            )
+        )
+
+
+def _print_sweep_report(store, metric: Optional[str]) -> None:
+    from repro.sweep import aggregate_records, comparison_table, metric_names
+
+    aggregates = aggregate_records(store.records())
+    if not aggregates:
+        print("no successful runs recorded yet")
+        return
+    names = [metric] if metric else metric_names(aggregates)
+    for name in names:
+        headers, rows = comparison_table(aggregates, name)
+        if rows:
+            print(format_table(headers, rows, title=f"metric: {name}"))
+
+
+def cmd_sweep_report(args: argparse.Namespace) -> None:
+    from repro.sweep import RunStore
+
+    store = RunStore(args.store)
+    _print_sweep_report(store, metric=args.metric)
+    if args.jsonl:
+        count = store.export_jsonl(args.jsonl)
+        print(f"exported {count} run records -> {args.jsonl}")
+
+
+def cmd_sweep_list(args: argparse.Namespace) -> None:
+    from repro.sweep import experiment_names, get_experiment
+
+    rows = []
+    for name in experiment_names():
+        exp = get_experiment(name)
+        grid = ", ".join(
+            f"{k}={list(v)}" for k, v in sorted(exp.default_grid.items())
+        )
+        rows.append([name, exp.description, grid])
+    print(
+        format_table(
+            ["experiment", "description", "default grid"],
+            rows,
+            title="sweepable experiments",
+        )
+    )
+
+
+_SWEEP_SUBCOMMANDS = {
+    "run": cmd_sweep_run,
+    "status": cmd_sweep_status,
+    "report": cmd_sweep_report,
+    "list": cmd_sweep_list,
+}
+
+
+def cmd_sweep(args: argparse.Namespace) -> None:
+    _SWEEP_SUBCOMMANDS[args.sweep_command](args)
+
+
 COMMANDS = {
     "fig1": (cmd_fig1, "Fig. 1 network study"),
     "table2": (cmd_table2, "Table II hardware catalog"),
@@ -332,7 +511,52 @@ COMMANDS = {
     "fig10": (cmd_fig10, "Fig. 10 fault tolerance"),
     "qos": (cmd_qos, "QoS admission extension"),
     "trace": (cmd_trace, "capture/summarize a structured trace"),
+    "sweep": (cmd_sweep, "parallel, resumable experiment sweeps"),
 }
+
+
+def _add_sweep_subparsers(parser: argparse.ArgumentParser) -> None:
+    sub = parser.add_subparsers(dest="sweep_command", required=True)
+
+    run = sub.add_parser("run", help="execute (or resume) a sweep")
+    run.add_argument("--experiment", required=True,
+                     help="registered experiment name (see `sweep list`)")
+    run.add_argument(
+        "--param", action="append", default=None, metavar="NAME=V1,V2,...",
+        help="one grid axis; repeatable. Default: the experiment's own grid",
+    )
+    run.add_argument("--seeds", type=int, default=5,
+                     help="replicates per parameter cell")
+    run.add_argument("--base-seed", type=int, default=42,
+                     help="sweep-level seed replicates derive from")
+    run.add_argument("--salt", default="",
+                     help="code-version salt mixed into every run key")
+    run.add_argument("--store", default=None, metavar="DIR",
+                     help="run-store directory (default .sweeps/<experiment>)")
+    run.add_argument("--workers", type=int, default=1,
+                     help="process-pool size (1 = in-process)")
+    run.add_argument("--serial", action="store_true",
+                     help="force the serial reference executor")
+    run.add_argument("--timeout-s", type=float, default=None,
+                     help="coarse per-run wall-clock bound")
+    run.add_argument("--retries", type=int, default=1,
+                     help="retries after worker crashes / timeouts")
+    run.add_argument("--limit", type=int, default=None,
+                     help="execute at most N runs, then stop (resumable)")
+    run.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="JSONL sink for sweep lifecycle trace events")
+
+    status = sub.add_parser("status", help="completed/failed/pending counts")
+    status.add_argument("--store", required=True, metavar="DIR")
+
+    report = sub.add_parser("report", help="cross-seed aggregate tables")
+    report.add_argument("--store", required=True, metavar="DIR")
+    report.add_argument("--metric", default=None,
+                        help="report one metric (default: all)")
+    report.add_argument("--jsonl", default=None, metavar="PATH",
+                        help="also export merged run records as JSONL")
+
+    sub.add_parser("list", help="list sweepable experiments")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -346,6 +570,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     for name, (_, help_text) in COMMANDS.items():
         sub = subparsers.add_parser(name, help=help_text)
+        if name == "sweep":
+            _add_sweep_subparsers(sub)
+            continue
         sub.add_argument("--seed", type=int, default=42)
         if name == "fig1":
             sub.add_argument("--probes", type=int, default=20)

@@ -1,0 +1,48 @@
+"""Crash-safe filesystem primitives.
+
+Shared by the perf-report writer (:mod:`repro.metrics.bench`) and the
+sweep run store (:mod:`repro.sweep.store`): both persist results that
+must survive an interrupt mid-write. A plain ``Path.write_text``
+truncates the target before writing, so a crash between the truncate
+and the flush leaves a corrupt (often empty) file — exactly the failure
+the tmp-file + ``os.replace`` dance prevents: the new content is fully
+written and fsynced under a temporary name in the same directory, then
+atomically swapped into place. Readers observe either the old complete
+file or the new complete file, never a torn one.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+
+def atomic_write_text(
+    path: Union[str, Path], text: str, *, encoding: str = "utf-8"
+) -> None:
+    """Atomically replace ``path``'s content with ``text``.
+
+    The temporary file is created in ``path``'s directory so the final
+    ``os.replace`` is a same-filesystem rename (atomic on POSIX). On any
+    failure the temporary file is removed and the original ``path`` is
+    left untouched.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:  # pragma: no cover - already gone / never created
+            pass
+        raise

@@ -12,12 +12,17 @@ import json
 from pathlib import Path
 from typing import Any, Dict
 
+from repro.fsutil import atomic_write_text
+
 
 def record_bench_section(path: Path, section: str, payload: Dict[str, Any]) -> None:
     """Merge ``payload`` into the report at ``path`` under ``section``.
 
     Other sections are preserved; an unreadable/corrupt report is
     replaced rather than crashing the benchmark that produced real data.
+    The merged report is written atomically (tmp file + ``os.replace``,
+    the same helper the sweep run store uses) so an interrupt mid-write
+    can never corrupt the accumulated perf trajectory.
     """
     report: Dict[str, Any] = {}
     if path.exists():
@@ -28,7 +33,7 @@ def record_bench_section(path: Path, section: str, payload: Dict[str, Any]) -> N
         except (OSError, json.JSONDecodeError):
             pass
     report[section] = payload
-    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(path, json.dumps(report, indent=2, sort_keys=True) + "\n")
 
 
 def read_bench_section(path: Path, section: str) -> Dict[str, Any]:

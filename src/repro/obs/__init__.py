@@ -49,6 +49,10 @@ from repro.obs.events import (
     PopulationChanged,
     ProbeAnswered,
     ProbeSent,
+    SweepRunFinished,
+    SweepRunRetried,
+    SweepRunSkipped,
+    SweepRunStarted,
     Switch,
     TestWorkloadInvoked,
     TraceEvent,
@@ -91,4 +95,8 @@ __all__ = [
     "CacheMiss",
     "HeartbeatMissed",
     "PopulationChanged",
+    "SweepRunStarted",
+    "SweepRunFinished",
+    "SweepRunRetried",
+    "SweepRunSkipped",
 ]

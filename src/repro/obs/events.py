@@ -41,6 +41,10 @@ __all__ = [
     "CacheMiss",
     "HeartbeatMissed",
     "PopulationChanged",
+    "SweepRunStarted",
+    "SweepRunFinished",
+    "SweepRunRetried",
+    "SweepRunSkipped",
     "EVENT_TYPES",
     "GOLDEN_LIFECYCLE_TYPES",
     "PHASES",
@@ -287,6 +291,51 @@ class PopulationChanged(TraceEvent):
 
 
 # ----------------------------------------------------------------------
+# Sweep lifecycle (the repro.sweep execution engine)
+# ----------------------------------------------------------------------
+@dataclass
+class SweepRunStarted(TraceEvent):
+    """One sweep run was handed to an executor (serial or a worker)."""
+
+    type: ClassVar[str] = "sweep_run_started"
+    run_key: str
+    experiment: str
+    attempt: int = 1
+
+
+@dataclass
+class SweepRunFinished(TraceEvent):
+    """One sweep run finished. ``status`` is ``ok``/``failed``/``timeout``."""
+
+    type: ClassVar[str] = "sweep_run_finished"
+    run_key: str
+    experiment: str
+    status: str
+    duration_s: float = 0.0
+
+
+@dataclass
+class SweepRunRetried(TraceEvent):
+    """A run is being re-submitted after an infrastructure failure
+    (worker-pool crash or per-run timeout), not an experiment error."""
+
+    type: ClassVar[str] = "sweep_run_retried"
+    run_key: str
+    experiment: str
+    attempt: int
+    reason: str
+
+
+@dataclass
+class SweepRunSkipped(TraceEvent):
+    """A run was satisfied from the run store (resume skipped it)."""
+
+    type: ClassVar[str] = "sweep_run_skipped"
+    run_key: str
+    experiment: str
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
@@ -311,6 +360,10 @@ EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
         CacheMiss,
         HeartbeatMissed,
         PopulationChanged,
+        SweepRunStarted,
+        SweepRunFinished,
+        SweepRunRetried,
+        SweepRunSkipped,
     )
 }
 

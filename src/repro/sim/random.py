@@ -54,6 +54,24 @@ class RandomStreams:
         """
         return RandomStreams(derive_seed(self.root_seed, name))
 
+    def for_run(self, run_index: int) -> "RandomStreams":
+        """Create the child ``RandomStreams`` for the ``run_index``-th run.
+
+        A thin, *indexed* wrapper over :func:`derive_seed` — the seeding
+        primitive of :mod:`repro.sweep`: a sweep replicates an experiment
+        across runs, and each run must consume a random universe that is
+        (a) disjoint from every other run's and (b) a pure function of
+        ``(root_seed, run_index)``, so results do not depend on execution
+        order or on which worker process a run lands on.
+
+        >>> RandomStreams(42).for_run(3).root_seed == \
+            RandomStreams(42).for_run(3).root_seed
+        True
+        """
+        if run_index < 0:
+            raise ValueError(f"run_index must be >= 0: {run_index}")
+        return RandomStreams(derive_seed(self.root_seed, f"run:{run_index}"))
+
     def __contains__(self, name: str) -> bool:
         return name in self._streams
 

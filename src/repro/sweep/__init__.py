@@ -1,0 +1,64 @@
+"""``repro.sweep`` — parallel, resumable experiment execution.
+
+The paper's evaluation is a grid: parameter axes x seeds x strategies.
+This subsystem turns any registered experiment into a sweepable unit
+and executes the grid with the job-runner shape production stacks use —
+sharding across workers, content-addressed result caching, bounded
+retry, deterministic aggregation:
+
+- :mod:`repro.sweep.spec` — :class:`SweepSpec` (declarative grid) and
+  :class:`RunSpec` (one run, with a content-hashed ``run_key`` and an
+  order-independent ``root_seed``).
+- :mod:`repro.sweep.registry` — named sweepable experiments
+  (``fig9_topn``, ``churn_trace``, ``network_study``, ``qos_admission``).
+- :mod:`repro.sweep.store` — crash-safe on-disk run store (atomic
+  JSONL records keyed by ``run_key``); interrupted sweeps resume by
+  skipping completed runs.
+- :mod:`repro.sweep.executor` — :func:`run_sweep`: process-pool
+  execution with per-run timeout and crash retry, plus a bit-identical
+  serial reference mode.
+- :mod:`repro.sweep.aggregate` — cross-seed mean/p50/p95/CI reduction
+  and comparison tables.
+
+CLI: ``repro sweep run|status|report``. Lifecycle trace events
+(``sweep_run_started``/``finished``/``retried``/``skipped``) flow
+through :mod:`repro.obs` like every other subsystem's.
+"""
+
+from repro.sweep.aggregate import (
+    CellAggregate,
+    MetricAggregate,
+    aggregate_records,
+    aggregates_digest,
+    comparison_table,
+    metric_names,
+)
+from repro.sweep.executor import SweepInterrupted, SweepResult, run_sweep
+from repro.sweep.registry import (
+    SweepableExperiment,
+    experiment_names,
+    get_experiment,
+    register,
+)
+from repro.sweep.spec import RunSpec, SweepSpec
+from repro.sweep.store import RunRecord, RunStore
+
+__all__ = [
+    "SweepSpec",
+    "RunSpec",
+    "RunStore",
+    "RunRecord",
+    "run_sweep",
+    "SweepResult",
+    "SweepInterrupted",
+    "SweepableExperiment",
+    "register",
+    "get_experiment",
+    "experiment_names",
+    "aggregate_records",
+    "aggregates_digest",
+    "comparison_table",
+    "metric_names",
+    "CellAggregate",
+    "MetricAggregate",
+]

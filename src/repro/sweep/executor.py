@@ -1,0 +1,448 @@
+"""Parallel, resumable sweep execution.
+
+:func:`run_sweep` drives a :class:`~repro.sweep.spec.SweepSpec` to
+completion over an optional :class:`~repro.sweep.store.RunStore`:
+
+- **Resume.** Runs whose ``run_key`` already has a successful record in
+  the store are skipped (a ``sweep_run_skipped`` trace event each); an
+  interrupted sweep re-executes exactly the missing runs.
+- **Parallelism.** A ``ProcessPoolExecutor`` with a configurable worker
+  count. Workers resolve experiments *by name* from
+  :mod:`repro.sweep.registry`, so only scalars cross the pickle
+  boundary. The pool uses the ``fork`` start method where available
+  (runtime-registered experiments keep working); built-ins re-register
+  at import so ``spawn`` platforms work too.
+- **Failure containment.** An exception raised *by the experiment* is
+  recorded as a failed run (status ``failed``) and the sweep continues —
+  deterministic failures would fail again, so they are not retried
+  within a sweep, but a later sweep over the same store retries them.
+  Infrastructure failures — a crashed worker (``BrokenProcessPool``) or
+  a per-run timeout — are retried up to ``retries`` times in a fresh
+  pool, then recorded (``failed``/``timeout``).
+- **Determinism.** Results are reported in the spec's expansion order
+  regardless of completion order, and every run's randomness is rooted
+  in its content-derived ``root_seed`` — so the serial executor
+  (``serial=True``) and any parallel execution produce bit-identical
+  per-run metrics, hence bit-identical aggregates.
+
+``KeyboardInterrupt``/``SystemExit`` propagate after already-completed
+runs have been persisted — which is what makes Ctrl-C + re-run a
+correct resume, not a corruption.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.events import (
+    SweepRunFinished,
+    SweepRunRetried,
+    SweepRunSkipped,
+    SweepRunStarted,
+)
+from repro.obs.tracer import Tracer
+from repro.sweep.aggregate import CellAggregate, aggregate_records
+from repro.sweep.registry import get_experiment
+from repro.sweep.spec import RunSpec, SweepSpec
+from repro.sweep.store import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    RunRecord,
+    RunStore,
+)
+
+__all__ = ["SweepResult", "run_sweep", "SweepInterrupted"]
+
+
+class SweepInterrupted(RuntimeError):
+    """Raised when ``limit`` stopped a sweep before all runs executed.
+
+    Deliberate interruption (CI smoke jobs, token-budget runs) — the
+    store holds everything completed so far; re-running resumes.
+    """
+
+    def __init__(self, executed: int, remaining: int) -> None:
+        super().__init__(
+            f"sweep interrupted after {executed} runs ({remaining} remaining)"
+        )
+        self.executed = executed
+        self.remaining = remaining
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one :func:`run_sweep` call.
+
+    ``records`` follows the spec's expansion order. Counters partition
+    the spec's runs: ``executed + skipped == total`` when the sweep ran
+    to completion (``interrupted`` False).
+    """
+
+    spec: SweepSpec
+    records: List[RunRecord] = field(default_factory=list)
+    executed: int = 0
+    skipped: int = 0
+    failed: int = 0
+    retried: int = 0
+    interrupted: bool = False
+    wall_s: float = 0.0
+
+    def ok_records(self) -> List[RunRecord]:
+        return [r for r in self.records if r.ok]
+
+    def aggregates(self) -> Dict[str, CellAggregate]:
+        """Cross-seed aggregates over the successful records."""
+        return aggregate_records(self.ok_records())
+
+
+def _invoke(experiment: str, params: Dict[str, Any], root_seed: int):
+    """Worker entry point: resolve by name, run, return (metrics, secs)."""
+    fn = get_experiment(experiment).fn
+    start = time.perf_counter()
+    metrics = fn(dict(params), root_seed)
+    return metrics, time.perf_counter() - start
+
+
+def _record_for(
+    run: RunSpec,
+    status: str,
+    *,
+    metrics: Optional[Dict[str, float]] = None,
+    error: Optional[str] = None,
+    attempts: int = 1,
+    duration_s: float = 0.0,
+) -> RunRecord:
+    return RunRecord(
+        run_key=run.run_key,
+        experiment=run.experiment,
+        params=run.params_dict(),
+        seed_index=run.seed_index,
+        root_seed=run.root_seed,
+        status=status,
+        metrics=metrics or {},
+        error=error,
+        attempts=attempts,
+        duration_s=duration_s,
+    )
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down even when a worker is wedged mid-task.
+
+    ``shutdown`` alone would leave the hung worker alive (and the
+    interpreter's atexit hook would later join it forever); there is no
+    public kill API, so reach for the worker processes directly.
+    """
+    pool.shutdown(wait=False, cancel_futures=True)
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except (OSError, AttributeError):  # pragma: no cover - racing exit
+            pass
+
+
+# ----------------------------------------------------------------------
+def run_sweep(
+    spec: SweepSpec,
+    store: Optional[RunStore] = None,
+    *,
+    workers: int = 1,
+    serial: bool = False,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+    limit: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
+    progress: Optional[Callable[[RunRecord], None]] = None,
+) -> SweepResult:
+    """Execute (or resume) a sweep; returns records in expansion order.
+
+    Args:
+        spec: the sweep to run.
+        store: persistent run store; None = in-memory only (no resume).
+        workers: process-pool size; ignored when ``serial`` is True.
+        serial: run everything in-process, in order — the bit-identical
+            reference executor (also the only mode where a debugger or
+            an ad-hoc closure experiment always works).
+        timeout_s: coarse per-run wall bound (parallel mode only). A run
+            that exceeds it is recorded with status ``timeout`` and its
+            pool is recycled; the bound is measured from when the
+            executor starts waiting on that run, so it is an upper
+            bound, not a precise stopwatch.
+        retries: how many times an infrastructure failure (worker crash,
+            timeout) re-submits a run before recording it as lost.
+        limit: execute at most this many runs, then raise
+            :class:`SweepInterrupted` (completed work is persisted) —
+            the deterministic "interrupt" used by resume tests and CI.
+        tracer: optional :class:`~repro.obs.tracer.Tracer` receiving
+            sweep lifecycle events (started/finished/retried/skipped).
+        progress: optional callback invoked with each fresh record.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1: {workers}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0: {retries}")
+    if limit is not None and limit < 0:
+        raise ValueError(f"limit must be >= 0: {limit}")
+    tracer = tracer or Tracer.disabled()
+    if store is not None:
+        store.save_manifest(spec)
+
+    runs = spec.expand()
+    result = SweepResult(spec=spec)
+    started = time.perf_counter()
+
+    # Partition: cached vs pending (preserving expansion order).
+    completed = store.completed_keys() if store is not None else set()
+    by_key: Dict[str, RunRecord] = {}
+    pending: List[RunSpec] = []
+    for run in runs:
+        if run.run_key in completed and store is not None:
+            cached = store.get(run.run_key)
+            assert cached is not None
+            by_key[run.run_key] = cached
+            result.skipped += 1
+            if tracer.enabled:
+                tracer.emit(
+                    SweepRunSkipped(tracer.now(), run.run_key, run.experiment)
+                )
+        else:
+            pending.append(run)
+
+    def commit(record: RunRecord) -> None:
+        by_key[record.run_key] = record
+        if store is not None:
+            store.put(record)
+        if record.status != STATUS_OK:
+            result.failed += 1
+        result.executed += 1
+        if progress is not None:
+            progress(record)
+
+    budget = len(pending) if limit is None else min(limit, len(pending))
+    try:
+        if serial or workers == 1:
+            _run_serial(pending[:budget], commit, tracer)
+        else:
+            _run_parallel(
+                pending[:budget],
+                commit,
+                tracer,
+                workers=workers,
+                timeout_s=timeout_s,
+                retries=retries,
+                result=result,
+            )
+    finally:
+        result.records = [by_key[r.run_key] for r in runs if r.run_key in by_key]
+        result.wall_s = time.perf_counter() - started
+
+    if budget < len(pending):
+        result.interrupted = True
+        raise SweepInterrupted(result.executed, len(pending) - budget)
+    return result
+
+
+# ----------------------------------------------------------------------
+def _run_serial(
+    pending: List[RunSpec],
+    commit: Callable[[RunRecord], None],
+    tracer: Tracer,
+) -> None:
+    for run in pending:
+        if tracer.enabled:
+            tracer.emit(
+                SweepRunStarted(tracer.now(), run.run_key, run.experiment)
+            )
+        start = time.perf_counter()
+        try:
+            metrics, duration = _invoke(
+                run.experiment, run.params_dict(), run.root_seed
+            )
+        except Exception as exc:  # noqa: BLE001 - contained per-run
+            record = _record_for(
+                run,
+                STATUS_FAILED,
+                error=f"{type(exc).__name__}: {exc}",
+                duration_s=time.perf_counter() - start,
+            )
+        else:
+            record = _record_for(
+                run, STATUS_OK, metrics=metrics, duration_s=duration
+            )
+        commit(record)
+        if tracer.enabled:
+            tracer.emit(
+                SweepRunFinished(
+                    tracer.now(),
+                    run.run_key,
+                    run.experiment,
+                    record.status,
+                    record.duration_s,
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+def _run_parallel(
+    pending: List[RunSpec],
+    commit: Callable[[RunRecord], None],
+    tracer: Tracer,
+    *,
+    workers: int,
+    timeout_s: Optional[float],
+    retries: int,
+    result: SweepResult,
+) -> None:
+    attempts: Dict[str, int] = {run.run_key: 0 for run in pending}
+    context = _mp_context()
+    wave = list(pending)
+    while wave:
+        next_wave: List[RunSpec] = []
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        try:
+            futures = {}
+            for run in wave:
+                attempts[run.run_key] += 1
+                if tracer.enabled:
+                    tracer.emit(
+                        SweepRunStarted(
+                            tracer.now(),
+                            run.run_key,
+                            run.experiment,
+                            attempts[run.run_key],
+                        )
+                    )
+                futures[run.run_key] = pool.submit(
+                    _invoke, run.experiment, run.params_dict(), run.root_seed
+                )
+            pool_broken = False
+            for index, run in enumerate(wave):
+                key = run.run_key
+                if pool_broken:
+                    # The pool died; results that completed before the
+                    # crash are still held by their futures — keep them,
+                    # retry the rest without waiting.
+                    done = futures[key]
+                    if done.done() and done.exception() is None:
+                        metrics, duration = done.result()
+                        record = _record_for(
+                            run, STATUS_OK, metrics=metrics,
+                            attempts=attempts[key], duration_s=duration,
+                        )
+                        commit(record)
+                        _emit_finished(tracer, run, record)
+                    else:
+                        _retry_or_fail(
+                            run, "worker pool crashed", STATUS_FAILED,
+                            attempts, retries, next_wave, commit, tracer,
+                            result,
+                        )
+                    continue
+                try:
+                    metrics, duration = futures[key].result(timeout=timeout_s)
+                except BrokenProcessPool:
+                    pool_broken = True
+                    _retry_or_fail(
+                        run, "worker pool crashed", STATUS_FAILED,
+                        attempts, retries, next_wave, commit, tracer, result,
+                    )
+                    continue
+                except FuturesTimeout:
+                    # The slot is wedged; recycle the pool and resubmit
+                    # everything not yet collected.
+                    _retry_or_fail(
+                        run, f"run exceeded {timeout_s}s", STATUS_TIMEOUT,
+                        attempts, retries, next_wave, commit, tracer, result,
+                    )
+                    for late in wave[index + 1 :]:
+                        done = futures[late.run_key]
+                        if done.done() and not done.exception():
+                            metrics, duration = done.result()
+                            record = _record_for(
+                                late, STATUS_OK, metrics=metrics,
+                                attempts=attempts[late.run_key],
+                                duration_s=duration,
+                            )
+                            commit(record)
+                            _emit_finished(tracer, late, record)
+                        else:
+                            attempts[late.run_key] -= 1  # not its fault
+                            next_wave.append(late)
+                    _kill_pool(pool)
+                    break
+                except Exception as exc:  # noqa: BLE001 - experiment error
+                    record = _record_for(
+                        run, STATUS_FAILED,
+                        error=f"{type(exc).__name__}: {exc}",
+                        attempts=attempts[key],
+                    )
+                    commit(record)
+                    _emit_finished(tracer, run, record)
+                else:
+                    record = _record_for(
+                        run, STATUS_OK, metrics=metrics,
+                        attempts=attempts[key], duration_s=duration,
+                    )
+                    commit(record)
+                    _emit_finished(tracer, run, record)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        wave = next_wave
+
+
+def _retry_or_fail(
+    run: RunSpec,
+    reason: str,
+    terminal_status: str,
+    attempts: Dict[str, int],
+    retries: int,
+    next_wave: List[RunSpec],
+    commit: Callable[[RunRecord], None],
+    tracer: Tracer,
+    result: SweepResult,
+) -> None:
+    if attempts[run.run_key] <= retries:
+        result.retried += 1
+        if tracer.enabled:
+            tracer.emit(
+                SweepRunRetried(
+                    tracer.now(),
+                    run.run_key,
+                    run.experiment,
+                    attempts[run.run_key] + 1,
+                    reason,
+                )
+            )
+        next_wave.append(run)
+        return
+    record = _record_for(
+        run, terminal_status, error=reason, attempts=attempts[run.run_key]
+    )
+    commit(record)
+    _emit_finished(tracer, run, record)
+
+
+def _emit_finished(tracer: Tracer, run: RunSpec, record: RunRecord) -> None:
+    if tracer.enabled:
+        tracer.emit(
+            SweepRunFinished(
+                tracer.now(),
+                run.run_key,
+                run.experiment,
+                record.status,
+                record.duration_s,
+            )
+        )

@@ -1,0 +1,235 @@
+"""Named sweepable experiments.
+
+A sweepable experiment is a function ``fn(params, root_seed) -> metrics``
+where ``params`` is one expanded parameter cell (plain scalars),
+``root_seed`` is the run's independent random-universe root (see
+:class:`repro.sweep.spec.RunSpec`), and ``metrics`` is a flat
+``{name: scalar}`` dict — the unit the aggregator reduces across seeds.
+
+Experiments are resolved *by name*: worker processes receive only the
+name and look the callable up in their own registry, so built-ins must
+be registered at import time (spawn-safe); ad-hoc experiments registered
+at runtime work with the serial executor and with fork-started pools.
+
+Built-ins wrap the repo's paper experiments:
+
+- ``fig9_topn``   — one churn run at a given ``top_n`` (Fig. 9 cell).
+- ``churn_trace`` — the Fig. 8 trace reduced to scalars.
+- ``network_study`` — Fig. 1 RTT study per target class.
+- ``qos_admission`` — one (population, QoS bound) admission cell.
+- ``selftest``    — a microsecond-scale deterministic pseudo-experiment
+  for exercising the engine itself (tests, smoke jobs); supports
+  ``fail=1`` (raises) and ``sleep_s`` (stalls) to probe failure paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping
+
+__all__ = [
+    "SweepableExperiment",
+    "register",
+    "get_experiment",
+    "experiment_names",
+]
+
+MetricsDict = Dict[str, float]
+ExperimentFn = Callable[[Dict[str, Any], int], MetricsDict]
+
+
+@dataclass(frozen=True)
+class SweepableExperiment:
+    """A named experiment the sweep engine can execute.
+
+    Attributes:
+        name: registry key (what ``RunSpec.experiment`` stores).
+        fn: the callable ``(params, root_seed) -> metrics``.
+        description: one-line help shown by ``repro sweep run --list``.
+        default_grid: the grid ``repro sweep run`` uses when the user
+            passes no ``--param`` (typically the paper's own axis).
+    """
+
+    name: str
+    fn: ExperimentFn
+    description: str = ""
+    default_grid: Mapping[str, List[Any]] = field(default_factory=dict)
+
+
+_REGISTRY: Dict[str, SweepableExperiment] = {}
+
+
+def register(experiment: SweepableExperiment, *, replace: bool = False) -> None:
+    """Add an experiment to the registry.
+
+    Re-registering an existing name is refused unless ``replace=True``:
+    silently shadowing a built-in would change what cached run keys mean.
+    """
+    if experiment.name in _REGISTRY and not replace:
+        raise ValueError(f"experiment already registered: {experiment.name!r}")
+    _REGISTRY[experiment.name] = experiment
+
+
+def get_experiment(name: str) -> SweepableExperiment:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise KeyError(
+            f"unknown sweepable experiment {name!r}; registered: {known}"
+        ) from None
+
+
+def experiment_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# Built-in entry points (lazy experiment imports keep `import repro.sweep`
+# cheap; the registry itself must import at worker start)
+# ----------------------------------------------------------------------
+def _fig9_topn(params: Dict[str, Any], root_seed: int) -> MetricsDict:
+    from repro.core.config import SystemConfig
+    from repro.experiments.churn_experiment import (
+        HORIZON_MS,
+        make_churn_trace,
+        run_churn_once,
+    )
+
+    top_n = int(params.get("top_n", 3))
+    n_users = int(params.get("n_users", 10))
+    duration_ms = float(params.get("duration_ms", HORIZON_MS))
+    config = SystemConfig(seed=root_seed, top_n=top_n)
+    trace = make_churn_trace(config, horizon_ms=duration_ms)
+    run = run_churn_once(
+        config, n_users=n_users, trace=trace, duration_ms=duration_ms
+    )
+    # The paper's Fig. 9(c) window is the middle third of the timeline
+    # (60-120 s of the 3-minute horizon).
+    window = (duration_ms / 3.0, 2.0 * duration_ms / 3.0)
+    return {
+        "probes": float(run.metrics.total_probes()),
+        "test_invocations": float(run.metrics.total_test_invocations()),
+        "avg_latency_ms": run.average_latency_ms(*window),
+        "fairness_std_ms": run.fairness_std_ms(*window),
+        "uncovered_failures": float(run.metrics.total_failures()),
+    }
+
+
+def _churn_trace(params: Dict[str, Any], root_seed: int) -> MetricsDict:
+    from repro.core.config import SystemConfig
+    from repro.experiments.churn_experiment import run_churn_trace
+    from repro.metrics.stats import mean
+
+    config = SystemConfig(seed=root_seed, top_n=int(params.get("top_n", 3)))
+    result = run_churn_trace(config, bin_ms=float(params.get("bin_ms", 5_000.0)))
+    values = [v for _, v in result.latency_trace]
+    return {
+        "trace_mean_ms": mean(values),
+        "trace_peak_ms": max(values),
+        "total_nodes": float(result.total_nodes),
+        "windows": float(len(result.latency_trace)),
+    }
+
+
+def _network_study(params: Dict[str, Any], root_seed: int) -> MetricsDict:
+    from repro.core.config import SystemConfig
+    from repro.experiments.network_study import run_network_study
+
+    config = SystemConfig(seed=root_seed)
+    result = run_network_study(
+        config,
+        n_users=int(params.get("n_users", 15)),
+        probes_per_pair=int(params.get("probes_per_pair", 20)),
+    )
+    metrics: MetricsDict = {}
+    for group, summary in result.summaries().items():
+        metrics[f"{group}_mean_ms"] = summary.mean_ms
+        metrics[f"{group}_p50_ms"] = summary.p50_ms
+        metrics[f"{group}_p90_ms"] = summary.p90_ms
+    return metrics
+
+
+def _qos_admission(params: Dict[str, Any], root_seed: int) -> MetricsDict:
+    from repro.core.config import SystemConfig
+    from repro.experiments.qos_admission import run_qos_admission
+
+    n_users = int(params.get("n_users", 15))
+    qos_ms = float(params.get("qos_ms", 90.0))
+    config = SystemConfig(seed=root_seed)
+    result = run_qos_admission(
+        config, qos_latency_ms=qos_ms, user_counts=[n_users]
+    )
+    with_qos = result.with_qos[n_users]
+    without = result.without_qos[n_users]
+    return {
+        "admitted": float(with_qos.admitted),
+        "rejected": float(with_qos.rejected),
+        "violation_rate_on": with_qos.violation_rate,
+        "violation_rate_off": without.violation_rate,
+    }
+
+
+def _selftest(params: Dict[str, Any], root_seed: int) -> MetricsDict:
+    """Deterministic pseudo-metrics in microseconds — engine self-checks."""
+    if int(params.get("fail", 0)):
+        raise RuntimeError("selftest experiment asked to fail")
+    if int(params.get("crash", 0)):  # pragma: no cover - kills the worker
+        import os
+
+        os._exit(13)
+    sleep_s = float(params.get("sleep_s", 0.0))
+    if sleep_s > 0.0:
+        import time
+
+        time.sleep(sleep_s)
+    from repro.sim.random import RandomStreams
+
+    stream = RandomStreams(root_seed).get("selftest")
+    scale = float(params.get("scale", 1.0))
+    return {
+        "value": scale * stream.random(),
+        "draws": 1.0,
+    }
+
+
+register(
+    SweepableExperiment(
+        name="fig9_topn",
+        fn=_fig9_topn,
+        description="Fig. 9 churn cell: probes/invocations/latency/fairness at one TopN",
+        default_grid={"top_n": [1, 2, 3, 4, 5]},
+    )
+)
+register(
+    SweepableExperiment(
+        name="churn_trace",
+        fn=_churn_trace,
+        description="Fig. 8 churn trace reduced to scalar latency statistics",
+        default_grid={"top_n": [3]},
+    )
+)
+register(
+    SweepableExperiment(
+        name="network_study",
+        fn=_network_study,
+        description="Fig. 1 RTT study: volunteer vs Local Zone vs cloud",
+        default_grid={"probes_per_pair": [20]},
+    )
+)
+register(
+    SweepableExperiment(
+        name="qos_admission",
+        fn=_qos_admission,
+        description="QoS admission cell: admitted/violations at one population",
+        default_grid={"n_users": [5, 10, 15, 20]},
+    )
+)
+register(
+    SweepableExperiment(
+        name="selftest",
+        fn=_selftest,
+        description="microsecond engine self-check (deterministic pseudo-metrics)",
+        default_grid={"scale": [1.0, 2.0]},
+    )
+)

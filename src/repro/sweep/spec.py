@@ -1,0 +1,234 @@
+"""Declarative sweep specifications and content-addressed run identity.
+
+A :class:`SweepSpec` names one registered experiment, a parameter grid,
+and a replicate count; :meth:`SweepSpec.expand` materializes the full
+cartesian product into :class:`RunSpec` objects — one per (parameter
+cell, seed index). Two identities matter, and they are deliberately
+different functions:
+
+- ``run_key`` — *what the run computes*: a stable content hash of
+  ``(experiment, params, seed_index, salt)``. The run store files
+  results under it, so a resumed sweep recognizes completed runs no
+  matter which process produced them or in what order. ``salt`` is the
+  code-version discriminator: bump it when an experiment's semantics
+  change and every cached result is invalidated at once.
+- ``root_seed`` — *which random universe the run consumes*: derived via
+  :func:`repro.sim.random.derive_seed` /
+  :meth:`repro.sim.random.RandomStreams.for_run` from the same content,
+  never from execution order or worker assignment, so a run's result is
+  a pure function of its ``RunSpec`` — the property that makes serial
+  and parallel execution bit-identical.
+
+Parameter values must be JSON scalars (bool/int/float/str/None): the
+hash is computed over canonical JSON (sorted keys, no whitespace
+variance), and anything fancier would make equality ambiguous.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.sim.random import RandomStreams, derive_seed
+
+__all__ = ["RunSpec", "SweepSpec", "canonical_params", "params_token"]
+
+_SCALAR_TYPES = (bool, int, float, str, type(None))
+
+
+def _check_scalar(name: str, value: Any) -> None:
+    if not isinstance(value, _SCALAR_TYPES):
+        raise TypeError(
+            f"sweep parameter {name!r} must be a JSON scalar "
+            f"(bool/int/float/str/None), got {type(value).__name__}"
+        )
+
+
+def canonical_params(params: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    """Normalize a parameter mapping to a sorted, hashable tuple of pairs."""
+    for name, value in params.items():
+        _check_scalar(name, value)
+    return tuple(sorted(params.items()))
+
+
+def params_token(params: Mapping[str, Any]) -> str:
+    """Canonical JSON of a parameter cell — the hash/grouping token."""
+    return json.dumps(dict(params), sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-determined run: experiment x parameter cell x replicate.
+
+    Attributes:
+        experiment: registered experiment name (:mod:`repro.sweep.registry`).
+        params: canonical ``((name, value), ...)`` parameter cell.
+        seed_index: replicate index within the sweep (0-based).
+        base_seed: the sweep-level seed replicates are derived from.
+        salt: code-version discriminator mixed into ``run_key``.
+    """
+
+    experiment: str
+    params: Tuple[Tuple[str, Any], ...]
+    seed_index: int
+    base_seed: int = 42
+    salt: str = ""
+
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    @property
+    def run_key(self) -> str:
+        """Stable 16-hex-char content hash identifying this run."""
+        token = "|".join(
+            (
+                self.experiment,
+                self.salt,
+                params_token(self.params_dict()),
+                str(self.seed_index),
+                str(self.base_seed),
+            )
+        )
+        return hashlib.sha256(token.encode("utf-8")).hexdigest()[:16]
+
+    @property
+    def root_seed(self) -> int:
+        """The run's independent random-universe root.
+
+        ``RandomStreams(base_seed).for_run(seed_index)`` gives each
+        replicate a disjoint stream family; forking that by the
+        (experiment, params) token decorrelates parameter cells, so
+        every run draws from its own universe regardless of execution
+        order or worker assignment.
+        """
+        replicate = RandomStreams(self.base_seed).for_run(self.seed_index)
+        return derive_seed(
+            replicate.root_seed,
+            f"{self.experiment}:{params_token(self.params_dict())}",
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "experiment": self.experiment,
+            "params": self.params_dict(),
+            "seed_index": self.seed_index,
+            "base_seed": self.base_seed,
+            "salt": self.salt,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
+        return cls(
+            experiment=data["experiment"],
+            params=canonical_params(data["params"]),
+            seed_index=int(data["seed_index"]),
+            base_seed=int(data["base_seed"]),
+            salt=str(data.get("salt", "")),
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative sweep: experiment x parameter grid x replicates.
+
+    ``grid`` maps parameter name -> sequence of values; expansion takes
+    the cartesian product over parameter names in sorted order (so two
+    grids that differ only in dict insertion order expand identically),
+    with each parameter's values kept in their given order.
+    """
+
+    experiment: str
+    grid: Tuple[Tuple[str, Tuple[Any, ...]], ...]
+    n_seeds: int = 1
+    base_seed: int = 42
+    salt: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.experiment:
+            raise ValueError("experiment name must be non-empty")
+        if self.n_seeds < 1:
+            raise ValueError(f"n_seeds must be >= 1: {self.n_seeds}")
+        for name, values in self.grid:
+            if not values:
+                raise ValueError(f"grid axis {name!r} has no values")
+            for value in values:
+                _check_scalar(name, value)
+
+    @classmethod
+    def build(
+        cls,
+        experiment: str,
+        grid: Mapping[str, Sequence[Any]],
+        *,
+        n_seeds: int = 1,
+        base_seed: int = 42,
+        salt: str = "",
+    ) -> "SweepSpec":
+        """The mapping-friendly constructor (grid axes canonicalized)."""
+        axes = tuple(
+            (name, tuple(grid[name])) for name in sorted(grid)
+        )
+        return cls(
+            experiment=experiment,
+            grid=axes,
+            n_seeds=n_seeds,
+            base_seed=base_seed,
+            salt=salt,
+        )
+
+    # ------------------------------------------------------------------
+    def cells(self) -> List[Dict[str, Any]]:
+        """All parameter cells, in deterministic expansion order."""
+        out: List[Dict[str, Any]] = [{}]
+        for name, values in self.grid:
+            out = [dict(cell, **{name: v}) for cell in out for v in values]
+        return out
+
+    def expand(self) -> List[RunSpec]:
+        """Materialize every run, cell-major then seed-index order.
+
+        The order is itself deterministic — executors report results in
+        this order no matter when each run completes.
+        """
+        runs: List[RunSpec] = []
+        for cell in self.cells():
+            for seed_index in range(self.n_seeds):
+                runs.append(
+                    RunSpec(
+                        experiment=self.experiment,
+                        params=canonical_params(cell),
+                        seed_index=seed_index,
+                        base_seed=self.base_seed,
+                        salt=self.salt,
+                    )
+                )
+        return runs
+
+    def total_runs(self) -> int:
+        count = self.n_seeds
+        for _, values in self.grid:
+            count *= len(values)
+        return count
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "experiment": self.experiment,
+            "grid": {name: list(values) for name, values in self.grid},
+            "n_seeds": self.n_seeds,
+            "base_seed": self.base_seed,
+            "salt": self.salt,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        return cls.build(
+            data["experiment"],
+            data["grid"],
+            n_seeds=int(data["n_seeds"]),
+            base_seed=int(data["base_seed"]),
+            salt=str(data.get("salt", "")),
+        )
+

@@ -1,0 +1,191 @@
+"""The on-disk, content-addressed run store.
+
+Layout (one directory per sweep)::
+
+    <root>/
+      manifest.json        # the SweepSpec that owns this store
+      runs/<run_key>.json  # one RunRecord per completed/failed run
+
+Every file is written with :func:`repro.fsutil.atomic_write_text`
+(tmp + ``os.replace``), and each run record is a *single JSON line* —
+the store's wire format is JSONL, with one line per file so writes are
+independent and a crash between runs can never tear the store. An
+interrupted sweep resumes by asking :meth:`RunStore.completed_keys` and
+skipping those runs; :meth:`RunStore.export_jsonl` merges all records
+into one conventional JSONL file for shipping/analysis.
+
+Only records with ``status == "ok"`` count as completed: failed and
+timed-out runs are kept (for ``repro sweep status`` forensics) but are
+re-executed by the next sweep over the same store.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Union
+
+from repro.fsutil import atomic_write_text
+from repro.sweep.spec import SweepSpec
+
+__all__ = ["RunRecord", "RunStore", "STATUS_OK", "STATUS_FAILED", "STATUS_TIMEOUT"]
+
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_TIMEOUT = "timeout"
+_STATUSES = (STATUS_OK, STATUS_FAILED, STATUS_TIMEOUT)
+
+
+@dataclass
+class RunRecord:
+    """One run's persisted outcome."""
+
+    run_key: str
+    experiment: str
+    params: Dict[str, Any]
+    seed_index: int
+    root_seed: int
+    status: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+    error: Optional[str] = None
+    attempts: int = 1
+    duration_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.status not in _STATUSES:
+            raise ValueError(
+                f"status must be one of {_STATUSES}: {self.status!r}"
+            )
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "run_key": self.run_key,
+            "experiment": self.experiment,
+            "params": self.params,
+            "seed_index": self.seed_index,
+            "root_seed": self.root_seed,
+            "status": self.status,
+            "metrics": self.metrics,
+            "error": self.error,
+            "attempts": self.attempts,
+            "duration_s": self.duration_s,
+        }
+
+    def to_json_line(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunRecord":
+        return cls(
+            run_key=data["run_key"],
+            experiment=data["experiment"],
+            params=dict(data["params"]),
+            seed_index=int(data["seed_index"]),
+            root_seed=int(data["root_seed"]),
+            status=data["status"],
+            metrics=dict(data.get("metrics") or {}),
+            error=data.get("error"),
+            attempts=int(data.get("attempts", 1)),
+            duration_s=float(data.get("duration_s", 0.0)),
+        )
+
+
+class RunStore:
+    """Directory-backed store of :class:`RunRecord`, keyed by ``run_key``."""
+
+    MANIFEST = "manifest.json"
+    RUNS_DIR = "runs"
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.runs_dir = self.root / self.RUNS_DIR
+        self.runs_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- manifest -------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / self.MANIFEST
+
+    def save_manifest(self, spec: SweepSpec) -> None:
+        """Persist the owning spec (refused if a *different* one exists).
+
+        Resuming with a changed spec would silently mix two sweeps'
+        records in one store; the caller must use a fresh directory (or
+        bump ``salt``, which changes every run key anyway).
+        """
+        existing = self.load_manifest()
+        if existing is not None and existing != spec:
+            raise ValueError(
+                f"store {self.root} already holds a different sweep "
+                f"({existing.experiment!r}); use a fresh --store directory"
+            )
+        atomic_write_text(
+            self.manifest_path,
+            json.dumps(spec.to_dict(), indent=2, sort_keys=True) + "\n",
+        )
+
+    def load_manifest(self) -> Optional[SweepSpec]:
+        if not self.manifest_path.exists():
+            return None
+        return SweepSpec.from_dict(json.loads(self.manifest_path.read_text()))
+
+    # -- records --------------------------------------------------------
+    def path_for(self, run_key: str) -> Path:
+        return self.runs_dir / f"{run_key}.json"
+
+    def put(self, record: RunRecord) -> None:
+        """Persist one record atomically (last write per key wins)."""
+        atomic_write_text(
+            self.path_for(record.run_key), record.to_json_line() + "\n"
+        )
+
+    def get(self, run_key: str) -> Optional[RunRecord]:
+        """The stored record, or None if missing/unreadable.
+
+        A torn record is impossible by construction (atomic writes); an
+        unparsable file — e.g. hand-edited — is treated as absent so the
+        run simply re-executes.
+        """
+        path = self.path_for(run_key)
+        if not path.exists():
+            return None
+        try:
+            return RunRecord.from_dict(json.loads(path.read_text()))
+        except (OSError, json.JSONDecodeError, KeyError, ValueError):
+            return None
+
+    def records(self) -> List[RunRecord]:
+        """Every readable record, sorted by run key (deterministic)."""
+        out: List[RunRecord] = []
+        for path in sorted(self.runs_dir.glob("*.json")):
+            record = self.get(path.stem)
+            if record is not None:
+                out.append(record)
+        return out
+
+    def completed_keys(self) -> Set[str]:
+        """Run keys with a successful record (what resume skips)."""
+        return {r.run_key for r in self.records() if r.ok}
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.runs_dir.glob("*.json"))
+
+    def __contains__(self, run_key: str) -> bool:
+        return self.path_for(run_key).exists()
+
+    # -- export ---------------------------------------------------------
+    def export_jsonl(self, path: Union[str, Path]) -> int:
+        """Merge all records into one JSONL file (atomic); returns count."""
+        records = self.records()
+        atomic_write_text(
+            path, "".join(r.to_json_line() + "\n" for r in records)
+        )
+        return len(records)
+
+    def __repr__(self) -> str:
+        return f"RunStore({self.root}, records={len(self)})"

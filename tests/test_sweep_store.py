@@ -1,0 +1,114 @@
+"""Unit tests for the content-addressed run store."""
+
+import json
+
+import pytest
+
+from repro.sweep.spec import SweepSpec
+from repro.sweep.store import (
+    STATUS_FAILED,
+    STATUS_OK,
+    RunRecord,
+    RunStore,
+)
+
+
+def _record(key="abc123", status=STATUS_OK, **overrides):
+    defaults = dict(
+        run_key=key,
+        experiment="selftest",
+        params={"scale": 1.0},
+        seed_index=0,
+        root_seed=99,
+        status=status,
+        metrics={"value": 0.5} if status == STATUS_OK else {},
+    )
+    defaults.update(overrides)
+    return RunRecord(**defaults)
+
+
+def test_put_get_roundtrip(tmp_path):
+    store = RunStore(tmp_path / "s")
+    record = _record()
+    store.put(record)
+    assert store.get("abc123") == record
+    assert "abc123" in store
+    assert len(store) == 1
+
+
+def test_record_file_is_single_json_line(tmp_path):
+    store = RunStore(tmp_path / "s")
+    store.put(_record())
+    text = store.path_for("abc123").read_text()
+    assert text.endswith("\n") and text.count("\n") == 1
+    assert json.loads(text)["run_key"] == "abc123"
+
+
+def test_atomic_write_leaves_no_tmp_droppings(tmp_path):
+    store = RunStore(tmp_path / "s")
+    for i in range(5):
+        store.put(_record(key=f"k{i}"))
+    leftovers = [p for p in store.runs_dir.iterdir() if p.suffix != ".json"]
+    assert leftovers == []
+
+
+def test_completed_keys_excludes_failures(tmp_path):
+    store = RunStore(tmp_path / "s")
+    store.put(_record(key="good"))
+    store.put(_record(key="bad", status=STATUS_FAILED, error="boom"))
+    assert store.completed_keys() == {"good"}
+    assert len(store.records()) == 2
+
+
+def test_last_write_wins(tmp_path):
+    store = RunStore(tmp_path / "s")
+    store.put(_record(status=STATUS_FAILED, error="first try"))
+    store.put(_record(status=STATUS_OK))
+    assert store.get("abc123").ok
+
+
+def test_corrupt_record_treated_as_missing(tmp_path):
+    store = RunStore(tmp_path / "s")
+    store.put(_record())
+    store.path_for("abc123").write_text("{ not json")
+    assert store.get("abc123") is None
+    assert store.completed_keys() == set()
+    assert store.records() == []
+
+
+def test_records_sorted_by_key(tmp_path):
+    store = RunStore(tmp_path / "s")
+    for key in ("zz", "aa", "mm"):
+        store.put(_record(key=key))
+    assert [r.run_key for r in store.records()] == ["aa", "mm", "zz"]
+
+
+def test_invalid_status_rejected():
+    with pytest.raises(ValueError):
+        _record(status="exploded")
+
+
+def test_manifest_roundtrip(tmp_path):
+    store = RunStore(tmp_path / "s")
+    assert store.load_manifest() is None
+    spec = SweepSpec.build("selftest", {"scale": [1.0, 2.0]}, n_seeds=2)
+    store.save_manifest(spec)
+    assert store.load_manifest() == spec
+    store.save_manifest(spec)  # idempotent re-save is fine
+
+
+def test_manifest_refuses_different_spec(tmp_path):
+    store = RunStore(tmp_path / "s")
+    store.save_manifest(SweepSpec.build("selftest", {"scale": [1.0]}))
+    with pytest.raises(ValueError, match="different sweep"):
+        store.save_manifest(SweepSpec.build("selftest", {"scale": [9.0]}))
+
+
+def test_export_jsonl(tmp_path):
+    store = RunStore(tmp_path / "s")
+    store.put(_record(key="k1"))
+    store.put(_record(key="k2"))
+    out = tmp_path / "all.jsonl"
+    assert store.export_jsonl(out) == 2
+    lines = out.read_text().splitlines()
+    assert [json.loads(l)["run_key"] for l in lines] == ["k1", "k2"]

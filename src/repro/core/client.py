@@ -1,4 +1,4 @@
-"""The application user (client) — the heart of the client-centric approach.
+"""The application user (client) — simulation driver over the protocol core.
 
 An :class:`EdgeClient` runs three concurrent activities on the simulator:
 
@@ -7,15 +7,18 @@ An :class:`EdgeClient` runs three concurrent activities on the simulator:
    and feeds the rate controller. While unattached, frames accumulate in
    a bounded client-side backlog and are flushed on (re)attach, so
    downtime shows up as latency spikes exactly as in Fig. 4.
-2. **The periodic selection round** (Algorithm 2) — every ``T_probing``:
-   edge discovery at the Central Manager, parallel ``RTT_probe`` +
-   ``Process_probe`` of all candidates, local policy sort, hysteretic
-   switch via ``Join()`` (repeating from discovery on rejection), and
-   backup-list refresh with proactive connections.
-3. **Failure handling** — on a broken connection to the attached node,
-   walk the backup list with ``Unexpected_join()``; only when every
-   backup is dead too does the client fall back to reactive re-discovery
-   (counted as a *failure*, Fig. 10b).
+2. **The periodic selection round** (Algorithm 2) — every ``T_probing``.
+3. **Failure handling** — walking the backup list on a broken
+   connection, falling back to reactive re-discovery only when every
+   backup is dead too (counted as a *failure*, Fig. 10b).
+
+All the *decisions* in 2 and 3 — ranking, dwell, hysteresis, join
+retry, backup adoption, the failover walk — live in
+:class:`repro.protocol.selection.SelectionMachine`; this class is the
+sim-side **driver**: it translates kernel callbacks into protocol input
+events, executes the returned effects (network sends with sampled RTT
+delays, timers, trace emission), and owns the pure-I/O machinery —
+frames, links, probing measurements, the backlog.
 
 Baselines (geo-proximity, resource-aware WRR, ...) subclass this and
 override only the selection round — frames, links, adaptation and
@@ -26,7 +29,7 @@ costs elsewhere.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
     Deque,
@@ -38,26 +41,42 @@ from typing import (
 )
 
 from repro.core.config import SystemConfig
-from repro.core.failure_monitor import FailureMonitor
 from repro.core.messages import CandidateList, DiscoveryQuery
 from repro.core.policies.local_policies import LocalSelectionPolicy, policy_for
 from repro.core.probing import ProbeOutcome
 from repro.net.link import CONNECTION_SETUP_RTTS, Link
 from repro.obs.events import (
-    CoveredFailover,
-    DiscoveryIssued,
-    DiscoveryReturned,
     FrameDone,
     FrameStart,
-    JoinAccept,
-    JoinAttempt,
-    JoinReject,
     PhaseSpan,
     ProbeAnswered,
     ProbeSent,
-    Switch,
     UncoveredFailure,
 )
+from repro.protocol.effects import (
+    Attached,
+    Effect,
+    EmitTrace,
+    FlushBacklog,
+    ProbeCandidates,
+    SendDiscovery,
+    SendFailoverJoin,
+    SendJoin,
+    SendLeave,
+    StartTimer,
+    UpdateBackups,
+)
+from repro.protocol.events import (
+    CandidatesReceived,
+    EdgeFailed,
+    FailoverResult,
+    JoinResult,
+    ProbesCompleted,
+    ProtocolEvent,
+    RoundStarted,
+)
+from repro.protocol.failure_monitor import FailureMonitor
+from repro.protocol.selection import SelectionConfig, SelectionMachine
 from repro.sim.kernel import TimerHandle
 from repro.workload.adaptive import AdaptiveRateController
 from repro.workload.ar import ARApplication
@@ -150,32 +169,99 @@ class EdgeClient:
         self.user_id = user_id
         self.config: SystemConfig = system.config
         self.app = app or system.app
-        self.local_policy = local_policy or policy_for(
-            self.config.use_global_overhead, self.config.qos_latency_ms
-        )
         self.proactive_connections = proactive_connections
         self.controller = AdaptiveRateController(self.app)
         rng = system.streams.get(f"client.{user_id}")
         self.frame_source = FrameSource(user_id, self.app, rng)
         self._rng = rng
 
-        self.current_edge: Optional[str] = None
-        self.failure_monitor = FailureMonitor()
+        #: The sans-IO protocol core this driver executes.
+        self._machine = SelectionMachine(
+            user_id,
+            local_policy
+            or policy_for(
+                self.config.use_global_overhead, self.config.qos_latency_ms
+            ),
+            SelectionConfig(
+                top_n=self.config.top_n,
+                min_dwell_ms=self.config.min_dwell_ms,
+                switch_penalty_ms=self.config.switch_penalty_ms,
+                switch_penalty_fraction=self.config.switch_penalty_fraction,
+                max_discovery_retries=self.config.max_discovery_retries,
+            ),
+            detail_guard=lambda: self.system.trace.enabled,
+        )
         self.links: Dict[str, Link] = {}
         self.stats = ClientStats()
-        #: Live robustness knobs (§IV-E): start at the configured values;
-        #: an attached AdaptiveRobustness controller may move them with
-        #: observed churn.
-        self.top_n = self.config.top_n
+        #: Live robustness knob (§IV-E): an attached AdaptiveRobustness
+        #: controller may move it with observed churn (``top_n`` lives on
+        #: the machine and is mirrored below).
         self.probing_period_ms = self.config.probing_period_ms
         self.robustness_controller: Optional[object] = None
         self._backlog: Deque[Frame] = deque(maxlen=backlog_limit)
-        self._round_in_progress = False
-        self._retries = 0
-        self._last_join_ms = float("-inf")
-        self._probe_event = None
+        self._probe_event: Optional[TimerHandle] = None
         self._offload_timer: Optional[TimerHandle] = None
         self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Protocol-core state, exposed on the driver for experiments,
+    # baselines and the adaptive robustness controller.
+    # ------------------------------------------------------------------
+    @property
+    def local_policy(self) -> LocalSelectionPolicy:
+        return self._machine.policy
+
+    @local_policy.setter
+    def local_policy(self, policy: LocalSelectionPolicy) -> None:
+        self._machine.policy = policy
+
+    @property
+    def current_edge(self) -> Optional[str]:
+        return self._machine.current_edge
+
+    @current_edge.setter
+    def current_edge(self, node_id: Optional[str]) -> None:
+        self._machine.current_edge = node_id
+
+    @property
+    def top_n(self) -> int:
+        return self._machine.top_n
+
+    @top_n.setter
+    def top_n(self, value: int) -> None:
+        self._machine.top_n = value
+
+    @property
+    def failure_monitor(self) -> FailureMonitor:
+        return self._machine.monitor
+
+    @failure_monitor.setter
+    def failure_monitor(self, monitor: FailureMonitor) -> None:
+        self._machine.monitor = monitor
+
+    @property
+    def _round_in_progress(self) -> bool:
+        return self._machine.round_in_progress
+
+    @_round_in_progress.setter
+    def _round_in_progress(self, value: bool) -> None:
+        self._machine.round_in_progress = value
+
+    @property
+    def _last_join_ms(self) -> float:
+        return self._machine.last_join_ms
+
+    @_last_join_ms.setter
+    def _last_join_ms(self, value: float) -> None:
+        self._machine.last_join_ms = value
+
+    @property
+    def _retries(self) -> int:
+        return self._machine._retries
+
+    @_retries.setter
+    def _retries(self, value: int) -> None:
+        self._machine._retries = value
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -230,64 +316,92 @@ class EdgeClient:
         return self.current_edge is not None
 
     # ------------------------------------------------------------------
-    # Selection round (Algorithm 2) — overridden by baselines
+    # Protocol-event feed + effect execution
+    # ------------------------------------------------------------------
+    def _feed(self, event: ProtocolEvent) -> None:
+        """Advance the protocol machine and execute what it asks for."""
+        if self._stopped:
+            return
+        self._run_effects(self._machine.handle(event))
+
+    def _run_effects(self, effects: List[Effect]) -> None:
+        for effect in effects:
+            if isinstance(effect, EmitTrace):
+                self.system.trace.emit(effect.event)
+                if isinstance(effect.event, UncoveredFailure):
+                    self.stats.uncovered_failures += 1
+            elif isinstance(effect, SendDiscovery):
+                self.stats.discovery_queries += 1
+                self._perform_discovery(effect)
+            elif isinstance(effect, ProbeCandidates):
+                self._probe_candidates(list(effect.node_ids))
+            elif isinstance(effect, SendJoin):
+                self._perform_join(effect.outcome)
+            elif isinstance(effect, SendLeave):
+                self._send_leave(effect.node_id, reason=effect.reason)
+            elif isinstance(effect, SendFailoverJoin):
+                self._perform_failover_join(effect.node_id)
+            elif isinstance(effect, Attached):
+                if effect.via == "failover":
+                    self.stats.covered_failovers += 1
+                elif effect.previous is not None and (
+                    effect.previous != effect.node_id
+                ):
+                    self.stats.switches += 1
+                self._ensure_link(effect.node_id, effect.rtt_ms)
+            elif isinstance(effect, UpdateBackups):
+                if self.proactive_connections:
+                    for outcome in effect.outcomes:
+                        self._ensure_link(outcome.node_id, outcome.d_prop_ms)
+                self._prune_links()
+            elif isinstance(effect, FlushBacklog):
+                self._flush_backlog()
+            elif isinstance(effect, StartTimer):
+                self.system.sim.schedule(
+                    effect.delay_ms,
+                    self._begin_selection_round,
+                    label=f"{self.user_id}.retry",
+                )
+            else:  # pragma: no cover - forward-compatibility guard
+                raise TypeError(f"unhandled effect {type(effect).__name__}")
+
+    def _end_round(self) -> None:
+        """Close the current selection round (used by baseline subclasses
+        that bypass the protocol machine)."""
+        self._round_in_progress = False
+
+    # ------------------------------------------------------------------
+    # Selection round I/O (Algorithm 2) — overridden by baselines
     # ------------------------------------------------------------------
     def _begin_selection_round(self) -> None:
         if self._stopped or self._round_in_progress:
             return
-        self._round_in_progress = True
-        self._retries = 0
-        self._send_discovery()
+        self._feed(RoundStarted(self.system.sim.now))
 
-    def _send_discovery(self, exclude: tuple = ()) -> None:
+    def _perform_discovery(self, effect: SendDiscovery) -> None:
         """Edge discovery: one round trip to the Central Manager."""
-        self.stats.discovery_queries += 1
-        self.system.trace.emit(
-            DiscoveryIssued(self.system.sim.now, self.user_id)
-        )
         endpoint = self.system.topology.endpoint(self.user_id)
         query = DiscoveryQuery(
             user_id=self.user_id,
             lat=endpoint.point.lat,
             lon=endpoint.point.lon,
-            top_n=self.top_n,
+            top_n=effect.top_n,
             isp=endpoint.isp,
-            exclude=exclude,
+            exclude=effect.exclude,
         )
         rtt = self.system.topology.rtt_ms(self.user_id, self.system.manager_id)
         self.system.sim.schedule(
             rtt,
-            lambda: self._on_candidates(self.system.manager.discover(query)),
+            lambda: self._deliver_candidates(self.system.manager.discover(query)),
             label=f"{self.user_id}.discover",
         )
 
-    def _on_candidates(self, candidates: CandidateList) -> None:
-        if self._stopped:
-            return
-        if self.system.trace.enabled:
-            self.system.trace.emit(
-                DiscoveryReturned(
-                    self.system.sim.now,
-                    self.user_id,
-                    candidates.node_ids,
-                    widened=candidates.widened,
-                )
+    def _deliver_candidates(self, candidates: CandidateList) -> None:
+        self._feed(
+            CandidatesReceived(
+                self.system.sim.now, candidates.node_ids, candidates.widened
             )
-        if not candidates.node_ids:
-            # Nothing available: end the round; the periodic timer (or a
-            # short retry while detached) tries again.
-            self._end_round()
-            if not self.attached:
-                self.system.sim.schedule(500.0, self._begin_selection_round)
-            return
-        node_ids = list(candidates.node_ids)
-        # Algorithm 2 line 12 compares C[0] against Current, so Current is
-        # always probed — even when the manager's availability sort
-        # dropped it from the list (a node loaded by *this* user scores
-        # low on availability, which must not force a blind switch).
-        if self.current_edge is not None and self.current_edge not in node_ids:
-            node_ids.append(self.current_edge)
-        self._probe_candidates(node_ids)
+        )
 
     def _probe_candidates(self, node_ids: List[str]) -> None:
         """Probe all candidates in parallel; collect when the slowest returns.
@@ -345,138 +459,39 @@ class EdgeClient:
                 self._ensure_link(node_id, rtt)
         self.system.sim.schedule(
             max_rtt if max_rtt > 0 else 1.0,
-            lambda: self._on_probes_done(outcomes),
+            lambda: self._feed(
+                ProbesCompleted(self.system.sim.now, tuple(outcomes))
+            ),
             label=f"{self.user_id}.probed",
         )
 
-    def _on_probes_done(self, outcomes: List[ProbeOutcome]) -> None:
-        if self._stopped:
-            return
-        # For the node we are already attached to, the question is not
-        # "what if one more user joins" (we are one of its n users) but
-        # "what do I get by staying at my full rate" — the stay
-        # projection the probe reply carries. Substituting it before
-        # ranking removes a systematic bias against staying put without
-        # letting adaptive throttling mask overload.
-        if self.attached:
-            outcomes = [
-                replace(o, d_proc_ms=o.stay_ms)
-                if o.node_id == self.current_edge
-                else o
-                for o in outcomes
-            ]
-        ranked = self.local_policy(outcomes)
-        if not ranked:
-            # No candidate satisfies QoS / all candidates dead.
-            self._end_round()
-            if not self.attached:
-                self.system.sim.schedule(500.0, self._begin_selection_round)
-            return
-        best = ranked[0]
-        if self.attached and best.node_id == self.current_edge:
-            self._adopt_backups(ranked[1:])
-            self._end_round()
-            return
-        if self.attached:
-            # Dwell: a voluntary switch is only considered once the
-            # previous join has had time to settle.
-            if (
-                self.system.sim.now - self._last_join_ms
-                < self.config.min_dwell_ms
-            ):
-                ranked_backups = [o for o in ranked if o.node_id != self.current_edge]
-                self._adopt_backups(ranked_backups)
-                self._end_round()
-                return
-            current_outcome = next(
-                (o for o in ranked if o.node_id == self.current_edge), None
-            )
-            threshold = (
-                current_outcome.local_overhead_ms
-                * (1.0 - self.config.switch_penalty_fraction)
-                - self.config.switch_penalty_ms
-                if current_outcome is not None
-                else float("inf")
-            )
-            if current_outcome is not None and best.local_overhead_ms >= threshold:
-                # Hysteresis: not enough improvement to justify a switch.
-                ranked_backups = [o for o in ranked if o.node_id != self.current_edge]
-                self._adopt_backups(ranked_backups)
-                self._end_round()
-                return
-        self._send_join(best, ranked)
-
-    def _send_join(self, best: ProbeOutcome, ranked: List[ProbeOutcome]) -> None:
-        """``Join()`` the best candidate, echoing its probed seqNum."""
+    def _perform_join(self, best: ProbeOutcome) -> None:
+        """``Join()`` the chosen candidate, echoing its probed seqNum."""
         node = self.system.nodes.get(best.node_id)
         rtt = self.system.topology.rtt_ms(self.user_id, best.node_id)
 
         def deliver() -> None:
-            if self._stopped:
-                return
-            trace = self.system.trace
             now = self.system.sim.now
-            if trace.enabled:
-                trace.emit(JoinAttempt(now, self.user_id, best.node_id))
             if node is None or not node.alive:
-                trace.emit(JoinReject(now, self.user_id, best.node_id))
-                self._on_join_rejected()
-                return
-            reply = node.join(self.user_id, best.seq_num, self.controller.fps)
-            if reply.accepted:
-                trace.emit(JoinAccept(now, self.user_id, best.node_id))
-                self.stats.joins_accepted += 1
-                self._on_join_accepted(best, ranked)
+                accepted, node_alive = False, False
             else:
-                trace.emit(JoinReject(now, self.user_id, best.node_id))
+                reply = node.join(self.user_id, best.seq_num, self.controller.fps)
+                accepted, node_alive = reply.accepted, True
+            if accepted:
+                self.stats.joins_accepted += 1
+            elif node_alive:
                 self.stats.joins_rejected += 1
-                self._on_join_rejected()
-
-        self.system.sim.schedule(rtt, deliver, label=f"{self.user_id}.join")
-
-    def _on_join_accepted(self, best: ProbeOutcome, ranked: List[ProbeOutcome]) -> None:
-        previous = self.current_edge
-        if previous is not None and previous != best.node_id:
-            self._send_leave(previous, reason="switch")
-            self.stats.switches += 1
-            self.system.trace.emit(
-                Switch(
-                    self.system.sim.now,
-                    self.user_id,
-                    from_node=previous,
-                    to_node=best.node_id,
+            self._feed(
+                JoinResult(
+                    now,
+                    best.node_id,
+                    accepted,
+                    attempted_at=now,
+                    node_alive=node_alive,
                 )
             )
-        was_attached = previous is not None
-        self.current_edge = best.node_id
-        self._last_join_ms = self.system.sim.now
-        self._ensure_link(best.node_id, best.d_prop_ms)
-        self._adopt_backups([o for o in ranked if o.node_id != best.node_id])
-        self._end_round()
-        if not was_attached:
-            self._flush_backlog()
 
-    def _on_join_rejected(self) -> None:
-        """Join rejected (state changed): repeat from the discovery step."""
-        self._retries += 1
-        if self._retries <= self.config.max_discovery_retries:
-            self._send_discovery()
-        else:
-            self._end_round()
-            if not self.attached:
-                self.system.sim.schedule(500.0, self._begin_selection_round)
-
-    def _adopt_backups(self, ranked_rest: List[ProbeOutcome]) -> None:
-        backup_count = max(0, self.top_n - 1)
-        backup_ids = [o.node_id for o in ranked_rest[:backup_count]]
-        self.failure_monitor.update_backups(backup_ids)
-        if self.proactive_connections:
-            for outcome in ranked_rest[:backup_count]:
-                self._ensure_link(outcome.node_id, outcome.d_prop_ms)
-        self._prune_links()
-
-    def _end_round(self) -> None:
-        self._round_in_progress = False
+        self.system.sim.schedule(rtt, deliver, label=f"{self.user_id}.join")
 
     # ------------------------------------------------------------------
     # Links
@@ -518,23 +533,10 @@ class EdgeClient:
         if self._stopped:
             return
         self.links.pop(node_id, None)
-        if node_id != self.current_edge:
-            self.failure_monitor.remove(node_id)
-            return
-        self.current_edge = None
-        self._failover()
+        self._feed(EdgeFailed(self.system.sim.now, node_id))
 
-    def _failover(self) -> None:
-        """Walk the backup list; uncovered failure falls back to discovery."""
-        backup_id = self.failure_monitor.next_backup()
-        if backup_id is None:
-            self.failure_monitor.note_uncovered()
-            self.stats.uncovered_failures += 1
-            self.system.trace.emit(
-                UncoveredFailure(self.system.sim.now, self.user_id)
-            )
-            self._reactive_reconnect()
-            return
+    def _perform_failover_join(self, backup_id: str) -> None:
+        """``Unexpected_join()`` one backup after the connection delay."""
         node = self.system.nodes.get(backup_id)
         rtt = (
             self.system.topology.rtt_ms(self.user_id, backup_id)
@@ -545,31 +547,18 @@ class EdgeClient:
             rtt += CONNECTION_SETUP_RTTS * rtt  # fresh connection first
 
         def deliver() -> None:
-            if self._stopped:
-                return
-            if node is not None and node.alive and node.unexpected_join(
-                self.user_id, self.controller.fps
-            ):
-                self.failure_monitor.note_covered()
-                self.stats.covered_failovers += 1
-                self.system.trace.emit(
-                    CoveredFailover(self.system.sim.now, self.user_id, backup_id)
+            accepted = (
+                node is not None
+                and node.alive
+                and node.unexpected_join(self.user_id, self.controller.fps)
+            )
+            self._feed(
+                FailoverResult(
+                    self.system.sim.now, backup_id, accepted, rtt_ms=rtt
                 )
-                self.current_edge = backup_id
-                self._last_join_ms = self.system.sim.now
-                self._ensure_link(backup_id, rtt)
-                self._flush_backlog()
-            else:
-                # This backup is dead too: try the next one.
-                self._failover()
+            )
 
         self.system.sim.schedule(rtt, deliver, label=f"{self.user_id}.failover")
-
-    def _reactive_reconnect(self) -> None:
-        """No live backup: pay full re-discovery + connection establishment."""
-        if self._round_in_progress:
-            return
-        self._begin_selection_round()
 
     # ------------------------------------------------------------------
     # Offloading loop

@@ -1,28 +1,30 @@
-"""The edge node server (simulated backend).
+"""The edge node server — simulation driver over the protocol core.
 
-Implements everything the paper puts on the node side:
+The node-side *decisions* of Table I — seqNum join synchronization
+(Algorithm 1), the unrejectable ``Unexpected_join``, leave handling,
+the what-if cache invalidation triggers (join / leave / drift / idle)
+and its EWMA update rule — live in
+:class:`repro.protocol.admission.AdmissionMachine`. This class is the
+sim-side **driver**: it owns the physics the machine cannot — the real
+frame queue the synthetic test workload runs through, the measured
+sojourns, heartbeating, host-workload replay — and translates between
+sim method calls and machine events/effects:
 
-- the probing APIs of Table I (``RTT_probe`` is implicit in the network
-  round trip; ``Process_probe``/``Join``/``Unexpected_join``/``Leave``
-  are methods here);
-- the **"what-if" cache**: the synthetic test workload is enqueued into
-  the node's real frame queue and its measured sojourn cached; probes
-  only read the cache (§IV-C2);
-- the three **test-workload triggers** — user join (delayed by
-  ``2 x common RTT`` so the new user's frames are already flowing), user
-  leave, and the performance monitor noticing drift (adaptive FPS or
-  host workload);
-- **Join synchronization** via ``seqNum`` (Algorithm 1): a ``Join`` is
-  accepted only when the caller echoes the current sequence number,
-  which changes on every state change — simultaneous selections by
-  multiple users are serialized this way;
-- periodic **heartbeats** to the Central Manager.
+- ``process_probe``/``join``/``unexpected_join``/``leave`` feed the
+  machine and frame its reply effects into the wire messages;
+- a :class:`~repro.protocol.effects.ScheduleTestWorkload` effect runs
+  the synthetic frame through the **real** queue (delayed by
+  ``2 x common RTT`` for the join trigger, so the new user's frames are
+  already flowing) and feeds the measured sojourn back as
+  :class:`~repro.protocol.events.TestWorkloadCompleted`;
+- the periodic performance monitor samples the queue and feeds
+  :class:`~repro.protocol.events.MonitorSample` (trigger type 3).
 """
 
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.config import SystemConfig
 from repro.core.messages import JoinReply, NodeStatus, ProbeReply
@@ -30,7 +32,24 @@ from repro.geo import geohash as gh
 from repro.nodes.hardware import HardwareProfile
 from repro.nodes.host_workload import HostWorkloadSchedule
 from repro.nodes.processing import CompletedFrame, FrameProcessor, analytic_sojourn_ms
-from repro.obs.events import CacheHit, CacheMiss, TestWorkloadInvoked
+from repro.obs.events import CacheMiss, TestWorkloadInvoked
+from repro.protocol.admission import AdmissionConfig, AdmissionMachine
+from repro.protocol.effects import (
+    Effect,
+    EmitTrace,
+    ReplyJoin,
+    ReplyProbe,
+    ScheduleTestWorkload,
+)
+from repro.protocol.events import (
+    JoinRequested,
+    LeaveRequested,
+    MonitorSample,
+    NodeFailed,
+    ProbeRequested,
+    TestWorkloadCompleted,
+    UnexpectedJoinRequested,
+)
 from repro.sim.kernel import TimerHandle
 from repro.workload.frames import Frame
 
@@ -74,17 +93,18 @@ class EdgeServer:
         self.processor = FrameProcessor(profile)
         self.state = NodeState.ALIVE
         self.failed_at_ms: Optional[float] = None
-        self.seq_num = 0
-        #: user_id -> declared offloading fps (informational)
-        self.attached: Dict[str, float] = {}
-        #: cached "what-if" processing delay served to probes
-        self.what_if_ms: float = profile.base_frame_ms
-        #: cached stay-projection for already-attached users (see
-        #: :class:`~repro.core.messages.ProbeReply.stay_ms`)
-        self.stay_ms: float = profile.base_frame_ms
-        #: measured processing level at the last test-workload run —
-        #: the performance monitor's drift baseline
-        self._monitor_baseline_ms: float = profile.base_frame_ms
+        #: The sans-IO admission core this driver executes.
+        self._machine = AdmissionMachine(
+            node_id,
+            AdmissionConfig(
+                join_synchronization=self.config.join_synchronization,
+                perf_monitor_threshold=self.config.perf_monitor_threshold,
+                standard_fps=system.app.max_fps,
+            ),
+            initial_ms=profile.base_frame_ms,
+            project=self._project_sojourn,
+            detail_guard=lambda: self.system.trace.enabled,
+        )
 
         # counters surfaced to experiments
         self.test_workload_invocations = 0
@@ -97,6 +117,57 @@ class EdgeServer:
         self._heartbeat_timer: Optional[TimerHandle] = None
         self._monitor_timer: Optional[TimerHandle] = None
         self._test_pending = False
+
+    def _project_sojourn(self, offered_fps: float, slowdown: float) -> float:
+        """The machine's analytic sojourn projection, closed over this
+        node's hardware profile."""
+        return analytic_sojourn_ms(
+            self.profile, offered_fps, slowdown_factor=slowdown
+        )
+
+    # ------------------------------------------------------------------
+    # Protocol-core state, exposed on the driver for experiments and the
+    # multi-app subclass.
+    # ------------------------------------------------------------------
+    @property
+    def seq_num(self) -> int:
+        return self._machine.seq_num
+
+    @seq_num.setter
+    def seq_num(self, value: int) -> None:
+        self._machine.seq_num = value
+
+    @property
+    def attached(self) -> Dict[str, float]:
+        return self._machine.attached
+
+    @attached.setter
+    def attached(self, value: Dict[str, float]) -> None:
+        self._machine.attached = value
+
+    @property
+    def what_if_ms(self) -> float:
+        return self._machine.what_if_ms
+
+    @what_if_ms.setter
+    def what_if_ms(self, value: float) -> None:
+        self._machine.what_if_ms = value
+
+    @property
+    def stay_ms(self) -> float:
+        return self._machine.stay_ms
+
+    @stay_ms.setter
+    def stay_ms(self, value: float) -> None:
+        self._machine.stay_ms = value
+
+    @property
+    def _monitor_baseline_ms(self) -> float:
+        return self._machine.monitor_baseline_ms
+
+    @_monitor_baseline_ms.setter
+    def _monitor_baseline_ms(self, value: float) -> None:
+        self._machine.monitor_baseline_ms = value
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -141,11 +212,35 @@ class EdgeServer:
             self._heartbeat_timer.cancel()
         if self._monitor_timer is not None:
             self._monitor_timer.cancel()
-        self.attached.clear()
+        self._machine.handle(NodeFailed(self.system.sim.now))
 
     @property
     def alive(self) -> bool:
         return self.state is NodeState.ALIVE
+
+    # ------------------------------------------------------------------
+    # Effect execution
+    # ------------------------------------------------------------------
+    def _run_effects(self, effects: List[Effect]) -> Optional[Effect]:
+        """Execute side effects in order; return the reply effect (if any)."""
+        reply: Optional[Effect] = None
+        for effect in effects:
+            if isinstance(effect, EmitTrace):
+                self.system.trace.emit(effect.event)
+            elif isinstance(effect, ScheduleTestWorkload):
+                if effect.delayed:
+                    self.system.sim.schedule(
+                        2.0 * self.config.common_rtt_ms,
+                        self._invoke_test_workload,
+                        label=f"{self.node_id}.testwl",
+                    )
+                else:
+                    self._invoke_test_workload()
+            elif isinstance(effect, (ReplyProbe, ReplyJoin)):
+                reply = effect
+            else:  # pragma: no cover - forward-compatibility guard
+                raise TypeError(f"unhandled effect {type(effect).__name__}")
+        return reply
 
     # ------------------------------------------------------------------
     # Table I APIs (invoked by clients after the network delay)
@@ -160,18 +255,23 @@ class EdgeServer:
         if not self.alive:
             return None
         self.probes_served += 1
-        if self.system.trace.enabled:
-            self.system.trace.emit(
-                CacheHit(self.system.sim.now, self.node_id, self.what_if_ms)
+        now = self.system.sim.now
+        reply = self._run_effects(
+            self._machine.handle(
+                ProbeRequested(
+                    now,
+                    recent_mean_ms=self.processor.recent_mean_sojourn_ms(now),
+                )
             )
-        current = self.processor.recent_mean_sojourn_ms(self.system.sim.now)
+        )
+        assert isinstance(reply, ReplyProbe)
         return ProbeReply(
             node_id=self.node_id,
-            what_if_ms=self.what_if_ms,
-            seq_num=self.seq_num,
-            attached_users=len(self.attached),
-            current_proc_ms=current if current is not None else self.what_if_ms,
-            stay_ms=self.stay_ms,
+            what_if_ms=reply.what_if_ms,
+            seq_num=reply.seq_num,
+            attached_users=reply.attached_users,
+            current_proc_ms=reply.current_proc_ms,
+            stay_ms=reply.stay_ms,
         )
 
     def join(self, user_id: str, user_seq_num: int, fps: float) -> JoinReply:
@@ -182,20 +282,19 @@ class EdgeServer:
         increments and a test-workload run is scheduled after
         ``2 x common RTT`` so the measurement sees the new user's frames.
         """
-        if not self.alive or (
-            self.config.join_synchronization and user_seq_num != self.seq_num
-        ):
-            self.joins_rejected += 1
-            return JoinReply(node_id=self.node_id, accepted=False, seq_num=self.seq_num)
-        self.seq_num += 1
-        self.attached[user_id] = fps
-        self.joins_accepted += 1
-        self._mark_cache_stale("join")
-        delay = 2.0 * self.config.common_rtt_ms
-        self.system.sim.schedule(
-            delay, self._invoke_test_workload, label=f"{self.node_id}.testwl"
+        reply = self._run_effects(
+            self._machine.handle(
+                JoinRequested(self.system.sim.now, user_id, user_seq_num, fps)
+            )
         )
-        return JoinReply(node_id=self.node_id, accepted=True, seq_num=self.seq_num)
+        assert isinstance(reply, ReplyJoin)
+        if reply.accepted:
+            self.joins_accepted += 1
+        else:
+            self.joins_rejected += 1
+        return JoinReply(
+            node_id=self.node_id, accepted=reply.accepted, seq_num=reply.seq_num
+        )
 
     def unexpected_join(self, user_id: str, fps: float) -> bool:
         """``Unexpected_join()``: failover attach that cannot be rejected.
@@ -203,24 +302,21 @@ class EdgeServer:
         Returns False only if this node is itself dead (the client will
         then try its next backup).
         """
-        if not self.alive:
-            return False
-        self.seq_num += 1
-        self.attached[user_id] = fps
-        self.joins_accepted += 1
-        self._mark_cache_stale("join")
-        self._invoke_test_workload()
-        return True
+        reply = self._run_effects(
+            self._machine.handle(
+                UnexpectedJoinRequested(self.system.sim.now, user_id, fps)
+            )
+        )
+        assert isinstance(reply, ReplyJoin)
+        if reply.accepted:
+            self.joins_accepted += 1
+        return reply.accepted
 
     def leave(self, user_id: str) -> None:
         """``Leave()``: workload decrease — trigger type 2."""
-        if not self.alive:
-            return
-        if user_id in self.attached:
-            del self.attached[user_id]
-            self.seq_num += 1
-            self._mark_cache_stale("leave")
-            self._invoke_test_workload()
+        self._run_effects(
+            self._machine.handle(LeaveRequested(self.system.sim.now, user_id))
+        )
 
     # ------------------------------------------------------------------
     # Frame processing
@@ -248,33 +344,25 @@ class EdgeServer:
     # What-if test workload + performance monitor
     # ------------------------------------------------------------------
     def _mark_cache_stale(self, reason: str) -> None:
-        """Emit the cache-staleness trace event for one refresh trigger.
-
-        ``reason``: ``prime`` | ``join`` | ``leave`` | ``drift`` | ``idle``.
-        """
+        """Emit the cache-staleness trace event for one refresh trigger
+        that originates in the driver (``prime``; the protocol triggers
+        emit their own through the machine)."""
         if self.system.trace.enabled:
             self.system.trace.emit(
                 CacheMiss(self.system.sim.now, self.node_id, reason)
             )
 
     def _invoke_test_workload(self) -> None:
-        """Run the synthetic single-frame test workload and update the cache.
+        """Run the synthetic single-frame test workload through the
+        **real** frame queue, then feed the measured sojourn back to the
+        admission machine, which folds it into the what-if cache (EWMA
+        blend with the analytic demand projection — see DESIGN.md §5).
 
-        The synthetic frame goes through the *real* frame queue, so its
-        sojourn reflects hardware, host interference and the live
-        workload — the paper's accuracy argument for probing over static
-        profiling. Invocations are coalesced: if one is already in
-        flight, the trigger is satisfied by its result.
-
-        The cached what-if is the **max** of the measured synthetic
-        sojourn and an analytic steady-state estimate fed with the
-        node's *live* arrival rate plus one standard new user. A single
-        instantaneous frame aliases badly when adaptive-rate clients
-        keep the queue oscillating around saturation (a lull reads
-        near-idle on a node that is in fact full); the analytic floor —
-        still built purely from runtime measurements, never static
-        profiles — restores the "what-if one more user joins" semantics
-        the paper intends. See DESIGN.md §5.
+        The real queue is the paper's accuracy argument for probing over
+        static profiling: the sojourn reflects hardware, host
+        interference and the live workload. Invocations are coalesced:
+        if one is already in flight, the trigger is satisfied by its
+        result.
         """
         if not self.alive or self._test_pending:
             return
@@ -286,71 +374,41 @@ class EdgeServer:
         self.system.trace.emit(TestWorkloadInvoked(now, self.node_id))
         self._test_pending = True
 
-        def update_cache() -> None:
+        def report() -> None:
             self._test_pending = False
-            if not self.alive:
-                return
-            measured = completed.sojourn_ms
-            # Project the "new-user-join" scenario from *demand*: every
-            # attached user plus the newcomer at the application's
-            # standard rate. The instantaneous arrival rate is useless
-            # here — adaptive clients throttle exactly when the node is
-            # overloaded, so a rate-based estimate reads low at the
-            # worst moment (and a lull makes the measured sojourn read
-            # near-idle on a saturated node).
-            n_attached = len(self.attached)
-            max_fps = self.system.app.max_fps
-            slowdown = self.processor.slowdown_factor
-            projected = analytic_sojourn_ms(
-                self.profile, (n_attached + 1) * max_fps, slowdown_factor=slowdown
+            self._run_effects(
+                self._machine.handle(
+                    TestWorkloadCompleted(
+                        self.system.sim.now,
+                        completed.sojourn_ms,
+                        slowdown_factor=self.processor.slowdown_factor,
+                    )
+                )
             )
-            # EWMA-blend successive cache values: a single synthetic
-            # frame that landed behind a transient burst would otherwise
-            # make the node look terrible for a whole refresh cycle,
-            # stampeding its users away and oscillating the population.
-            alpha = 0.6
-            self.what_if_ms = (
-                alpha * max(measured, projected) + (1.0 - alpha) * self.what_if_ms
-            )
-            stay_projected = analytic_sojourn_ms(
-                self.profile, max(n_attached, 1) * max_fps, slowdown_factor=slowdown
-            )
-            self.stay_ms = (
-                alpha * max(measured, stay_projected) + (1.0 - alpha) * self.stay_ms
-            )
-            self._monitor_baseline_ms = measured
 
         self.system.sim.schedule_at(
-            completed.completion_ms, update_cache, label=f"{self.node_id}.cache"
+            completed.completion_ms, report, label=f"{self.node_id}.cache"
         )
 
     def _performance_monitor_tick(self) -> None:
         """Trigger type 3: noticeable processing-time drift at constant users.
 
         Catches adaptive request-rate changes and host workloads — both
-        change measured sojourns without a join/leave.
+        change measured sojourns without a join/leave. The driver only
+        samples the queue; the drift/idle decisions are the machine's.
         """
         if not self.alive:
             return
-        measured = self.processor.recent_mean_sojourn_ms(self.system.sim.now)
-        if measured is None:
-            # No recent user traffic. If the cached what-if still says
-            # "loaded" (left over from departed users), refresh it so an
-            # idle node can win users back.
-            idle_floor = self.processor.effective_service_ms
-            if self.what_if_ms > 1.5 * idle_floor and not self.attached:
-                self.seq_num += 1
-                self._mark_cache_stale("idle")
-                self._invoke_test_workload()
-            return
-        baseline = self._monitor_baseline_ms
-        if baseline <= 0:
-            return
-        drift = abs(measured - baseline) / baseline
-        if drift > self.config.perf_monitor_threshold:
-            self.seq_num += 1
-            self._mark_cache_stale("drift")
-            self._invoke_test_workload()
+        now = self.system.sim.now
+        self._run_effects(
+            self._machine.handle(
+                MonitorSample(
+                    now,
+                    measured_ms=self.processor.recent_mean_sojourn_ms(now),
+                    idle_floor_ms=self.processor.effective_service_ms,
+                )
+            )
+        )
 
     def _apply_host_slowdown(self) -> None:
         """Apply the host-workload slowdown in effect right now."""

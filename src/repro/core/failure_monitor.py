@@ -1,74 +1,7 @@
-"""The client-side failure monitor (§IV-E).
+"""Compatibility re-export: the failure monitor moved into the
+protocol core (:mod:`repro.protocol.failure_monitor`) so both backends
+share it through :class:`~repro.protocol.selection.SelectionMachine`."""
 
-Maintains the **backup edge list** — the unselected candidates from the
-last probing round, pre-sorted by the local selection policy so "the
-first backup node used is always the second best option" — and executes
-the failover: on detecting the attached node's failure it walks the
-backup list issuing ``Unexpected_join()`` to the first alive backup.
+from repro.protocol.failure_monitor import FailureMonitor
 
-Whether that switch is instant depends on connection strategy:
-
-- **proactive** (the paper's approach): connections to all backups are
-  already established, so the switch costs one one-way notification —
-  "service downtime during connection switch [is] negligible";
-- **reactive** (the "re-connect" baseline of Fig. 4 / Fig. 10a): no
-  standing connections; a failover pays edge re-discovery plus fresh
-  connection establishment.
-
-The monitor only tracks state and answers "who's next"; the client owns
-all message sending, so the monitor stays trivially unit-testable.
-"""
-
-from __future__ import annotations
-
-from typing import List, Optional
-
-
-class FailureMonitor:
-    """Backup-list bookkeeping for one client.
-
-    Attributes:
-        backups: node ids, best-first (second-best overall candidate
-            first, per the pre-sorted candidate list).
-    """
-
-    def __init__(self) -> None:
-        self.backups: List[str] = []
-        self.failovers_attempted = 0
-        self.failovers_covered = 0
-        self.failovers_uncovered = 0
-
-    def update_backups(self, node_ids: List[str]) -> None:
-        """Replace the backup list with fresh probing results.
-
-        This is the periodic refresh of Algorithm 2 line 20
-        (``Backups <- C[1:]``): failed nodes age out of the list every
-        probing period, which is why smaller ``T_probing`` raises
-        robustness.
-        """
-        self.backups = list(node_ids)
-
-    def remove(self, node_id: str) -> None:
-        """Drop a node observed dead (broken proactive connection)."""
-        self.backups = [b for b in self.backups if b != node_id]
-
-    def next_backup(self) -> Optional[str]:
-        """Pop the best remaining backup, or None if the list is empty."""
-        if not self.backups:
-            return None
-        return self.backups.pop(0)
-
-    def note_covered(self) -> None:
-        self.failovers_attempted += 1
-        self.failovers_covered += 1
-
-    def note_uncovered(self) -> None:
-        """All backups were dead simultaneously — the Fig. 10b "failure"."""
-        self.failovers_attempted += 1
-        self.failovers_uncovered += 1
-
-    def __len__(self) -> int:
-        return len(self.backups)
-
-    def __repr__(self) -> str:
-        return f"FailureMonitor(backups={self.backups})"
+__all__ = ["FailureMonitor"]

@@ -1,23 +1,41 @@
-"""The Central Manager: node registry + global edge selection (step 1).
+"""The Central Manager — simulation driver over the protocol core.
 
 "Central Manager collects real-time node status/resource utilization
 information from edge nodes to serve edge discovery queries" (§IV-A).
 It is deliberately *not* in the request path — it only answers discovery
 queries with a coarse TopN candidate list; clients do the accurate work.
 
-The manager also hosts the state the **resource-aware weighted round
-robin baseline** needs (smooth WRR over availability scores), since that
-baseline is a manager/load-balancer-side policy by construction.
+The registry, expiry heap, spatial index, TopN ranking and the smooth
+WRR state all live in
+:class:`repro.protocol.global_select.GlobalSelectionMachine`; this class
+adapts it to the simulated backend: sim method calls in, wire messages
+out, plus the driver-owned extras — query/heartbeat counters and the
+optional reputation tracker fed from ``NodeOnline``/``NodeExpired``
+effects.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.messages import CandidateList, DiscoveryQuery, NodeStatus
 from repro.core.policies.global_policies import GlobalSelectionPolicy
 from repro.geo.spatial_index import GeohashSpatialIndex
+from repro.protocol.effects import (
+    Effect,
+    NodeExpired,
+    NodeOnline,
+    ReplyAssignment,
+    ReplyCandidates,
+)
+from repro.protocol.events import (
+    DiscoveryRequested,
+    HeartbeatReceived,
+    NodeForgotten,
+    PruneTick,
+    WrrAssignRequested,
+)
+from repro.protocol.global_select import GlobalSelectionMachine
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.policies.reputation import ReputationTracker
@@ -40,25 +58,59 @@ class CentralManager:
         reputation: Optional["ReputationTracker"] = None,
     ) -> None:
         self.system = system
-        self.policy = policy or GlobalSelectionPolicy()
+        #: The sans-IO Central Manager core this driver executes. The
+        #: sim's expiry stamps are heartbeat ``reported_at_ms`` values
+        #: compared against ``sim.now``.
+        self._machine = GlobalSelectionMachine(
+            policy or GlobalSelectionPolicy(),
+            heartbeat_timeout=system.config.heartbeat_timeout_ms,
+        )
         #: Optional reputation extension: when set, heartbeat appearances
         #: and silent departures feed it (install its sort key on the
         #: policy to act on the scores; see policies/reputation.py).
         self.reputation = reputation
-        self._registry: Dict[str, NodeStatus] = {}
-        #: Geohash-bucketed spatial index over the registry, maintained
-        #: incrementally on heartbeat/expiry so discovery never scans the
-        #: full registry (the metro-scale fast path).
-        self.spatial_index: GeohashSpatialIndex[NodeStatus] = GeohashSpatialIndex()
-        #: Min-heap of (reported_at_ms, node_id): the oldest heartbeat is
-        #: always on top, so expiring stale nodes pops only actually-stale
-        #: entries (amortized O(1) per query) instead of scanning all N.
-        #: Entries superseded by fresher heartbeats are lazily discarded.
-        self._expiry_heap: List[Tuple[float, str]] = []
         self.queries_served = 0
         self.heartbeats_received = 0
-        # Smooth-WRR state for the resource-aware baseline.
-        self._wrr_current: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Protocol-core state, exposed on the driver for experiments.
+    # ------------------------------------------------------------------
+    @property
+    def policy(self) -> GlobalSelectionPolicy:
+        return self._machine.policy
+
+    @policy.setter
+    def policy(self, policy: GlobalSelectionPolicy) -> None:
+        self._machine.policy = policy
+
+    @property
+    def spatial_index(self) -> GeohashSpatialIndex[NodeStatus]:
+        return self._machine.spatial_index
+
+    @property
+    def _registry(self) -> Dict[str, NodeStatus]:
+        return self._machine.registry
+
+    # ------------------------------------------------------------------
+    def _run_effects(self, effects: List[Effect]) -> Optional[Effect]:
+        """Execute registry effects in order; return the reply (if any)."""
+        reply: Optional[Effect] = None
+        for effect in effects:
+            if isinstance(effect, NodeOnline):
+                if self.reputation is not None:
+                    self.reputation.record_online(
+                        effect.node_id, self.system.sim.now
+                    )
+            elif isinstance(effect, NodeExpired):
+                if self.reputation is not None:
+                    self.reputation.record_departure(
+                        effect.node_id, self.system.sim.now
+                    )
+            elif isinstance(effect, (ReplyCandidates, ReplyAssignment)):
+                reply = effect
+            else:  # pragma: no cover - forward-compatibility guard
+                raise TypeError(f"unhandled effect {type(effect).__name__}")
+        return reply
 
     # ------------------------------------------------------------------
     # Registry maintenance
@@ -66,17 +118,15 @@ class CentralManager:
     def receive_heartbeat(self, status: NodeStatus) -> None:
         """Ingest a node status report."""
         self.heartbeats_received += 1
-        self._registry[status.node_id] = status
-        self.spatial_index.insert(status)
-        heapq.heappush(self._expiry_heap, (status.reported_at_ms, status.node_id))
-        if self.reputation is not None:
-            self.reputation.record_online(status.node_id, self.system.sim.now)
+        self._run_effects(
+            self._machine.handle(
+                HeartbeatReceived(stamp=status.reported_at_ms, status=status)
+            )
+        )
 
     def forget_node(self, node_id: str) -> None:
         """Explicitly remove a node (e.g. administrative deregistration)."""
-        self._registry.pop(node_id, None)
-        self.spatial_index.remove(node_id)
-        self._wrr_current.pop(node_id, None)
+        self._run_effects(self._machine.handle(NodeForgotten(node_id)))
 
     def prune_stale(self) -> None:
         """Expire registry entries older than the heartbeat timeout.
@@ -84,32 +134,18 @@ class CentralManager:
         A dead node silently ages out after ``heartbeat_timeout_ms``,
         which is exactly the window in which discovery can still hand out
         a dead candidate (the client tolerates this: probes to it fail
-        and it is skipped). The expiry heap keeps this amortized O(1):
-        only entries that are actually stale — or superseded by a fresher
-        heartbeat for the same node — are ever popped.
+        and it is skipped). The machine's expiry heap keeps this
+        amortized O(1).
         """
-        now = self.system.sim.now
-        timeout = self.system.config.heartbeat_timeout_ms
-        heap = self._expiry_heap
-        registry = self._registry
-        while heap and now - heap[0][0] > timeout:
-            reported_at, node_id = heapq.heappop(heap)
-            status = registry.get(node_id)
-            if status is None or status.reported_at_ms != reported_at:
-                continue  # superseded by a fresher heartbeat (or forgotten)
-            registry.pop(node_id, None)
-            self.spatial_index.remove(node_id)
-            self._wrr_current.pop(node_id, None)
-            if self.reputation is not None:
-                self.reputation.record_departure(node_id, now)
+        self._run_effects(self._machine.handle(PruneTick(self.system.sim.now)))
 
     def alive_statuses(self) -> List[NodeStatus]:
         """Statuses not older than the heartbeat timeout (pruned on read)."""
         self.prune_stale()
-        return list(self._registry.values())
+        return list(self._machine.registry.values())
 
     def known_node_ids(self) -> List[str]:
-        return list(self._registry)
+        return list(self._machine.registry)
 
     # ------------------------------------------------------------------
     # Edge discovery (global edge selection)
@@ -123,13 +159,18 @@ class CentralManager:
         scales with local density rather than metro population.
         """
         self.queries_served += 1
-        self.prune_stale()
-        node_ids, widened = self.policy.select(query, index=self.spatial_index)
+        now = self.system.sim.now
+        reply = self._run_effects(
+            self._machine.handle(
+                DiscoveryRequested(now=now, stamp=now, query=query)
+            )
+        )
+        assert isinstance(reply, ReplyCandidates)
         return CandidateList(
             user_id=query.user_id,
-            node_ids=tuple(node_ids),
-            generated_at_ms=self.system.sim.now,
-            widened=widened,
+            node_ids=reply.node_ids,
+            generated_at_ms=reply.generated_at_ms,
+            widened=reply.widened,
         )
 
     # ------------------------------------------------------------------
@@ -145,30 +186,18 @@ class CentralManager:
         each round every node gains its weight, the richest is picked and
         pays back the total weight.
         """
-        statuses = [
-            s for s in self.alive_statuses() if s.node_id not in query.exclude
-        ]
-        if self.policy.node_predicate is not None:
-            statuses = [s for s in statuses if self.policy.node_predicate(s)]
-        if not statuses:
-            return None
-        total = 0.0
-        weights: Dict[str, float] = {}
-        for status in statuses:
-            weight = max(status.availability_score, 0.01)
-            weights[status.node_id] = weight
-            total += weight
-        best_id: Optional[str] = None
-        best_value = float("-inf")
-        for node_id, weight in weights.items():
-            current = self._wrr_current.get(node_id, 0.0) + weight
-            self._wrr_current[node_id] = current
-            if current > best_value:
-                best_value = current
-                best_id = node_id
-        assert best_id is not None
-        self._wrr_current[best_id] -= total
-        return best_id
+        reply = self._run_effects(
+            self._machine.handle(
+                WrrAssignRequested(
+                    stamp=self.system.sim.now, exclude=tuple(query.exclude)
+                )
+            )
+        )
+        assert isinstance(reply, ReplyAssignment)
+        return reply.node_id
 
     def __repr__(self) -> str:
-        return f"CentralManager(nodes={len(self._registry)}, queries={self.queries_served})"
+        return (
+            f"CentralManager(nodes={len(self._machine.registry)}, "
+            f"queries={self.queries_served})"
+        )

@@ -10,14 +10,13 @@ read. Nothing in the selection algorithms ever reads the collector —
 measurement is strictly one-way.
 
 The pre-redesign mutation entry points (``record_frame`` & friends)
-survive for one release as :class:`DeprecationWarning` shims delegating
-to the same internal reducers, so external code keeps working while it
-migrates to ``Tracer.emit()``.
+shipped one release as :class:`DeprecationWarning` shims and have been
+removed: emit the corresponding trace event via ``Tracer.emit()`` (or
+call :meth:`MetricsCollector.on_event` directly in tests).
 """
 
 from __future__ import annotations
 
-import warnings
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
@@ -26,16 +25,6 @@ from repro.metrics.timeseries import TimeSeries
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.events import TraceEvent
-
-
-def _warn_deprecated(name: str, replacement: str) -> None:
-    warnings.warn(
-        f"MetricsCollector.{name} is deprecated; components should emit a "
-        f"{replacement} trace event via Tracer.emit() instead (the collector "
-        "reduces it identically)",
-        DeprecationWarning,
-        stacklevel=3,
-    )
 
 
 @dataclass(frozen=True)
@@ -138,66 +127,6 @@ class MetricsCollector:
 
     def _on_population(self, event) -> None:
         self.alive_nodes.append(event.t_ms, float(event.count))
-
-    # ------------------------------------------------------------------
-    # Deprecated mutation entry points (one-release shims)
-    # ------------------------------------------------------------------
-    def record_frame(
-        self,
-        user_id: str,
-        edge_id: str,
-        created_ms: float,
-        latency_ms: Optional[float],
-    ) -> None:
-        """Deprecated: emit a :class:`~repro.obs.events.FrameDone`."""
-        _warn_deprecated("record_frame", "FrameDone")
-        self.frames.append(FrameRecord(user_id, edge_id, created_ms, latency_ms))
-
-    def record_probe(self, user_id: str, count: int = 1) -> None:
-        """Deprecated: emit a :class:`~repro.obs.events.ProbeSent`."""
-        _warn_deprecated("record_probe", "ProbeSent")
-        self.probes_sent[user_id] += count
-
-    def record_discovery(self, user_id: str) -> None:
-        """Deprecated: emit a :class:`~repro.obs.events.DiscoveryIssued`."""
-        _warn_deprecated("record_discovery", "DiscoveryIssued")
-        self.discovery_queries[user_id] += 1
-
-    def record_test_invocation(self, node_id: str) -> None:
-        """Deprecated: emit a :class:`~repro.obs.events.TestWorkloadInvoked`."""
-        _warn_deprecated("record_test_invocation", "TestWorkloadInvoked")
-        self.test_invocations[node_id] += 1
-
-    def record_join(self, user_id: str, accepted: bool) -> None:
-        """Deprecated: emit :class:`~repro.obs.events.JoinAccept` /
-        :class:`~repro.obs.events.JoinReject`."""
-        _warn_deprecated("record_join", "JoinAccept/JoinReject")
-        if accepted:
-            self.join_accepts[user_id] += 1
-        else:
-            self.join_rejects[user_id] += 1
-
-    def record_failure(self, user_id: str, now_ms: float = 0.0) -> None:
-        """Deprecated: emit an :class:`~repro.obs.events.UncoveredFailure`."""
-        _warn_deprecated("record_failure", "UncoveredFailure")
-        self.failures[user_id] += 1
-        self.failure_events.append((user_id, now_ms))
-
-    def record_covered_failover(self, user_id: str, now_ms: float = 0.0) -> None:
-        """Deprecated: emit a :class:`~repro.obs.events.CoveredFailover`."""
-        _warn_deprecated("record_covered_failover", "CoveredFailover")
-        self.covered_failovers[user_id] += 1
-        self.failover_events.append((user_id, now_ms))
-
-    def record_switch(self, user_id: str) -> None:
-        """Deprecated: emit a :class:`~repro.obs.events.Switch`."""
-        _warn_deprecated("record_switch", "Switch")
-        self.switches[user_id] += 1
-
-    def record_alive_nodes(self, now_ms: float, count: int) -> None:
-        """Deprecated: emit a :class:`~repro.obs.events.PopulationChanged`."""
-        _warn_deprecated("record_alive_nodes", "PopulationChanged")
-        self.alive_nodes.append(now_ms, float(count))
 
     # ------------------------------------------------------------------
     # Reductions used by experiment harnesses

@@ -1,0 +1,206 @@
+"""The Central Manager role as a sans-IO state machine.
+
+Step 1 of the paper's 2-step approach: maintain the registry of alive
+edge nodes from heartbeats, age out silent ones, and answer discovery
+queries with the geo-filtered, availability-ranked TopN candidate list.
+Also hosts the smooth-WRR assignment state the resource-aware baseline
+needs (a manager-side policy by construction).
+
+The machine owns the registry, the geohash spatial index, and the
+expiry heap; drivers own transports (sim method calls vs. JSON-framed
+TCP), address books, clocks and reputation wiring. Time enters only as
+opaque ``stamp`` values that the machine compares against each other —
+the sim backend passes simulated milliseconds, the live backend passes
+``time.monotonic()`` seconds, and the machine cannot tell the
+difference.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.geo.spatial_index import GeohashSpatialIndex
+from repro.protocol.effects import (
+    Effect,
+    NodeExpired,
+    NodeOnline,
+    ReplyAssignment,
+    ReplyCandidates,
+)
+from repro.protocol.events import (
+    DiscoveryRequested,
+    HeartbeatReceived,
+    NodeForgotten,
+    ProtocolEvent,
+    PruneTick,
+    WrrAssignRequested,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.core.messages import NodeStatus
+    from repro.core.policies.global_policies import GlobalSelectionPolicy
+
+__all__ = ["GlobalSelectionMachine"]
+
+
+class GlobalSelectionMachine:
+    """Sans-IO Central Manager: events in, effects out.
+
+    Args:
+        policy: the composed global selection policy (geo filter + sort
+            key + optional node predicate); replaceable to restrict
+            pools (e.g. dedicated-only scenarios).
+        heartbeat_timeout: registry entries whose newest stamp is older
+            than this (in the driver's stamp units) age out.
+    """
+
+    def __init__(
+        self, policy: "GlobalSelectionPolicy", heartbeat_timeout: float
+    ) -> None:
+        self.policy = policy
+        self.heartbeat_timeout = heartbeat_timeout
+        self.registry: Dict[str, "NodeStatus"] = {}
+        #: Geohash-bucketed spatial index over the registry, maintained
+        #: incrementally on heartbeat/expiry so discovery never scans the
+        #: full registry (the metro-scale fast path).
+        self.spatial_index: GeohashSpatialIndex["NodeStatus"] = GeohashSpatialIndex()
+        #: Min-heap of (stamp, node_id): the oldest heartbeat is always
+        #: on top, so expiring stale nodes pops only actually-stale
+        #: entries (amortized O(1) per query) instead of scanning all N.
+        #: Entries superseded by fresher heartbeats are lazily discarded.
+        self._expiry_heap: List[Tuple[float, str]] = []
+        #: node_id -> newest heartbeat stamp (the lazy-deletion check).
+        self._stamps: Dict[str, float] = {}
+        # Smooth-WRR state for the resource-aware baseline.
+        self._wrr_current: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def handle(self, event: ProtocolEvent) -> List[Effect]:
+        """Advance the machine by one input event; return the effects."""
+        if isinstance(event, HeartbeatReceived):
+            return self._on_heartbeat(event)
+        if isinstance(event, DiscoveryRequested):
+            return self._on_discovery(event)
+        if isinstance(event, PruneTick):
+            return self._prune(event.stamp)
+        if isinstance(event, WrrAssignRequested):
+            return self._on_wrr_assign(event)
+        if isinstance(event, NodeForgotten):
+            return self._on_forgotten(event)
+        raise TypeError(
+            f"GlobalSelectionMachine cannot handle {type(event).__name__}"
+        )
+
+    # ------------------------------------------------------------------
+    # Registry maintenance
+    # ------------------------------------------------------------------
+    def _on_heartbeat(self, event: HeartbeatReceived) -> List[Effect]:
+        node_id = event.status.node_id
+        new = node_id not in self.registry
+        self.registry[node_id] = event.status
+        self.spatial_index.insert(event.status)
+        self._stamps[node_id] = event.stamp
+        heapq.heappush(self._expiry_heap, (event.stamp, node_id))
+        return [NodeOnline(node_id, new=new)]
+
+    def _prune(self, stamp: float) -> List[Effect]:
+        """Expire registry entries older than the heartbeat timeout.
+
+        A dead node silently ages out after the timeout, which is
+        exactly the window in which discovery can still hand out a dead
+        candidate (the client tolerates this: probes to it fail and it
+        is skipped).
+        """
+        effects: List[Effect] = []
+        heap = self._expiry_heap
+        while heap and stamp - heap[0][0] > self.heartbeat_timeout:
+            entry_stamp, node_id = heapq.heappop(heap)
+            if (
+                node_id not in self.registry
+                or self._stamps.get(node_id) != entry_stamp
+            ):
+                continue  # superseded by a fresher heartbeat (or forgotten)
+            self._drop(node_id)
+            effects.append(NodeExpired(node_id))
+        return effects
+
+    def _drop(self, node_id: str) -> None:
+        self.registry.pop(node_id, None)
+        self.spatial_index.remove(node_id)
+        self._stamps.pop(node_id, None)
+        self._wrr_current.pop(node_id, None)
+
+    def _on_forgotten(self, event: NodeForgotten) -> List[Effect]:
+        """Administrative deregistration (no NodeExpired: it was asked
+        for, not observed)."""
+        self._drop(event.node_id)
+        return []
+
+    # ------------------------------------------------------------------
+    # Edge discovery (global edge selection)
+    # ------------------------------------------------------------------
+    def _on_discovery(self, event: DiscoveryRequested) -> List[Effect]:
+        """Answer a discovery query with the TopN candidate list.
+
+        Stale entries are expired first (amortized O(1)), then
+        selection runs against the spatial index — per-cell candidate
+        lookups instead of a full-registry scan, so query cost scales
+        with local density rather than metro population.
+        """
+        effects = self._prune(event.stamp)
+        node_ids, widened = self.policy.select(event.query, index=self.spatial_index)
+        effects.append(
+            ReplyCandidates(
+                node_ids=tuple(node_ids),
+                widened=widened,
+                generated_at_ms=event.now,
+            )
+        )
+        return effects
+
+    # ------------------------------------------------------------------
+    # Resource-aware weighted round robin (baseline support)
+    # ------------------------------------------------------------------
+    def _on_wrr_assign(self, event: WrrAssignRequested) -> List[Effect]:
+        """Assign a user to a node by smooth weighted round robin.
+
+        Weights are the availability scores from the latest heartbeats —
+        "the weight applied for each edge node is determined by the
+        resource availability and utilization" (§V-B). Smooth WRR
+        (nginx-style) spreads assignments proportionally without bursts:
+        each round every node gains its weight, the richest is picked
+        and pays back the total weight.
+        """
+        effects = self._prune(event.stamp)
+        statuses = [
+            s
+            for s in self.registry.values()
+            if s.node_id not in event.exclude
+        ]
+        if self.policy.node_predicate is not None:
+            statuses = [s for s in statuses if self.policy.node_predicate(s)]
+        if not statuses:
+            effects.append(ReplyAssignment(None))
+            return effects
+        total = 0.0
+        weights: Dict[str, float] = {}
+        for status in statuses:
+            weight = max(status.availability_score, 0.01)
+            weights[status.node_id] = weight
+            total += weight
+        best_id: Optional[str] = None
+        best_value = float("-inf")
+        for node_id, weight in weights.items():
+            current = self._wrr_current.get(node_id, 0.0) + weight
+            self._wrr_current[node_id] = current
+            if current > best_value:
+                best_value = current
+                best_id = node_id
+        assert best_id is not None
+        self._wrr_current[best_id] -= total
+        effects.append(ReplyAssignment(best_id))
+        return effects
+
+    def __repr__(self) -> str:
+        return f"GlobalSelectionMachine(nodes={len(self.registry)})"

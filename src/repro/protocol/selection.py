@@ -1,0 +1,368 @@
+"""The client selection round as a sans-IO state machine (Algorithm 2).
+
+One :class:`SelectionMachine` holds every *decision* the paper puts on
+the client: when to discover, which candidates to probe, the LO/GO/QoS
+ranking (via an injected policy), dwell and hysteresis gating on
+voluntary switches, the seqNum-echoing join with repeat-from-discovery
+on rejection, backup adoption (Algorithm 2 line 20), and the failover
+walk over ``Unexpected_join`` with the covered/uncovered distinction of
+Fig. 10b.
+
+The machine is pure protocol: it consumes
+:mod:`~repro.protocol.events` (each carrying an explicit ``now``) and
+returns :mod:`~repro.protocol.effects` — it never reads a clock, sends
+a message, or touches the simulator kernel. The sim backend
+(:class:`repro.core.client.EdgeClient`) and the live asyncio backend
+(:class:`repro.runtime.client_runtime.LiveClient`) are thin drivers
+over the *same* instance of this logic, which is what makes their
+decision traces comparable event-for-event.
+
+A subtle consequence that used to be backend-dependent: commit of the
+chosen edge and adoption of the backup list happen **atomically inside
+one** :meth:`SelectionMachine.handle` **call** (the join-accept
+transition). An edge that dies immediately after its join-accept is
+therefore always covered by the just-adopted backups — on both
+backends — instead of racing a driver that had attached but not yet
+adopted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+
+from repro.obs.events import (
+    CoveredFailover,
+    DiscoveryIssued,
+    DiscoveryReturned,
+    JoinAccept,
+    JoinAttempt,
+    JoinReject,
+    Switch,
+    UncoveredFailure,
+)
+from repro.protocol.effects import (
+    Attached,
+    Effect,
+    EmitTrace,
+    FlushBacklog,
+    ProbeCandidates,
+    SendDiscovery,
+    SendFailoverJoin,
+    SendJoin,
+    SendLeave,
+    StartTimer,
+    UpdateBackups,
+)
+from repro.protocol.events import (
+    CandidatesReceived,
+    EdgeFailed,
+    FailoverResult,
+    JoinResult,
+    ProbesCompleted,
+    ProtocolEvent,
+    RoundStarted,
+)
+from repro.protocol.failure_monitor import FailureMonitor
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.core.probing import ProbeOutcome
+
+__all__ = ["SelectionConfig", "SelectionMachine", "LocalRanking"]
+
+#: A local selection policy: rank probe outcomes best-first (possibly
+#: filtering, e.g. a QoS cut). Structurally identical to
+#: ``repro.core.policies.local_policies.LocalSelectionPolicy``.
+LocalRanking = Callable[[Sequence["ProbeOutcome"]], List["ProbeOutcome"]]
+
+
+def _never() -> bool:
+    return False
+
+
+@dataclass(frozen=True)
+class SelectionConfig:
+    """The protocol constants one selection machine runs with.
+
+    A plain value object (not ``SystemConfig``) so the machine stays
+    importable without the simulation stack; drivers build it from
+    their own configuration.
+    """
+
+    top_n: int = 3
+    min_dwell_ms: float = 5_000.0
+    switch_penalty_ms: float = 5.0
+    switch_penalty_fraction: float = 0.15
+    max_discovery_retries: int = 3
+    retry_delay_ms: float = 500.0
+
+
+class SelectionMachine:
+    """Sans-IO client selection: events in, effects out.
+
+    Args:
+        user_id: the client's id (stamped into trace events).
+        policy: the LO/GO(/QoS) ranking over probe outcomes.
+        config: protocol constants (dwell, hysteresis, retries).
+        detail_guard: zero-arg callable gating *detail* trace events
+            (``JoinAttempt``, ``DiscoveryReturned``) — drivers pass
+            ``lambda: tracer.enabled`` so disabled capture never even
+            constructs them. Decision verdicts are always emitted.
+    """
+
+    def __init__(
+        self,
+        user_id: str,
+        policy: LocalRanking,
+        config: SelectionConfig,
+        *,
+        detail_guard: Callable[[], bool] = _never,
+    ) -> None:
+        self.user_id = user_id
+        self.policy = policy
+        self.config = config
+        #: Live robustness knob (§IV-E): adaptive controllers may move it.
+        self.top_n = config.top_n
+        self.current_edge: Optional[str] = None
+        self.monitor = FailureMonitor()
+        self.round_in_progress = False
+        self.last_join_ms = float("-inf")
+        self._retries = 0
+        self._ranked: List["ProbeOutcome"] = []
+        self._detail_guard = detail_guard
+
+    @property
+    def attached(self) -> bool:
+        return self.current_edge is not None
+
+    # ------------------------------------------------------------------
+    def handle(self, event: ProtocolEvent) -> List[Effect]:
+        """Advance the machine by one input event; return the effects."""
+        if isinstance(event, RoundStarted):
+            return self._on_round_started(event)
+        if isinstance(event, CandidatesReceived):
+            return self._on_candidates(event)
+        if isinstance(event, ProbesCompleted):
+            return self._on_probes_completed(event)
+        if isinstance(event, JoinResult):
+            return self._on_join_result(event)
+        if isinstance(event, EdgeFailed):
+            return self._on_edge_failed(event)
+        if isinstance(event, FailoverResult):
+            return self._on_failover_result(event)
+        raise TypeError(f"SelectionMachine cannot handle {type(event).__name__}")
+
+    # ------------------------------------------------------------------
+    # Round lifecycle
+    # ------------------------------------------------------------------
+    def _on_round_started(self, event: RoundStarted) -> List[Effect]:
+        if self.round_in_progress:
+            return []
+        self.round_in_progress = True
+        self._retries = 0
+        return self._discover(event.now)
+
+    def _discover(self, now: float, exclude: Tuple[str, ...] = ()) -> List[Effect]:
+        """One discovery round trip (always traced: it is a decision)."""
+        return [
+            EmitTrace(DiscoveryIssued(now, self.user_id)),
+            SendDiscovery(top_n=self.top_n, exclude=exclude),
+        ]
+
+    def _conclude_round(self, failed: bool) -> List[Effect]:
+        """Close the round; while detached, arm a short retry timer."""
+        self.round_in_progress = False
+        if failed and not self.attached:
+            return [StartTimer("retry_round", self.config.retry_delay_ms)]
+        return []
+
+    def _on_candidates(self, event: CandidatesReceived) -> List[Effect]:
+        effects: List[Effect] = []
+        if self._detail_guard():
+            effects.append(
+                EmitTrace(
+                    DiscoveryReturned(
+                        event.now,
+                        self.user_id,
+                        event.node_ids,
+                        widened=event.widened,
+                    )
+                )
+            )
+        if not event.node_ids:
+            # Nothing available: end the round; the periodic timer (or a
+            # short retry while detached) tries again.
+            return effects + self._conclude_round(failed=True)
+        node_ids = list(event.node_ids)
+        # Algorithm 2 line 12 compares C[0] against Current, so Current is
+        # always probed — even when the manager's availability sort
+        # dropped it from the list (a node loaded by *this* user scores
+        # low on availability, which must not force a blind switch).
+        if self.current_edge is not None and self.current_edge not in node_ids:
+            node_ids.append(self.current_edge)
+        effects.append(ProbeCandidates(tuple(node_ids)))
+        return effects
+
+    # ------------------------------------------------------------------
+    # Ranking, dwell, hysteresis, join
+    # ------------------------------------------------------------------
+    def _on_probes_completed(self, event: ProbesCompleted) -> List[Effect]:
+        outcomes: List["ProbeOutcome"] = list(event.outcomes)
+        # For the node we are already attached to, the question is not
+        # "what if one more user joins" (we are one of its n users) but
+        # "what do I get by staying at my full rate" — the stay
+        # projection the probe reply carries. Substituting it before
+        # ranking removes a systematic bias against staying put without
+        # letting adaptive throttling mask overload.
+        if self.attached:
+            outcomes = [
+                replace(o, d_proc_ms=o.stay_ms)
+                if o.node_id == self.current_edge
+                else o
+                for o in outcomes
+            ]
+        ranked = self.policy(outcomes)
+        if not ranked:
+            # No candidate satisfies QoS / all candidates dead.
+            return self._conclude_round(failed=True)
+        best = ranked[0]
+        if self.attached and best.node_id == self.current_edge:
+            return self._adopt_backups(ranked[1:]) + self._conclude_round(
+                failed=False
+            )
+        if self.attached:
+            # Dwell: a voluntary switch is only considered once the
+            # previous join has had time to settle.
+            if event.now - self.last_join_ms < self.config.min_dwell_ms:
+                return self._adopt_non_current(ranked) + self._conclude_round(
+                    failed=False
+                )
+            current_outcome = next(
+                (o for o in ranked if o.node_id == self.current_edge), None
+            )
+            threshold = (
+                current_outcome.local_overhead_ms
+                * (1.0 - self.config.switch_penalty_fraction)
+                - self.config.switch_penalty_ms
+                if current_outcome is not None
+                else float("inf")
+            )
+            if current_outcome is not None and best.local_overhead_ms >= threshold:
+                # Hysteresis: not enough improvement to justify a switch.
+                return self._adopt_non_current(ranked) + self._conclude_round(
+                    failed=False
+                )
+        self._ranked = ranked
+        return [SendJoin(best)]
+
+    def _on_join_result(self, event: JoinResult) -> List[Effect]:
+        ranked = self._ranked
+        self._ranked = []
+        effects: List[Effect] = []
+        if self._detail_guard():
+            effects.append(
+                EmitTrace(JoinAttempt(event.attempted_at, self.user_id, event.node_id))
+            )
+        if not event.accepted:
+            effects.append(
+                EmitTrace(JoinReject(event.now, self.user_id, event.node_id))
+            )
+            # Rejected (state changed): repeat from the discovery step.
+            self._retries += 1
+            if self._retries <= self.config.max_discovery_retries:
+                return effects + self._discover(event.now)
+            return effects + self._conclude_round(failed=True)
+        effects.append(EmitTrace(JoinAccept(event.now, self.user_id, event.node_id)))
+        previous = self.current_edge
+        if previous is not None and previous != event.node_id:
+            effects.append(SendLeave(previous, "switch"))
+            effects.append(
+                EmitTrace(
+                    Switch(
+                        event.now,
+                        self.user_id,
+                        from_node=previous,
+                        to_node=event.node_id,
+                    )
+                )
+            )
+        self.current_edge = event.node_id
+        self.last_join_ms = event.now
+        chosen = next((o for o in ranked if o.node_id == event.node_id), None)
+        effects.append(
+            Attached(
+                event.node_id,
+                chosen.d_prop_ms if chosen is not None else 0.0,
+                previous,
+                via="join",
+            )
+        )
+        # Committing the edge and adopting its backups in the same
+        # transition closes the join-accept/backup-adoption race (see
+        # module docstring).
+        effects.extend(
+            self._adopt_backups([o for o in ranked if o.node_id != event.node_id])
+        )
+        effects.extend(self._conclude_round(failed=False))
+        if previous is None:
+            effects.append(FlushBacklog())
+        return effects
+
+    # ------------------------------------------------------------------
+    # Backups (Algorithm 2 line 20)
+    # ------------------------------------------------------------------
+    def _adopt_backups(self, ranked_rest: Sequence["ProbeOutcome"]) -> List[Effect]:
+        backup_count = max(0, self.top_n - 1)
+        adopted = list(ranked_rest[:backup_count])
+        self.monitor.update_backups([o.node_id for o in adopted])
+        return [UpdateBackups(tuple(adopted))]
+
+    def _adopt_non_current(
+        self, ranked: Sequence["ProbeOutcome"]
+    ) -> List[Effect]:
+        return self._adopt_backups(
+            [o for o in ranked if o.node_id != self.current_edge]
+        )
+
+    # ------------------------------------------------------------------
+    # Failure handling (§IV-E)
+    # ------------------------------------------------------------------
+    def _on_edge_failed(self, event: EdgeFailed) -> List[Effect]:
+        if event.node_id != self.current_edge:
+            self.monitor.remove(event.node_id)
+            return []
+        self.current_edge = None
+        return self._next_failover(event.now)
+
+    def _next_failover(self, now: float) -> List[Effect]:
+        """Walk the backup list; uncovered falls back to re-discovery."""
+        backup_id = self.monitor.next_backup()
+        if backup_id is not None:
+            return [SendFailoverJoin(backup_id)]
+        self.monitor.note_uncovered()
+        effects: List[Effect] = [EmitTrace(UncoveredFailure(now, self.user_id))]
+        if not self.round_in_progress:
+            # Reactive reconnect: pay full re-discovery.
+            self.round_in_progress = True
+            self._retries = 0
+            effects.extend(self._discover(now))
+        return effects
+
+    def _on_failover_result(self, event: FailoverResult) -> List[Effect]:
+        if not event.accepted:
+            # This backup is dead too: try the next one.
+            return self._next_failover(event.now)
+        self.monitor.note_covered()
+        self.current_edge = event.node_id
+        self.last_join_ms = event.now
+        return [
+            EmitTrace(CoveredFailover(event.now, self.user_id, event.node_id)),
+            Attached(event.node_id, event.rtt_ms, None, via="failover"),
+            FlushBacklog(),
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"SelectionMachine({self.user_id}, edge={self.current_edge}, "
+            f"backups={self.monitor.backups})"
+        )

@@ -1,10 +1,26 @@
-"""The live client: Algorithm 2 over real sockets."""
+"""The live client — asyncio driver over the protocol core.
+
+All of Algorithm 2's *decisions* — when to discover, which candidates
+to probe, the LO/GO ranking, the seqNum-echoing join with
+repeat-from-discovery on rejection, backup adoption and the failover
+walk — live in :class:`repro.protocol.selection.SelectionMachine`, the
+same machine the simulated :class:`repro.core.client.EdgeClient`
+drives. This class only does the I/O: real TCP requests over standing
+connections, wall-clock RTT measurement, and the translation between
+awaited socket replies and protocol events/effects.
+
+One consequence of sharing the machine: a ``select_and_join()`` while
+already attached to the best-ranked node now *stays* (no redundant
+re-join bumping the node's seqNum), exactly like the simulated client —
+previously the live client re-joined unconditionally.
+"""
 
 from __future__ import annotations
 
 import asyncio
 import time
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.core.messages import DiscoveryQuery, from_wire, to_wire
 from repro.core.policies.local_policies import (
@@ -14,22 +30,48 @@ from repro.core.policies.local_policies import (
 from repro.core.probing import ProbeOutcome
 from repro.geo.point import GeoPoint
 from repro.obs.events import (
-    CoveredFailover,
     DiscoveryIssued,
     DiscoveryReturned,
     FrameDone,
     FrameStart,
-    JoinAccept,
-    JoinAttempt,
-    JoinReject,
     PhaseSpan,
     ProbeAnswered,
     ProbeSent,
-    UncoveredFailure,
 )
 from repro.obs.tracer import Tracer
+from repro.protocol.effects import (
+    Attached,
+    Effect,
+    EmitTrace,
+    FlushBacklog,
+    ProbeCandidates,
+    SendDiscovery,
+    SendFailoverJoin,
+    SendJoin,
+    SendLeave,
+    StartTimer,
+    UpdateBackups,
+)
+from repro.protocol.events import (
+    CandidatesReceived,
+    EdgeFailed,
+    FailoverResult,
+    JoinResult,
+    ProbesCompleted,
+    ProtocolEvent,
+    RoundStarted,
+)
+from repro.protocol.selection import SelectionConfig, SelectionMachine
 from repro.runtime import protocol
 from repro.runtime.protocol import PersistentConnection
+
+#: The live client's default protocol constants. Dwell/hysteresis are
+#: disabled because a live ``select_and_join()`` is an *explicit* round
+#: (invoked by the application, not a periodic timer) — suppressing its
+#: verdict would make the call a silent no-op.
+_LIVE_DEFAULTS = SelectionConfig(
+    min_dwell_ms=0.0, switch_penalty_ms=0.0, switch_penalty_fraction=0.0
+)
 
 
 class LiveClient:
@@ -54,19 +96,33 @@ class LiveClient:
         policy: Optional[LocalSelectionPolicy] = None,
         request_timeout: float = 5.0,
         tracer: Optional[Tracer] = None,
+        selection_config: Optional[SelectionConfig] = None,
     ) -> None:
         self.user_id = user_id
         self.point = point
         self.manager_host = manager_host
         self.manager_port = manager_port
-        self.top_n = top_n
-        self.policy = policy or sort_by_global_overhead
         self.request_timeout = request_timeout
         self.tracer = tracer if tracer is not None else Tracer.disabled()
         self._frame_counter = 0
 
-        self.current_edge: Optional[str] = None
-        self.backups: List[str] = []
+        config = selection_config
+        if config is None:
+            config = SelectionConfig(
+                top_n=top_n,
+                min_dwell_ms=_LIVE_DEFAULTS.min_dwell_ms,
+                switch_penalty_ms=_LIVE_DEFAULTS.switch_penalty_ms,
+                switch_penalty_fraction=_LIVE_DEFAULTS.switch_penalty_fraction,
+            )
+        #: The sans-IO protocol core this driver executes.
+        self._machine = SelectionMachine(
+            user_id,
+            policy or sort_by_global_overhead,
+            config,
+            detail_guard=lambda: self.tracer.enabled,
+        )
+        self._round_failed = False
+
         self.addresses: Dict[str, Tuple[str, int]] = {}
         self.connections: Dict[str, PersistentConnection] = {}
         self.latencies_ms: List[float] = []
@@ -75,14 +131,121 @@ class LiveClient:
         self.failovers = 0
 
     # ------------------------------------------------------------------
-    async def discover(self) -> List[str]:
-        """Edge discovery at the Central Manager."""
-        self.tracer.emit(DiscoveryIssued(self.tracer.now(), self.user_id))
+    # Protocol-core state, exposed on the driver.
+    # ------------------------------------------------------------------
+    @property
+    def current_edge(self) -> Optional[str]:
+        return self._machine.current_edge
+
+    @current_edge.setter
+    def current_edge(self, node_id: Optional[str]) -> None:
+        self._machine.current_edge = node_id
+
+    @property
+    def top_n(self) -> int:
+        return self._machine.top_n
+
+    @top_n.setter
+    def top_n(self, value: int) -> None:
+        self._machine.top_n = value
+
+    @property
+    def policy(self) -> LocalSelectionPolicy:
+        return self._machine.policy
+
+    @policy.setter
+    def policy(self, policy: LocalSelectionPolicy) -> None:
+        self._machine.policy = policy
+
+    @property
+    def backups(self) -> List[str]:
+        return list(self._machine.monitor.backups)
+
+    def _now(self) -> float:
+        return self.tracer.now()
+
+    # ------------------------------------------------------------------
+    # Protocol-event feed + effect execution
+    # ------------------------------------------------------------------
+    async def _drive(self, event: ProtocolEvent) -> None:
+        """Advance the protocol machine, performing the I/O it asks for.
+
+        Event-producing effects (discovery, probe fan-out, join,
+        failover join) run their I/O inline and feed the result back to
+        the machine before the drive returns, so one ``_drive`` call
+        plays a whole protocol exchange to quiescence.
+        """
+        pending: Deque[Effect] = deque(self._machine.handle(event))
+        while pending:
+            effect = pending.popleft()
+            if isinstance(effect, EmitTrace):
+                self.tracer.emit(effect.event)
+            elif isinstance(effect, SendDiscovery):
+                node_ids, widened = await self._discover_io(
+                    effect.top_n, effect.exclude
+                )
+                pending.extend(
+                    self._machine.handle(
+                        CandidatesReceived(self._now(), node_ids, widened)
+                    )
+                )
+            elif isinstance(effect, ProbeCandidates):
+                outcomes = [
+                    o
+                    for o in [await self.probe(c) for c in effect.node_ids]
+                    if o is not None
+                ]
+                pending.extend(
+                    self._machine.handle(
+                        ProbesCompleted(self._now(), tuple(outcomes))
+                    )
+                )
+            elif isinstance(effect, SendJoin):
+                pending.extend(
+                    self._machine.handle(await self._join_io(effect.outcome))
+                )
+            elif isinstance(effect, SendLeave):
+                await self.leave(effect.node_id)
+            elif isinstance(effect, SendFailoverJoin):
+                pending.extend(
+                    self._machine.handle(
+                        await self._failover_join_io(effect.node_id)
+                    )
+                )
+            elif isinstance(effect, Attached):
+                try:
+                    await self._connection(effect.node_id)
+                except KeyError:  # pragma: no cover - address unknown
+                    pass
+            elif isinstance(effect, UpdateBackups):
+                # keep backup connections warm (proactive establishment)
+                for outcome in effect.outcomes:
+                    try:
+                        await self._connection(outcome.node_id)
+                    except KeyError:  # pragma: no cover - address unknown
+                        pass
+            elif isinstance(effect, FlushBacklog):
+                pass  # the live client has no frame backlog
+            elif isinstance(effect, StartTimer):
+                # Round failed while detached; the select_and_join retry
+                # loop owns the pacing.
+                self._round_failed = True
+            else:  # pragma: no cover - forward-compatibility guard
+                raise TypeError(f"unhandled effect {type(effect).__name__}")
+
+    # ------------------------------------------------------------------
+    # I/O helpers (trace-free: decision traces come from the machine)
+    # ------------------------------------------------------------------
+    async def _discover_io(
+        self, top_n: int, exclude: Tuple[str, ...]
+    ) -> Tuple[Tuple[str, ...], bool]:
+        """One discovery round trip; refreshes the address book."""
         query = DiscoveryQuery(
             user_id=self.user_id,
             lat=self.point.lat,
             lon=self.point.lon,
-            top_n=self.top_n,
+            top_n=top_n,
+            exclude=exclude,
         )
         reply = await protocol.request(
             self.manager_host,
@@ -94,16 +257,20 @@ class LiveClient:
         candidates = from_wire(reply["candidates"])
         for node_id, address in reply.get("addresses", {}).items():
             self.addresses[node_id] = (address[0], address[1])
+        return tuple(candidates.node_ids), candidates.widened
+
+    async def discover(self) -> List[str]:
+        """Edge discovery at the Central Manager (standalone API: emits
+        the decision traces a machine-driven round would)."""
+        self.tracer.emit(DiscoveryIssued(self._now(), self.user_id))
+        node_ids, widened = await self._discover_io(self.top_n, ())
         if self.tracer.enabled:
             self.tracer.emit(
                 DiscoveryReturned(
-                    self.tracer.now(),
-                    self.user_id,
-                    candidates.node_ids,
-                    widened=candidates.widened,
+                    self._now(), self.user_id, node_ids, widened=widened
                 )
             )
-        return list(candidates.node_ids)
+        return list(node_ids)
 
     async def _connection(self, node_id: str) -> PersistentConnection:
         connection = self.connections.get(node_id)
@@ -116,7 +283,7 @@ class LiveClient:
     async def probe(self, node_id: str) -> Optional[ProbeOutcome]:
         """``RTT_probe`` + ``Process_probe`` one candidate; None if dead."""
         self.probes_sent += 1
-        self.tracer.emit(ProbeSent(self.tracer.now(), self.user_id, node_id))
+        self.tracer.emit(ProbeSent(self._now(), self.user_id, node_id))
         try:
             connection = await self._connection(node_id)
             start = time.monotonic()
@@ -130,7 +297,7 @@ class LiveClient:
         if self.tracer.enabled:
             self.tracer.emit(
                 ProbeAnswered(
-                    self.tracer.now(), self.user_id, node_id, rtt_ms,
+                    self._now(), self.user_id, node_id, rtt_ms,
                     probe.what_if_ms,
                 )
             )
@@ -142,58 +309,74 @@ class LiveClient:
             attached_users=probe.attached_users,
             current_proc_ms=probe.current_proc_ms,
             stay_ms=probe.stay_ms,
+            probed_at_ms=self._now(),
         )
 
+    async def _join_io(self, best: ProbeOutcome) -> JoinResult:
+        """``Join()`` the chosen candidate, echoing its probed seqNum."""
+        attempted_at = self._now()
+        try:
+            connection = await self._connection(best.node_id)
+            reply = await connection.request(
+                "join",
+                {"user_id": self.user_id, "seq_num": best.seq_num, "fps": 20.0},
+            )
+        except (OSError, protocol.ProtocolError, asyncio.TimeoutError, KeyError):
+            return JoinResult(
+                self._now(),
+                best.node_id,
+                accepted=False,
+                attempted_at=attempted_at,
+                node_alive=False,
+            )
+        accepted = bool(reply.get("accepted"))
+        if not accepted:
+            self.joins_rejected += 1  # state changed: repeat from discovery
+        return JoinResult(
+            self._now(),
+            best.node_id,
+            accepted=accepted,
+            attempted_at=attempted_at,
+            node_alive=True,
+        )
+
+    async def _failover_join_io(self, backup_id: str) -> FailoverResult:
+        """``Unexpected_join()`` one backup over its standing connection."""
+        start = time.monotonic()
+        try:
+            connection = await self._connection(backup_id)
+            reply = await connection.request(
+                "unexpected_join", {"user_id": self.user_id, "fps": 20.0}
+            )
+        except (OSError, protocol.ProtocolError, asyncio.TimeoutError, KeyError):
+            return FailoverResult(
+                self._now(), backup_id, accepted=False
+            )
+        return FailoverResult(
+            self._now(),
+            backup_id,
+            accepted=bool(reply.get("accepted")),
+            rtt_ms=(time.monotonic() - start) * 1000.0,
+        )
+
+    # ------------------------------------------------------------------
+    # Selection round
+    # ------------------------------------------------------------------
     async def select_and_join(self) -> str:
         """One full selection round (discovery -> probing -> join).
 
-        Returns the chosen node id.
+        Returns the chosen node id (the current edge when the machine
+        decides staying put is best).
 
         Raises:
             RuntimeError: when no candidate accepts after retries.
         """
         for _ in range(4):
-            candidates = await self.discover()
-            outcomes = [o for o in [await self.probe(c) for c in candidates] if o]
-            ranked = self.policy(outcomes)
-            if not ranked:
-                await asyncio.sleep(0.2)
-                continue
-            best = ranked[0]
-            connection = await self._connection(best.node_id)
-            if self.tracer.enabled:
-                self.tracer.emit(
-                    JoinAttempt(self.tracer.now(), self.user_id, best.node_id)
-                )
-            try:
-                reply = await connection.request(
-                    "join",
-                    {"user_id": self.user_id, "seq_num": best.seq_num, "fps": 20.0},
-                )
-            except (OSError, protocol.ProtocolError, asyncio.TimeoutError):
-                self.tracer.emit(
-                    JoinReject(self.tracer.now(), self.user_id, best.node_id)
-                )
-                continue
-            if reply.get("accepted"):
-                self.tracer.emit(
-                    JoinAccept(self.tracer.now(), self.user_id, best.node_id)
-                )
-                if self.current_edge and self.current_edge != best.node_id:
-                    await self.leave(self.current_edge)
-                self.current_edge = best.node_id
-                self.backups = [o.node_id for o in ranked[1:]]
-                # keep backup connections warm (proactive establishment)
-                for node_id in self.backups:
-                    try:
-                        await self._connection(node_id)
-                    except KeyError:  # pragma: no cover - address unknown
-                        pass
-                return best.node_id
-            self.tracer.emit(
-                JoinReject(self.tracer.now(), self.user_id, best.node_id)
-            )
-            self.joins_rejected += 1  # state changed: repeat from discovery
+            self._round_failed = False
+            await self._drive(RoundStarted(self._now()))
+            if self.current_edge is not None and not self._round_failed:
+                return self.current_edge
+            await asyncio.sleep(0.2)
         raise RuntimeError(f"{self.user_id}: no candidate accepted the join")
 
     async def leave(self, node_id: str) -> None:
@@ -257,27 +440,22 @@ class LiveClient:
         return latency_ms
 
     async def _failover(self) -> None:
-        self.connections.pop(self.current_edge or "", None)
-        self.current_edge = None
+        """The serving connection broke: walk the backup list.
+
+        The machine walks ``unexpected_join`` over the adopted backups
+        (the covered path) and falls back to an inline reactive
+        re-discovery when every backup is dead (the uncovered path);
+        if even that round fails, keep retrying via
+        :meth:`select_and_join`.
+        """
+        failed_edge = self.current_edge
+        self.connections.pop(failed_edge or "", None)
         self.failovers += 1
-        while self.backups:
-            backup = self.backups.pop(0)
-            try:
-                connection = await self._connection(backup)
-                reply = await connection.request(
-                    "unexpected_join", {"user_id": self.user_id, "fps": 20.0}
-                )
-            except (OSError, protocol.ProtocolError, asyncio.TimeoutError, KeyError):
-                continue
-            if reply.get("accepted"):
-                self.tracer.emit(
-                    CoveredFailover(self.tracer.now(), self.user_id, backup)
-                )
-                self.current_edge = backup
-                return
-        # uncovered failure: full re-discovery
-        self.tracer.emit(UncoveredFailure(self.tracer.now(), self.user_id))
-        await self.select_and_join()
+        if failed_edge is None:
+            return
+        await self._drive(EdgeFailed(self._now(), failed_edge))
+        if self.current_edge is None:
+            await self.select_and_join()
 
     async def close(self) -> None:
         if self.current_edge is not None:

@@ -1,11 +1,16 @@
-"""A live edge node: Table I APIs + frame processing over TCP.
+"""A live edge node — asyncio driver over the protocol core.
 
 Processing is a real ``asyncio`` sleep of the profile's per-frame time
 scaled by ``time_scale`` (default 0.1: a 30 ms frame sleeps 3 ms, so
 tests run fast while contention behaviour — a worker pool of size
-``parallelism`` with a bounded queue — stays real). The what-if cache,
-the three test-workload triggers and the ``seqNum`` join protocol follow
-:class:`repro.core.edge_server.EdgeServer` exactly.
+``parallelism`` with a bounded queue — stays real).
+
+The what-if cache rules, the test-workload triggers and the ``seqNum``
+join protocol are NOT re-implemented here: this driver executes the
+same :class:`repro.protocol.admission.AdmissionMachine` as the
+simulated :class:`repro.core.edge_server.EdgeServer`, so the cache
+semantics are identical by construction — including the EWMA blending
+of successive what-if values, which this backend previously skipped.
 """
 
 from __future__ import annotations
@@ -13,15 +18,30 @@ from __future__ import annotations
 import asyncio
 import random
 import time
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.messages import NodeStatus, ProbeReply, to_wire
 from repro.geo import geohash as gh
 from repro.geo.point import GeoPoint
 from repro.nodes.hardware import HardwareProfile
 from repro.nodes.processing import analytic_sojourn_ms
-from repro.obs.events import CacheHit, CacheMiss, HeartbeatMissed, NodeFail, TestWorkloadInvoked
+from repro.obs.events import CacheMiss, HeartbeatMissed, NodeFail, TestWorkloadInvoked
 from repro.obs.tracer import Tracer
+from repro.protocol.admission import AdmissionConfig, AdmissionMachine
+from repro.protocol.effects import (
+    Effect,
+    EmitTrace,
+    ReplyJoin,
+    ReplyProbe,
+    ScheduleTestWorkload,
+)
+from repro.protocol.events import (
+    JoinRequested,
+    LeaveRequested,
+    ProbeRequested,
+    TestWorkloadCompleted,
+    UnexpectedJoinRequested,
+)
 from repro.runtime import protocol
 
 
@@ -63,13 +83,20 @@ class LiveEdgeServer:
         self.heartbeat_failures = 0
         self._backoff_rng = random.Random(node_id)
 
-        self.seq_num = 0
-        self.attached: dict = {}
-        self.what_if_ms: float = profile.base_frame_ms
-        self.stay_ms: float = profile.base_frame_ms
+        #: The sans-IO admission core this driver executes (shared with
+        #: the simulated backend).
+        self._machine = AdmissionMachine(
+            node_id,
+            AdmissionConfig(standard_fps=standard_fps),
+            initial_ms=profile.base_frame_ms,
+            project=lambda fps, slowdown: analytic_sojourn_ms(
+                self.profile, fps, slowdown_factor=slowdown
+            ),
+            detail_guard=lambda: self.tracer.enabled,
+        )
         self.test_workload_invocations = 0
         self.frames_processed = 0
-        self._completions: list = []  # (monotonic time, sojourn_ms)
+        self._completions: List[Tuple[float, float]] = []  # (monotonic, sojourn_ms)
 
         self._server: Optional[asyncio.AbstractServer] = None
         self._semaphore = asyncio.Semaphore(profile.parallelism)
@@ -78,6 +105,41 @@ class LiveEdgeServer:
         self.max_queue_depth = 64
         self._dead = False
         self._open_writers: set = set()
+
+    # ------------------------------------------------------------------
+    # Protocol-core state, exposed on the driver for tests/status.
+    # ------------------------------------------------------------------
+    @property
+    def seq_num(self) -> int:
+        return self._machine.seq_num
+
+    @seq_num.setter
+    def seq_num(self, value: int) -> None:
+        self._machine.seq_num = value
+
+    @property
+    def attached(self) -> Dict[str, float]:
+        return self._machine.attached
+
+    @attached.setter
+    def attached(self, value: Dict[str, float]) -> None:
+        self._machine.attached = value
+
+    @property
+    def what_if_ms(self) -> float:
+        return self._machine.what_if_ms
+
+    @what_if_ms.setter
+    def what_if_ms(self, value: float) -> None:
+        self._machine.what_if_ms = value
+
+    @property
+    def stay_ms(self) -> float:
+        return self._machine.stay_ms
+
+    @stay_ms.setter
+    def stay_ms(self, value: float) -> None:
+        self._machine.stay_ms = value
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
@@ -111,6 +173,26 @@ class LiveEdgeServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+
+    # ------------------------------------------------------------------
+    # Effect execution
+    # ------------------------------------------------------------------
+    def _run_effects(self, effects: List[Effect]) -> Optional[Effect]:
+        """Execute side effects in order; return the reply effect (if any)."""
+        reply: Optional[Effect] = None
+        for effect in effects:
+            if isinstance(effect, EmitTrace):
+                self.tracer.emit(effect.event)
+            elif isinstance(effect, ScheduleTestWorkload):
+                if effect.delayed:
+                    asyncio.ensure_future(self._delayed_test_workload())
+                else:
+                    asyncio.ensure_future(self._invoke_test_workload())
+            elif isinstance(effect, (ReplyProbe, ReplyJoin)):
+                reply = effect
+            else:  # pragma: no cover - forward-compatibility guard
+                raise TypeError(f"unhandled effect {type(effect).__name__}")
+        return reply
 
     # ------------------------------------------------------------------
     # Frame processing
@@ -157,20 +239,25 @@ class LiveEdgeServer:
         return sum(recent) / len(recent)
 
     async def _invoke_test_workload(self) -> None:
-        """The "what-if" synthetic frame + demand projection (see the
-        simulated twin for the rationale)."""
+        """Run the "what-if" synthetic frame through the real worker
+        pool, then let the machine fold the measured sojourn into the
+        cache (EWMA blend with the demand projection)."""
         self.test_workload_invocations += 1
         result = await self._process_frame(synthetic=True)
         if result is None:
             return
-        measured = result[0]
         self.tracer.emit(TestWorkloadInvoked(self.tracer.now(), self.node_id))
-        n = len(self.attached)
-        projected = analytic_sojourn_ms(self.profile, (n + 1) * self.standard_fps)
-        self.what_if_ms = max(measured, projected)
-        self.stay_ms = max(
-            measured, analytic_sojourn_ms(self.profile, max(n, 1) * self.standard_fps)
+        self._run_effects(
+            self._machine.handle(
+                TestWorkloadCompleted(self.tracer.now(), result[0])
+            )
         )
+
+    async def _delayed_test_workload(self) -> None:
+        """Join-triggered invocation, delayed by ~2x a common RTT
+        (scaled), so it observes the new user's traffic."""
+        await asyncio.sleep(0.04 * self.time_scale * 10)
+        await self._invoke_test_workload()
 
     # ------------------------------------------------------------------
     # Heartbeats
@@ -263,44 +350,56 @@ class LiveEdgeServer:
     async def _dispatch(self, frame: dict) -> dict:
         op = frame["op"]
         payload = frame["payload"]
+        now = self.tracer.now()
         if op == "rtt_probe":
             return {"ok": True}  # the measurement is the round trip itself
         if op == "process_probe":
-            if self.tracer.enabled:
-                self.tracer.emit(
-                    CacheHit(self.tracer.now(), self.node_id, self.what_if_ms)
+            reply = self._run_effects(
+                self._machine.handle(
+                    ProbeRequested(
+                        now, recent_mean_ms=self._recent_mean_sojourn_ms()
+                    )
                 )
-            current = self._recent_mean_sojourn_ms()
-            reply = ProbeReply(
-                node_id=self.node_id,
-                what_if_ms=self.what_if_ms,
-                seq_num=self.seq_num,
-                attached_users=len(self.attached),
-                current_proc_ms=current if current is not None else self.what_if_ms,
-                stay_ms=self.stay_ms,
             )
-            return {"ok": True, "probe": to_wire(reply)}
+            assert isinstance(reply, ReplyProbe)
+            probe = ProbeReply(
+                node_id=self.node_id,
+                what_if_ms=reply.what_if_ms,
+                seq_num=reply.seq_num,
+                attached_users=reply.attached_users,
+                current_proc_ms=reply.current_proc_ms,
+                stay_ms=reply.stay_ms,
+            )
+            return {"ok": True, "probe": to_wire(probe)}
         if op == "join":
-            user_id = payload["user_id"]
-            if payload["seq_num"] != self.seq_num:
-                return {"ok": True, "accepted": False, "seq_num": self.seq_num}
-            self.seq_num += 1
-            self.attached[user_id] = payload.get("fps", self.standard_fps)
-            self._mark_cache_stale("join")
-            asyncio.ensure_future(self._delayed_test_workload())
-            return {"ok": True, "accepted": True, "seq_num": self.seq_num}
+            reply = self._run_effects(
+                self._machine.handle(
+                    JoinRequested(
+                        now,
+                        payload["user_id"],
+                        payload["seq_num"],
+                        payload.get("fps", self.standard_fps),
+                    )
+                )
+            )
+            assert isinstance(reply, ReplyJoin)
+            return {"ok": True, "accepted": reply.accepted, "seq_num": reply.seq_num}
         if op == "unexpected_join":
-            self.seq_num += 1
-            self.attached[payload["user_id"]] = payload.get("fps", self.standard_fps)
-            self._mark_cache_stale("join")
-            asyncio.ensure_future(self._invoke_test_workload())
-            return {"ok": True, "accepted": True}
+            reply = self._run_effects(
+                self._machine.handle(
+                    UnexpectedJoinRequested(
+                        now,
+                        payload["user_id"],
+                        payload.get("fps", self.standard_fps),
+                    )
+                )
+            )
+            assert isinstance(reply, ReplyJoin)
+            return {"ok": True, "accepted": reply.accepted}
         if op == "leave":
-            if payload["user_id"] in self.attached:
-                del self.attached[payload["user_id"]]
-                self.seq_num += 1
-                self._mark_cache_stale("leave")
-                asyncio.ensure_future(self._invoke_test_workload())
+            self._run_effects(
+                self._machine.handle(LeaveRequested(now, payload["user_id"]))
+            )
             return {"ok": True}
         if op == "frame":
             result = await self._process_frame()
@@ -326,14 +425,3 @@ class LiveEdgeServer:
                 "test_workload_invocations": self.test_workload_invocations,
             }
         return {"ok": False, "error": f"unknown op: {op!r}"}
-
-    def _mark_cache_stale(self, reason: str) -> None:
-        """Emit the cache-staleness trace event for one refresh trigger."""
-        if self.tracer.enabled:
-            self.tracer.emit(CacheMiss(self.tracer.now(), self.node_id, reason))
-
-    async def _delayed_test_workload(self) -> None:
-        """Join-triggered invocation, delayed by ~2x a common RTT
-        (scaled), so it observes the new user's traffic."""
-        await asyncio.sleep(0.04 * self.time_scale * 10)
-        await self._invoke_test_workload()

@@ -1,15 +1,34 @@
-"""The live Central Manager: registry + discovery over TCP."""
+"""The live Central Manager — asyncio driver over the protocol core.
+
+Registry, expiry, geo-filter and TopN ranking all live in
+:class:`repro.protocol.global_select.GlobalSelectionMachine` (shared
+with the simulated :class:`repro.core.manager.CentralManager`); this
+module only owns the TCP surface and the address book — live clients
+need ``(host, port)`` pairs for the candidates, which the sim does not.
+
+Expiry stamps on this backend are ``time.monotonic()`` seconds (the sim
+uses virtual milliseconds); the machine never interprets stamp units, it
+only compares them against ``heartbeat_timeout``.
+"""
 
 from __future__ import annotations
 
 import asyncio
 import time
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.core.messages import CandidateList, DiscoveryQuery, NodeStatus, from_wire, to_wire
 from repro.core.policies.global_policies import GlobalSelectionPolicy
 from repro.obs.events import PopulationChanged
 from repro.obs.tracer import Tracer
+from repro.protocol.effects import (
+    Effect,
+    NodeExpired,
+    NodeOnline,
+    ReplyCandidates,
+)
+from repro.protocol.events import DiscoveryRequested, HeartbeatReceived, PruneTick
+from repro.protocol.global_select import GlobalSelectionMachine
 from repro.runtime import protocol
 
 
@@ -36,15 +55,32 @@ class ManagerServer:
     ) -> None:
         self.host = host
         self.port = port
-        self.policy = policy or GlobalSelectionPolicy()
         self.heartbeat_timeout_s = heartbeat_timeout_s
         self.tracer = tracer if tracer is not None else Tracer.disabled()
-        self._registry: Dict[str, NodeStatus] = {}
+        #: The sans-IO Central Manager core this driver executes.
+        self._machine = GlobalSelectionMachine(
+            policy or GlobalSelectionPolicy(),
+            heartbeat_timeout=heartbeat_timeout_s,
+        )
         self._addresses: Dict[str, tuple] = {}
-        self._received_at: Dict[str, float] = {}
         self._server: Optional[asyncio.AbstractServer] = None
         self.queries_served = 0
         self.heartbeats_received = 0
+
+    # ------------------------------------------------------------------
+    # Protocol-core state, exposed on the driver for tests/operators.
+    # ------------------------------------------------------------------
+    @property
+    def policy(self) -> GlobalSelectionPolicy:
+        return self._machine.policy
+
+    @policy.setter
+    def policy(self, policy: GlobalSelectionPolicy) -> None:
+        self._machine.policy = policy
+
+    @property
+    def _registry(self) -> Dict[str, NodeStatus]:
+        return self._machine.registry
 
     async def start(self) -> None:
         """Bind and start serving; resolves the actual port when 0."""
@@ -60,22 +96,36 @@ class ManagerServer:
             self._server = None
 
     # ------------------------------------------------------------------
-    def _alive_statuses(self) -> list:
-        now = time.monotonic()
-        stale = [
-            node_id
-            for node_id, at in self._received_at.items()
-            if now - at > self.heartbeat_timeout_s
-        ]
-        for node_id in stale:
-            self._registry.pop(node_id, None)
-            self._addresses.pop(node_id, None)
-            self._received_at.pop(node_id, None)
-        if stale:
+    def _run_effects(self, effects: List[Effect]) -> Optional[Effect]:
+        """Execute registry effects in order; return the reply (if any).
+
+        Node arrivals and expiries both surface as a single
+        :class:`PopulationChanged` trace per batch (matching what an
+        operator watching the registry size would observe).
+        """
+        reply: Optional[Effect] = None
+        population_changed = False
+        for effect in effects:
+            if isinstance(effect, NodeOnline):
+                if effect.new:
+                    population_changed = True
+            elif isinstance(effect, NodeExpired):
+                self._addresses.pop(effect.node_id, None)
+                population_changed = True
+            elif isinstance(effect, ReplyCandidates):
+                reply = effect
+            else:  # pragma: no cover - forward-compatibility guard
+                raise TypeError(f"unhandled effect {type(effect).__name__}")
+        if population_changed:
             self.tracer.emit(
-                PopulationChanged(self.tracer.now(), len(self._registry))
+                PopulationChanged(self.tracer.now(), len(self._machine.registry))
             )
-        return list(self._registry.values())
+        return reply
+
+    def _alive_statuses(self) -> List[NodeStatus]:
+        """Prune stale entries, then snapshot the registry."""
+        self._run_effects(self._machine.handle(PruneTick(time.monotonic())))
+        return list(self._machine.registry.values())
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -105,37 +155,44 @@ class ManagerServer:
         op = frame["op"]
         payload = frame["payload"]
         if op == "heartbeat":
-            status = from_wire(payload["status"])
-            is_new = status.node_id not in self._registry
-            self._registry[status.node_id] = status
-            self._addresses[status.node_id] = (payload["host"], payload["port"])
-            self._received_at[status.node_id] = time.monotonic()
+            status: NodeStatus = from_wire(payload["status"])
             self.heartbeats_received += 1
-            if is_new:
-                self.tracer.emit(
-                    PopulationChanged(self.tracer.now(), len(self._registry))
+            self._run_effects(
+                self._machine.handle(
+                    HeartbeatReceived(stamp=time.monotonic(), status=status)
                 )
+            )
+            self._addresses[status.node_id] = (payload["host"], payload["port"])
             return {"ok": True}
         if op == "discover":
             query: DiscoveryQuery = from_wire(payload["query"])
-            node_ids, widened = self.policy.select(query, self._alive_statuses())
             self.queries_served += 1
+            reply = self._run_effects(
+                self._machine.handle(
+                    DiscoveryRequested(
+                        now=self.tracer.now(), stamp=time.monotonic(), query=query
+                    )
+                )
+            )
+            assert isinstance(reply, ReplyCandidates)
             candidates = CandidateList(
-                user_id=query.user_id, node_ids=tuple(node_ids), widened=widened
+                user_id=query.user_id,
+                node_ids=reply.node_ids,
+                widened=reply.widened,
             )
             return {
                 "ok": True,
                 "candidates": to_wire(candidates),
                 "addresses": {
                     node_id: list(self._addresses[node_id])
-                    for node_id in node_ids
+                    for node_id in reply.node_ids
                     if node_id in self._addresses
                 },
             }
         if op == "status":
             return {
                 "ok": True,
-                "nodes": sorted(self._registry),
+                "nodes": sorted(self._machine.registry),
                 "queries_served": self.queries_served,
                 "heartbeats_received": self.heartbeats_received,
             }

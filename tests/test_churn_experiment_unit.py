@@ -8,6 +8,12 @@ from repro.experiments.churn_experiment import (
     make_churn_trace,
 )
 from repro.metrics.collector import MetricsCollector
+from repro.obs.events import CoveredFailover, FrameDone, UncoveredFailure
+
+
+def frame_done(user_id, node_id, created_ms, latency_ms):
+    done_ms = created_ms + (latency_ms or 0.0)
+    return FrameDone(done_ms, user_id, node_id, 0, created_ms, latency_ms)
 
 
 # ----------------------------------------------------------------------
@@ -53,11 +59,11 @@ def test_trace_respects_custom_target():
 def make_metrics_with_gap():
     metrics = MetricsCollector()
     # frames complete steadily, then a gap around the failover at t=1000
-    metrics.record_frame("u1", "A", 800.0, 50.0)  # completes 850
-    metrics.record_frame("u1", "A", 900.0, 60.0)  # completes 960
-    metrics.record_covered_failover("u1", 1_000.0)
-    metrics.record_frame("u1", "B", 1_300.0, 80.0)  # completes 1380
-    metrics.record_frame("u1", "B", 1_400.0, 70.0)
+    metrics.on_event(frame_done("u1", "A", 800.0, 50.0))  # completes 850
+    metrics.on_event(frame_done("u1", "A", 900.0, 60.0))  # completes 960
+    metrics.on_event(CoveredFailover(1_000.0, "u1", "B"))
+    metrics.on_event(frame_done("u1", "B", 1_300.0, 80.0))  # completes 1380
+    metrics.on_event(frame_done("u1", "B", 1_400.0, 70.0))
     return metrics
 
 
@@ -68,19 +74,19 @@ def test_downtime_is_gap_between_completions():
 
 def test_downtime_ignores_other_users_frames():
     metrics = make_metrics_with_gap()
-    metrics.record_frame("u2", "A", 1_000.0, 10.0)  # someone else's frame
+    metrics.on_event(frame_done("u2", "A", 1_000.0, 10.0))  # someone else's frame
     assert _recovery_downtimes(metrics) == [pytest.approx(420.0)]
 
 
 def test_downtime_skips_events_without_surrounding_frames():
     metrics = MetricsCollector()
-    metrics.record_failure("u1", 1_000.0)  # no frames at all
+    metrics.on_event(UncoveredFailure(1_000.0, "u1"))  # no frames at all
     assert _recovery_downtimes(metrics) == []
 
 
 def test_downtime_counts_both_event_kinds():
     metrics = make_metrics_with_gap()
-    metrics.record_failure("u1", 1_001.0)
+    metrics.on_event(UncoveredFailure(1_001.0, "u1"))
     downtimes = _recovery_downtimes(metrics)
     assert len(downtimes) == 2
 
@@ -88,5 +94,5 @@ def test_downtime_counts_both_event_kinds():
 def test_downtime_lost_frames_do_not_mask_the_gap():
     metrics = make_metrics_with_gap()
     # a lost frame inside the outage must not shrink the measured gap
-    metrics.record_frame("u1", "A", 1_050.0, None)
+    metrics.on_event(frame_done("u1", "A", 1_050.0, None))
     assert _recovery_downtimes(metrics) == [pytest.approx(420.0)]

@@ -1,0 +1,70 @@
+"""Formal coverage for the deprecation surface.
+
+Policy: a shim ships for one release with a :class:`DeprecationWarning`,
+then is removed. The PR 1 system-construction shims
+(``spawn_node``/``register_client_endpoint``) are in their warning
+release and must keep working; the PR 2 metrics mutators
+(``record_*``) have completed the cycle and must be gone.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.system import EdgeSystem
+from repro.geo.point import GeoPoint
+from repro.metrics.collector import MetricsCollector
+from repro.nodes.hardware import profile_by_name
+
+
+def make_system() -> EdgeSystem:
+    return EdgeSystem(SystemConfig(seed=3))
+
+
+def test_spawn_node_warns_and_still_works():
+    system = make_system()
+    with pytest.warns(DeprecationWarning, match="spawn_node is deprecated"):
+        node = system.spawn_node(
+            "V1", profile_by_name("V1"), GeoPoint(44.98, -93.26)
+        )
+    assert node is system.nodes["V1"]
+    assert system.topology.has_endpoint("V1")
+    assert node.alive
+
+
+def test_register_client_endpoint_warns_and_still_works():
+    system = make_system()
+    with pytest.warns(
+        DeprecationWarning, match="register_client_endpoint is deprecated"
+    ):
+        system.register_client_endpoint("alice", GeoPoint(44.97, -93.25))
+    assert system.topology.has_endpoint("alice")
+
+
+def test_modern_construction_api_does_not_warn():
+    from repro.net.topology import EndpointSpec
+
+    system = make_system()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        system.add_node(
+            "V1", profile_by_name("V1"), EndpointSpec(GeoPoint(44.98, -93.26))
+        )
+        system.add_client_endpoint("alice", EndpointSpec(GeoPoint(44.97, -93.25)))
+
+
+def test_metrics_record_shims_are_removed():
+    collector = MetricsCollector()
+    for name in (
+        "record_frame",
+        "record_probe",
+        "record_discovery",
+        "record_test_invocation",
+        "record_join",
+        "record_failure",
+        "record_covered_failover",
+        "record_switch",
+        "record_alive_nodes",
+    ):
+        assert not hasattr(collector, name), name

@@ -1,10 +1,25 @@
 """Unit tests for stats, time series, the collector and report rendering."""
 
+from typing import Optional
+
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.report import format_cdf, format_table
+from repro.obs.events import (
+    CoveredFailover,
+    FrameDone,
+    JoinAccept,
+    JoinReject,
+    PopulationChanged,
+    ProbeSent,
+    Switch,
+    UncoveredFailure,
+)
+from repro.obs.events import TestWorkloadInvoked as WorkloadInvoked  # noqa: N813
+
+# ("Test"-prefixed names confuse pytest collection, hence the alias.)
 from repro.metrics.stats import (
     cdf_points,
     mean,
@@ -128,14 +143,21 @@ def test_bin_series_skips_empty_bins():
 
 
 # ----------------------------------------------------------------------
-# collector
+# collector (a pure reducer over trace events since the obs redesign)
 # ----------------------------------------------------------------------
+def frame_done(
+    user_id: str, node_id: str, created_ms: float, latency_ms: Optional[float]
+) -> FrameDone:
+    done_ms = created_ms + (latency_ms or 0.0)
+    return FrameDone(done_ms, user_id, node_id, 0, created_ms, latency_ms)
+
+
 def test_collector_frame_reductions():
     collector = MetricsCollector()
-    collector.record_frame("u1", "V1", 0.0, 40.0)
-    collector.record_frame("u1", "V1", 100.0, 60.0)
-    collector.record_frame("u2", "V2", 100.0, 100.0)
-    collector.record_frame("u2", "V2", 200.0, None)  # lost
+    collector.on_event(frame_done("u1", "V1", 0.0, 40.0))
+    collector.on_event(frame_done("u1", "V1", 100.0, 60.0))
+    collector.on_event(frame_done("u2", "V2", 100.0, 100.0))
+    collector.on_event(frame_done("u2", "V2", 200.0, None))  # lost
     assert collector.completed_latencies() == [40.0, 60.0, 100.0]
     assert collector.completed_latencies(user_id="u1") == [40.0, 60.0]
     assert collector.completed_latencies(start_ms=50.0, end_ms=150.0) == [60.0, 100.0]
@@ -145,23 +167,24 @@ def test_collector_frame_reductions():
 
 def test_collector_per_user_means():
     collector = MetricsCollector()
-    collector.record_frame("u1", "V1", 0.0, 40.0)
-    collector.record_frame("u1", "V1", 1.0, 60.0)
-    collector.record_frame("u2", "V2", 2.0, 10.0)
+    collector.on_event(frame_done("u1", "V1", 0.0, 40.0))
+    collector.on_event(frame_done("u1", "V1", 1.0, 60.0))
+    collector.on_event(frame_done("u2", "V2", 2.0, 10.0))
     means = collector.per_user_mean_latency()
     assert means == {"u1": 50.0, "u2": 10.0}
 
 
 def test_collector_counters():
     collector = MetricsCollector()
-    collector.record_probe("u1", 3)
-    collector.record_probe("u2")
-    collector.record_test_invocation("V1")
-    collector.record_join("u1", accepted=True)
-    collector.record_join("u1", accepted=False)
-    collector.record_failure("u1", 100.0)
-    collector.record_covered_failover("u2", 200.0)
-    collector.record_switch("u1")
+    for _ in range(3):
+        collector.on_event(ProbeSent(0.0, "u1", "V1"))
+    collector.on_event(ProbeSent(0.0, "u2", "V1"))
+    collector.on_event(WorkloadInvoked(0.0, "V1"))
+    collector.on_event(JoinAccept(1.0, "u1", "V1"))
+    collector.on_event(JoinReject(2.0, "u1", "V2"))
+    collector.on_event(UncoveredFailure(100.0, "u1"))
+    collector.on_event(CoveredFailover(200.0, "u2", "V2"))
+    collector.on_event(Switch(3.0, "u1", from_node="V1", to_node="V2"))
     assert collector.total_probes() == 4
     assert collector.total_test_invocations() == 1
     assert collector.join_accepts["u1"] == 1
@@ -174,9 +197,25 @@ def test_collector_counters():
 
 def test_collector_population_series():
     collector = MetricsCollector()
-    collector.record_alive_nodes(0.0, 3)
-    collector.record_alive_nodes(10.0, 4)
+    collector.on_event(PopulationChanged(0.0, 3))
+    collector.on_event(PopulationChanged(10.0, 4))
     assert collector.alive_nodes.values == [3.0, 4.0]
+
+
+def test_collector_has_no_legacy_mutators():
+    # The one-release record_* deprecation shims are gone for good.
+    for name in (
+        "record_frame",
+        "record_probe",
+        "record_discovery",
+        "record_test_invocation",
+        "record_join",
+        "record_failure",
+        "record_covered_failover",
+        "record_switch",
+        "record_alive_nodes",
+    ):
+        assert not hasattr(MetricsCollector, name)
 
 
 # ----------------------------------------------------------------------

@@ -211,22 +211,6 @@ def test_kernel_profiler_aggregates_by_handler_kind():
     assert sim.profiler.mean_queue_depth >= 0.0
 
 
-# ----------------------------------------------------------------------
-# Deprecated metrics shims
-# ----------------------------------------------------------------------
-def test_record_shims_warn_but_still_work():
-    collector = MetricsCollector()
-    with pytest.warns(DeprecationWarning):
-        collector.record_frame("u1", "V1", 0.0, 40.0)
-    with pytest.warns(DeprecationWarning):
-        collector.record_probe("u1")
-    with pytest.warns(DeprecationWarning):
-        collector.record_failure("u1", now_ms=5.0)
-    assert collector.completed_latencies() == [40.0]
-    assert collector.total_probes() == 1
-    assert collector.total_failures() == 1
-
-
 def test_on_event_reduces_like_the_old_mutators():
     collector = MetricsCollector()
     collector.on_event(ProbeSent(0.0, "u1", "V1"))

@@ -108,6 +108,12 @@ class ChurnInjector:
         def fail() -> None:
             self.system.fail_node(episode.node_id)
 
+        def restart() -> None:
+            node = self.system.nodes.get(episode.node_id)
+            if node is not None and node.alive:
+                return  # never actually failed; nothing to restart
+            self.system.restart_node(episode.node_id)
+
         if episode.join_ms >= sim.now:
             sim.schedule_at(episode.join_ms, spawn, label=f"{episode.node_id}.join")
         else:
@@ -115,4 +121,10 @@ class ChurnInjector:
         if episode.fail_ms < float("inf"):
             sim.schedule_at(
                 max(episode.fail_ms, sim.now), fail, label=f"{episode.node_id}.fail"
+            )
+        if episode.restart_ms is not None:
+            sim.schedule_at(
+                max(episode.restart_ms, sim.now),
+                restart,
+                label=f"{episode.node_id}.restart",
             )

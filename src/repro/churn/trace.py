@@ -11,24 +11,43 @@ from repro.churn.models import PoissonArrivalModel, WeibullLifetimeModel
 
 @dataclass(frozen=True)
 class NodeEpisode:
-    """One volunteer node's presence interval."""
+    """One volunteer node's presence interval.
+
+    ``restart_ms`` (optional) turns the episode into a crash-and-return:
+    the node fails at ``fail_ms`` and comes back *under the same id* at
+    ``restart_ms`` — a rebooted volunteer rather than a permanent
+    departure. The restarted node is a fresh process (seqNum 0,
+    re-primed what-if cache); it stays up until the horizon.
+    """
 
     node_id: str
     join_ms: float
     fail_ms: float
+    restart_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.fail_ms <= self.join_ms:
             raise ValueError(
                 f"episode must have positive lifetime: {self.join_ms}..{self.fail_ms}"
             )
+        if self.restart_ms is not None and self.restart_ms <= self.fail_ms:
+            raise ValueError(
+                f"restart {self.restart_ms} must come after failure {self.fail_ms}"
+            )
 
     @property
     def lifetime_ms(self) -> float:
         return self.fail_ms - self.join_ms
 
+    @property
+    def kind(self) -> str:
+        """``"restart"`` for crash-and-return episodes, else ``"fail"``."""
+        return "restart" if self.restart_ms is not None else "fail"
+
     def alive_at(self, now_ms: float) -> bool:
-        return self.join_ms <= now_ms < self.fail_ms
+        if self.join_ms <= now_ms < self.fail_ms:
+            return True
+        return self.restart_ms is not None and now_ms >= self.restart_ms
 
 
 @dataclass(frozen=True)
@@ -51,6 +70,8 @@ class ChurnTrace:
             events.append((episode.join_ms, 1))
             if episode.fail_ms < self.horizon_ms:
                 events.append((episode.fail_ms, -1))
+            if episode.restart_ms is not None and episode.restart_ms < self.horizon_ms:
+                events.append((episode.restart_ms, 1))
         events.sort()
         steps: List[tuple] = []
         count = 0

@@ -7,6 +7,7 @@ Usage::
     python -m repro fig9 --top-n 1 2 3   # restrict the TopN sweep
     python -m repro table3
     python -m repro qos --qos-ms 80
+    python -m repro chaos --run sim --seed 0 --out chaos.jsonl
     python -m repro sweep run --experiment fig9_topn --seeds 5 --workers 4
     python -m repro sweep status --store .sweeps/fig9_topn
     python -m repro sweep report --store .sweeps/fig9_topn
@@ -257,6 +258,33 @@ def cmd_qos(args: argparse.Namespace) -> None:
             title=f"QoS admission control at {args.qos_ms:.0f} ms",
         )
     )
+
+
+def cmd_chaos(args: argparse.Namespace) -> None:
+    from repro.faults.scenarios import run_live_chaos, run_sim_chaos
+
+    if args.run == "live":
+        import asyncio
+
+        report, events = asyncio.run(
+            run_live_chaos(args.seed, horizon_ms=args.horizon_ms)
+        )
+    else:
+        report, events = run_sim_chaos(args.seed, horizon_ms=args.horizon_ms)
+    if args.out:
+        from repro.obs.tracer import JsonlSink
+
+        sink = JsonlSink(args.out)
+        try:
+            for event in events:
+                sink.write(event)
+        finally:
+            sink.close()
+        print(f"trace: {len(events)} events -> {args.out}")
+    for line in report.summary_lines():
+        print(line)
+    if not report.ok:
+        raise SystemExit(1)
 
 
 def cmd_trace(args: argparse.Namespace) -> None:
@@ -510,6 +538,7 @@ COMMANDS = {
     "fig9": (cmd_fig9, "Fig. 9 TopN sweep"),
     "fig10": (cmd_fig10, "Fig. 10 fault tolerance"),
     "qos": (cmd_qos, "QoS admission extension"),
+    "chaos": (cmd_chaos, "seeded fault-injection run with recovery checks"),
     "trace": (cmd_trace, "capture/summarize a structured trace"),
     "sweep": (cmd_sweep, "parallel, resumable experiment sweeps"),
 }
@@ -584,6 +613,19 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--top-n", type=int, nargs="+", default=None)
         if name == "qos":
             sub.add_argument("--qos-ms", type=float, default=90.0)
+        if name == "chaos":
+            sub.add_argument(
+                "--run", choices=("sim", "live"), default="sim",
+                help="which backend to drive through the canonical plan",
+            )
+            sub.add_argument(
+                "--horizon-ms", type=float, default=20_000.0,
+                help="scenario length in application milliseconds",
+            )
+            sub.add_argument(
+                "--out", default=None, metavar="PATH",
+                help="also dump the full trace as JSONL",
+            )
         if name == "trace":
             sub.add_argument(
                 "--run", choices=("sim", "live"), default="sim",

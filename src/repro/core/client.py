@@ -68,6 +68,7 @@ from repro.protocol.effects import (
 )
 from repro.protocol.events import (
     CandidatesReceived,
+    DiscoveryFailed,
     EdgeFailed,
     FailoverResult,
     JoinResult,
@@ -84,6 +85,7 @@ from repro.workload.frames import Frame, FrameSource
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.system import EdgeSystem
+    from repro.faults.injector import MessageDecision
 
 
 @dataclass
@@ -371,6 +373,27 @@ class EdgeClient:
         self._round_in_progress = False
 
     # ------------------------------------------------------------------
+    # Fault interception (repro.faults)
+    # ------------------------------------------------------------------
+    #: How long an unanswered discovery request waits before the driver
+    #: reports :class:`~repro.protocol.events.DiscoveryFailed` (the live
+    #: runtime's retry budget plays the same role on the wall clock).
+    DISCOVERY_TIMEOUT_MS = 1_000.0
+
+    def _decide_fault(self, dst: str, op: str) -> Optional["MessageDecision"]:
+        """One injector verdict for a logical message exchange, or None.
+
+        The sim intercepts each exchange *once at send time* — the
+        verdict covers the round trip, so a rule matching either
+        direction of a link should name the client as ``src``. Manager
+        outages and symmetric partitions match regardless.
+        """
+        faults = self.system.faults
+        if faults is None:
+            return None
+        return faults.decide(self.user_id, dst, op, self.system.sim.now)
+
+    # ------------------------------------------------------------------
     # Selection round I/O (Algorithm 2) — overridden by baselines
     # ------------------------------------------------------------------
     def _begin_selection_round(self) -> None:
@@ -390,6 +413,19 @@ class EdgeClient:
             exclude=effect.exclude,
         )
         rtt = self.system.topology.rtt_ms(self.user_id, self.system.manager_id)
+        verdict = self._decide_fault(self.system.manager_id, "discover")
+        if verdict is not None:
+            if not verdict.deliver:
+                # Black-holed: the client only learns via its timeout.
+                self.system.sim.schedule(
+                    self.DISCOVERY_TIMEOUT_MS,
+                    lambda: self._feed(
+                        DiscoveryFailed(self.system.sim.now, reason=verdict.kind)
+                    ),
+                    label=f"{self.user_id}.discover-timeout",
+                )
+                return
+            rtt += verdict.extra_delay_ms
         self.system.sim.schedule(
             rtt,
             lambda: self._deliver_candidates(self.system.manager.discover(query)),
@@ -422,10 +458,15 @@ class EdgeClient:
             trace.emit(ProbeSent(self.system.sim.now, self.user_id, node_id))
             if not topology.has_endpoint(node_id):
                 continue
+            verdict = self._decide_fault(node_id, "probe")
+            if verdict is not None and not verdict.deliver:
+                continue  # probe times out silently, like a dead node
             pings = [
                 topology.rtt_ms(self.user_id, node_id) for _ in range(samples)
             ]
             rtt = sum(pings) / len(pings)
+            if verdict is not None:
+                rtt += verdict.extra_delay_ms
             max_rtt = max(max_rtt, rtt)
             node = self.system.nodes.get(node_id)
             if node is None:
@@ -469,10 +510,16 @@ class EdgeClient:
         """``Join()`` the chosen candidate, echoing its probed seqNum."""
         node = self.system.nodes.get(best.node_id)
         rtt = self.system.topology.rtt_ms(self.user_id, best.node_id)
+        verdict = self._decide_fault(best.node_id, "join")
+        dropped = verdict is not None and not verdict.deliver
+        if verdict is not None and verdict.deliver:
+            rtt += verdict.extra_delay_ms
 
         def deliver() -> None:
             now = self.system.sim.now
-            if node is None or not node.alive:
+            if dropped or node is None or not node.alive:
+                # A dropped join is indistinguishable from a dead node:
+                # no answer before the timeout.
                 accepted, node_alive = False, False
             else:
                 reply = node.join(self.user_id, best.seq_num, self.controller.fps)
@@ -545,10 +592,15 @@ class EdgeClient:
         )
         if not self.proactive_connections:
             rtt += CONNECTION_SETUP_RTTS * rtt  # fresh connection first
+        verdict = self._decide_fault(backup_id, "unexpected_join")
+        dropped = verdict is not None and not verdict.deliver
+        if verdict is not None and verdict.deliver:
+            rtt += verdict.extra_delay_ms
 
         def deliver() -> None:
             accepted = (
-                node is not None
+                not dropped
+                and node is not None
                 and node.alive
                 and node.unexpected_join(self.user_id, self.controller.fps)
             )
@@ -609,6 +661,10 @@ class EdgeClient:
         if node is None or not topology.has_endpoint(edge_id):
             self._record_lost(frame, edge_id)
             return
+        verdict = self._decide_fault(edge_id, "frame")
+        if verdict is not None and not verdict.deliver:
+            self._record_lost(frame, edge_id)
+            return
         if trace.enabled:
             trace.emit(
                 FrameStart(self.system.sim.now, self.user_id, edge_id,
@@ -616,6 +672,16 @@ class EdgeClient:
             )
         transfer = topology.transfer_ms(self.user_id, edge_id, frame.size_bytes)
         uplink_delay = topology.one_way_ms(self.user_id, edge_id) + transfer
+        if verdict is not None:
+            uplink_delay += verdict.extra_delay_ms
+            for _ in range(verdict.copies - 1):
+                # Duplicated frames still load the server's queue; the
+                # client ignores the redundant response.
+                self.system.sim.schedule_at(
+                    self.system.sim.now + uplink_delay,
+                    lambda: node.receive_frame(frame, self.system.sim.now),
+                    label=f"{self.user_id}.dup",
+                )
         # Time the frame spent in the client-side backlog before leaving
         # (0 for frames sent the moment they were captured) — part of the
         # queue phase of the latency decomposition.
@@ -681,11 +747,16 @@ class EdgeClient:
         node = self.system.nodes.get(node_id)
         if node is None:
             return
+        verdict = self._decide_fault(node_id, "leave")
+        if verdict is not None and not verdict.deliver:
+            return  # the node never hears the goodbye
         delay = (
             self.system.topology.one_way_ms(self.user_id, node_id)
             if self.system.topology.has_endpoint(node_id)
             else 1.0
         )
+        if verdict is not None:
+            delay += verdict.extra_delay_ms
         self.system.sim.schedule(
             delay, lambda: node.leave(self.user_id), label=f"{self.user_id}.leave"
         )

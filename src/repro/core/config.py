@@ -70,6 +70,12 @@ class SystemConfig:
         max_discovery_retries: how many times a client repeats the
             discovery+probing procedure after consecutive Join rejections
             before backing off for one probing period.
+        attachment_lease_ms: optional server-side lease on admission
+            state. A node expires any attached user whose frames stop
+            arriving for this long — the cleanup path for a ``Leave()``
+            lost to a partition (the client has moved on; the stale
+            entry would otherwise inflate the node's what-if projection
+            forever). None (the default) disables expiry.
         seed: root seed for all random streams.
     """
 
@@ -92,6 +98,7 @@ class SystemConfig:
     perf_monitor_period_ms: float = 1_000.0
     perf_monitor_threshold: float = 0.4
     max_discovery_retries: int = 3
+    attachment_lease_ms: Optional[float] = None
     seed: int = 42
 
     def __post_init__(self) -> None:
@@ -127,6 +134,8 @@ class SystemConfig:
             raise ValueError("perf_monitor_threshold must be positive")
         if self.max_discovery_retries < 0:
             raise ValueError("max_discovery_retries must be >= 0")
+        if self.attachment_lease_ms is not None and self.attachment_lease_ms <= 0:
+            raise ValueError("attachment_lease_ms must be positive when set")
 
     @property
     def backup_count(self) -> int:

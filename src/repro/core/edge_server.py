@@ -32,7 +32,7 @@ from repro.geo import geohash as gh
 from repro.nodes.hardware import HardwareProfile
 from repro.nodes.host_workload import HostWorkloadSchedule
 from repro.nodes.processing import CompletedFrame, FrameProcessor, analytic_sojourn_ms
-from repro.obs.events import CacheMiss, TestWorkloadInvoked
+from repro.obs.events import AttachmentExpired, CacheMiss, TestWorkloadInvoked
 from repro.protocol.admission import AdmissionConfig, AdmissionMachine
 from repro.protocol.effects import (
     Effect,
@@ -116,7 +116,11 @@ class EdgeServer:
 
         self._heartbeat_timer: Optional[TimerHandle] = None
         self._monitor_timer: Optional[TimerHandle] = None
+        self._lease_timer: Optional[TimerHandle] = None
         self._test_pending = False
+        #: Last time each attached user showed signs of life (join
+        #: grant or frame arrival) — drives the attachment lease.
+        self._last_seen_ms: Dict[str, float] = {}
 
     def _project_sojourn(self, offered_fps: float, slowdown: float) -> float:
         """The machine's analytic sojourn projection, closed over this
@@ -186,6 +190,12 @@ class EdgeServer:
             self._performance_monitor_tick,
             label=f"{self.node_id}.perfmon",
         )
+        if self.config.attachment_lease_ms is not None:
+            self._lease_timer = sim.every(
+                self.config.attachment_lease_ms / 2.0,
+                self._expire_stale_attachments,
+                label=f"{self.node_id}.lease",
+            )
         for change_ms in self.host_schedule.change_points():
             if change_ms >= sim.now:
                 sim.schedule_at(
@@ -212,6 +222,8 @@ class EdgeServer:
             self._heartbeat_timer.cancel()
         if self._monitor_timer is not None:
             self._monitor_timer.cancel()
+        if self._lease_timer is not None:
+            self._lease_timer.cancel()
         self._machine.handle(NodeFailed(self.system.sim.now))
 
     @property
@@ -290,6 +302,7 @@ class EdgeServer:
         assert isinstance(reply, ReplyJoin)
         if reply.accepted:
             self.joins_accepted += 1
+            self._last_seen_ms[user_id] = self.system.sim.now
         else:
             self.joins_rejected += 1
         return JoinReply(
@@ -310,10 +323,12 @@ class EdgeServer:
         assert isinstance(reply, ReplyJoin)
         if reply.accepted:
             self.joins_accepted += 1
+            self._last_seen_ms[user_id] = self.system.sim.now
         return reply.accepted
 
     def leave(self, user_id: str) -> None:
         """``Leave()``: workload decrease — trigger type 2."""
+        self._last_seen_ms.pop(user_id, None)
         self._run_effects(
             self._machine.handle(LeaveRequested(self.system.sim.now, user_id))
         )
@@ -334,6 +349,7 @@ class EdgeServer:
         if not self.alive:
             return None
         self.frames_received += 1
+        self._last_seen_ms[frame.user_id] = arrival_ms
         completed = self.processor.submit(arrival_ms)
         if completed is None:
             self.frames_dropped += 1
@@ -410,6 +426,32 @@ class EdgeServer:
             )
         )
 
+    def _expire_stale_attachments(self) -> None:
+        """Evict attached users whose frames stopped arriving.
+
+        The cleanup path for a ``Leave()`` lost in transit (or skipped
+        by a client that believed this node dead): without it a
+        partition can strand admission state forever, inflating the
+        what-if projection with ghost users. Expiry feeds the machine a
+        plain :class:`~repro.protocol.events.LeaveRequested`, so the
+        usual trigger-type-2 cache refresh happens.
+        """
+        lease_ms = self.config.attachment_lease_ms
+        if lease_ms is None or not self.alive:
+            return
+        now = self.system.sim.now
+        for user_id in list(self._machine.attached):
+            idle_ms = now - self._last_seen_ms.get(user_id, now)
+            if idle_ms < lease_ms:
+                continue
+            self._last_seen_ms.pop(user_id, None)
+            self.system.trace.emit(
+                AttachmentExpired(now, self.node_id, user_id, idle_ms)
+            )
+            self._run_effects(
+                self._machine.handle(LeaveRequested(now, user_id))
+            )
+
     def _apply_host_slowdown(self) -> None:
         """Apply the host-workload slowdown in effect right now."""
         if not self.alive:
@@ -444,6 +486,14 @@ class EdgeServer:
             return
         status = self.status()
         delay = self.system.topology.one_way_ms(self.node_id, self.system.manager_id)
+        faults = self.system.faults
+        if faults is not None:
+            verdict = faults.decide(
+                self.node_id, self.system.manager_id, "heartbeat", self.system.sim.now
+            )
+            if not verdict.deliver:
+                return  # lost in transit; the manager ages us out
+            delay += verdict.extra_delay_ms
         self.system.sim.schedule(
             delay,
             lambda: self.system.manager.receive_heartbeat(status),

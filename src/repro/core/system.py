@@ -20,7 +20,7 @@ dynamics need:
 from __future__ import annotations
 
 import warnings
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.client import ClientLike
 from repro.core.config import SystemConfig
@@ -30,7 +30,7 @@ from repro.core.policies.global_policies import GeoProximityFilter, GlobalSelect
 from repro.geo.point import GeoPoint
 from repro.metrics.collector import MetricsCollector
 from repro.net.latency import NetworkTier
-from repro.obs.events import NodeFail, PopulationChanged
+from repro.obs.events import FaultInjected, NodeFail, NodeRestart, PopulationChanged
 from repro.obs.tracer import Tracer
 from repro.net.topology import EndpointSpec, NetworkEndpoint, NetworkTopology
 from repro.nodes.hardware import HardwareProfile
@@ -38,6 +38,9 @@ from repro.nodes.host_workload import HostWorkloadSchedule
 from repro.sim.kernel import Simulator
 from repro.sim.random import RandomStreams
 from repro.workload.ar import ARApplication, DEFAULT_AR_APP
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.faults.injector import FaultInjector
 
 #: Reserved endpoint id of the Central Manager.
 MANAGER_ID = "central-manager"
@@ -70,6 +73,7 @@ class EdgeSystem:
         manager_point: Optional[GeoPoint] = None,
         global_policy: Optional[GlobalSelectionPolicy] = None,
         trace: Optional[Tracer] = None,
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
         self.config = config or SystemConfig()
         self.app = app
@@ -105,6 +109,17 @@ class EdgeSystem:
 
         self.nodes: Dict[str, EdgeServer] = {}
         self.clients: Dict[str, ClientLike] = {}
+        #: Construction arguments remembered per node id so a crashed
+        #: node can be restarted *as the same identity* (fault plans and
+        #: churn restart episodes both need this).
+        self._node_specs: Dict[
+            str, Tuple[HardwareProfile, EndpointSpec, bool, Optional[HostWorkloadSchedule]]
+        ] = {}
+
+        self.faults = faults
+        if faults is not None:
+            faults.tracer = self.trace
+            self._install_fault_actions(faults)
 
     # ------------------------------------------------------------------
     # Node lifecycle
@@ -140,6 +155,7 @@ class EdgeSystem:
             )
         self.topology.add_endpoint(spec.endpoint(node_id), replace=existing is not None)
         assert self.topology.has_endpoint(node_id)
+        self._node_specs[node_id] = (profile, spec, dedicated, host_schedule)
         node = EdgeServer(
             self,
             node_id,
@@ -217,6 +233,102 @@ class EdgeSystem:
                     lambda h=handler: h(node_id),
                     label=f"{node_id}.detect",
                 )
+
+    def restart_node(self, node_id: str) -> EdgeServer:
+        """Bring a crashed node back under the *same* id.
+
+        The restarted node is a **fresh process** on the remembered
+        hardware/placement: a brand-new :class:`EdgeServer` (and
+        admission machine), so its seqNum restarts at 0 and its what-if
+        cache re-primes — no stale pre-crash state survives. Clients
+        rediscover it at their next probing round exactly like a newly
+        spawned volunteer.
+
+        Raises:
+            ValueError: if the id was never added, or is still alive.
+        """
+        spec = self._node_specs.get(node_id)
+        if spec is None:
+            raise ValueError(f"cannot restart unknown node: {node_id!r}")
+        existing = self.nodes.get(node_id)
+        if existing is not None and existing.alive:
+            raise ValueError(f"cannot restart a node that is alive: {node_id!r}")
+        profile, endpoint_spec, dedicated, host_schedule = spec
+        node = self.add_node(
+            node_id,
+            profile,
+            endpoint_spec,
+            dedicated=dedicated,
+            host_schedule=host_schedule,
+        )
+        self.trace.emit(NodeRestart(self.sim.now, node_id))
+        return node
+
+    # ------------------------------------------------------------------
+    # Fault injection (repro.faults)
+    # ------------------------------------------------------------------
+    def _install_fault_actions(self, faults: "FaultInjector") -> None:
+        """Schedule the plan's node-level transitions on the kernel.
+
+        Message-level rules need no scheduling — drivers consult
+        ``faults.decide()`` per message. Actions referencing nodes that
+        do not exist yet (or died on their own) are skipped at fire
+        time, so a plan can safely name churn-spawned nodes.
+        """
+        for action in faults.node_actions():
+            self.sim.schedule_at(
+                max(action.t_ms, self.sim.now),
+                lambda a=action: self._apply_fault_action(a),
+                label=f"fault.{action.rule_id}.{action.kind}",
+            )
+
+    def _apply_fault_action(self, action: "object") -> None:
+        from repro.faults.injector import NodeAction
+
+        assert isinstance(action, NodeAction)
+        if action.kind == "crash":
+            node = self.nodes.get(action.node_id)
+            if node is None or not node.alive:
+                return
+            self.trace.emit(
+                FaultInjected(
+                    self.sim.now, action.rule_id, "crash", dst=action.node_id
+                )
+            )
+            if self.faults is not None:
+                self.faults.injected["crash"] += 1
+            self.fail_node(action.node_id)
+        elif action.kind == "restart":
+            existing = self.nodes.get(action.node_id)
+            if action.node_id not in self._node_specs or (
+                existing is not None and existing.alive
+            ):
+                return
+            self.restart_node(action.node_id)
+        elif action.kind in ("gray_start", "gray_end"):
+            node = self.nodes.get(action.node_id)
+            if node is None or not node.alive:
+                return
+            kind = action.kind
+            self.trace.emit(
+                FaultInjected(self.sim.now, action.rule_id, kind, dst=action.node_id)
+            )
+            if self.faults is not None:
+                self.faults.injected[kind] += 1
+            if kind == "gray_start":
+                node.processor.set_slowdown(
+                    max(node.processor.slowdown_factor, action.factor)
+                )
+            else:
+                # Back to whatever the host-workload schedule dictates.
+                node._apply_host_slowdown()
+        elif action.kind in ("outage_start", "outage_end"):
+            # The outage itself is enforced per message in decide();
+            # the scheduled action only marks the transition in the
+            # trace so recovery analysis can bracket the window.
+            self.trace.emit(
+                FaultInjected(self.sim.now, action.rule_id, action.kind)
+            )
 
     def alive_node_ids(self) -> List[str]:
         return [node_id for node_id, node in self.nodes.items() if node.alive]

@@ -1,0 +1,497 @@
+"""Canonical chaos scenarios and the controllers that drive them.
+
+One seeded :func:`chaos_plan` exercises every fault family the paper's
+environment can throw at the protocol — message loss/lag, an asymmetric
+partition, a crash *with restart*, a Central Manager outage and a gray
+node — and both backends replay it:
+
+- :func:`run_sim_chaos` on the simulator (deterministic: the same seed
+  produces the identical trace-event sequence);
+- :func:`run_live_chaos` against a loopback :class:`LocalCluster`,
+  where a :class:`ChaosController` executes the node-level actions on a
+  scaled wall clock and the message-level rules gate real socket I/O.
+
+Both return a :class:`ChaosReport` whose :meth:`ChaosReport.problems`
+list is empty exactly when the recovery invariants hold: every client
+re-attached to an alive node by the end of the (fault-free) tail
+window, covered failovers used the backup list, and no admission state
+is stranded (no node believes a user is attached who has moved on, and
+vice versa). The chaos-parity test asserts both backends produce a
+clean report from the same plan.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FaultPlan,
+    GrayNode,
+    ManagerOutage,
+    MessageFault,
+    NodeCrash,
+    Partition,
+    Window,
+)
+
+__all__ = [
+    "ChaosReport",
+    "ChaosController",
+    "chaos_plan",
+    "run_sim_chaos",
+    "run_live_chaos",
+]
+
+
+# ----------------------------------------------------------------------
+# The canonical plan
+# ----------------------------------------------------------------------
+def chaos_plan(
+    edge_ids: Sequence[str], horizon_ms: float = 20_000.0
+) -> FaultPlan:
+    """The standard all-families chaos schedule over ``horizon_ms``.
+
+    Needs at least two edge ids: the first crashes and restarts, the
+    second gets partitioned from every user, and the last runs gray.
+    The final 20% of the horizon is fault-free — the settle window the
+    recovery invariants are checked against.
+    """
+    if len(edge_ids) < 2:
+        raise ValueError("chaos_plan needs at least two edge ids")
+    h = horizon_ms
+    return FaultPlan(
+        message_faults=(
+            MessageFault(
+                "frame-loss",
+                Window(0.10 * h, 0.55 * h),
+                src="user-*",
+                ops=("frame",),
+                drop_p=0.15,
+            ),
+            MessageFault(
+                "frame-lag",
+                Window(0.10 * h, 0.55 * h),
+                src="user-*",
+                ops=("frame",),
+                delay_ms=40.0,
+                delay_jitter_ms=20.0,
+                delay_p=0.3,
+            ),
+        ),
+        partitions=(
+            Partition("edge-cut", "user-*", edge_ids[1], Window(0.15 * h, 0.35 * h)),
+        ),
+        crashes=(
+            NodeCrash("crash", edge_ids[0], 0.40 * h, restart_at_ms=0.70 * h),
+        ),
+        outages=(ManagerOutage("mgr-down", Window(0.45 * h, 0.65 * h)),),
+        gray_nodes=(
+            GrayNode("gray", edge_ids[-1], Window(0.55 * h, 0.80 * h), slowdown=6.0),
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# The shared report
+# ----------------------------------------------------------------------
+@dataclass
+class ChaosReport:
+    """What one chaos run did and whether the system recovered."""
+
+    backend: str
+    seed: int
+    injected: Dict[str, int] = field(default_factory=dict)
+    event_counts: Dict[str, int] = field(default_factory=dict)
+    frames_completed: int = 0
+    frames_lost: int = 0
+    #: Recovery-invariant violations; empty == the run is clean.
+    problems: List[str] = field(default_factory=list)
+    #: Unretrieved task exceptions collected from the event loop (live
+    #: backend only) — non-empty fails the CI chaos smoke.
+    task_errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems and not self.task_errors
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"backend={self.backend} seed={self.seed} "
+            f"frames={self.frames_completed} lost={self.frames_lost}",
+            "injected: "
+            + (
+                ", ".join(f"{k}={v}" for k, v in sorted(self.injected.items()))
+                or "none"
+            ),
+            "recovery: "
+            + ", ".join(
+                f"{k}={self.event_counts.get(k, 0)}"
+                for k in (
+                    "covered_failover",
+                    "uncovered_failure",
+                    "degraded_fallback",
+                    "node_restart",
+                    "breaker_transition",
+                    "retry_scheduled",
+                )
+            ),
+        ]
+        if self.problems:
+            lines.append("PROBLEMS: " + "; ".join(self.problems))
+        if self.task_errors:
+            lines.append("TASK ERRORS: " + "; ".join(self.task_errors))
+        if self.ok:
+            lines.append("all recovery invariants hold")
+        return lines
+
+
+def _count_events(events: Sequence[object]) -> Dict[str, int]:
+    return dict(Counter(getattr(e, "type", "?") for e in events))
+
+
+# ----------------------------------------------------------------------
+# Simulated backend
+# ----------------------------------------------------------------------
+def run_sim_chaos(
+    seed: int = 0,
+    *,
+    horizon_ms: float = 20_000.0,
+    n_clients: int = 2,
+    plan: Optional[FaultPlan] = None,
+    top_n: int = 3,
+) -> Tuple[ChaosReport, List[object]]:
+    """Drive the canonical plan through the simulator.
+
+    Returns the report plus the full trace-event list (the parity test
+    compares sequences across runs for determinism). ``top_n`` is the
+    selection policy's backup breadth — the knob the chaos_matrix sweep
+    crosses against fault families (more backups = more covered
+    failovers under crash/partition faults, per Fig. 10(b)).
+    """
+    from repro.core.client import EdgeClient
+    from repro.core.config import SystemConfig
+    from repro.core.system import EdgeSystem
+    from repro.geo.point import GeoPoint
+    from repro.net.topology import EndpointSpec
+    from repro.nodes.hardware import VOLUNTEER_PROFILES
+    from repro.obs.tracer import Tracer
+
+    edge_ids = ["edge-a", "edge-b", "edge-c"]
+    plan = plan if plan is not None else chaos_plan(edge_ids, horizon_ms)
+    injector = FaultInjector(plan, seed=seed)
+    tracer = Tracer()
+    system = EdgeSystem(
+        SystemConfig(
+            seed=seed,
+            top_n=top_n,
+            probing_period_ms=3_000.0,
+            # Longer than the plan's worst silent window (the 4 s
+            # partition), so only genuinely stranded users expire.
+            attachment_lease_ms=6_000.0,
+        ),
+        trace=tracer,
+        faults=injector,
+    )
+    center = GeoPoint(44.97, -93.25)
+    for i, edge_id in enumerate(edge_ids):
+        system.add_node(
+            edge_id,
+            VOLUNTEER_PROFILES[i % len(VOLUNTEER_PROFILES)],
+            EndpointSpec(center.offset_km(1.0 + i, -1.0 + i)),
+        )
+    clients: List[EdgeClient] = []
+    for i in range(n_clients):
+        user_id = f"user-{i + 1:02d}"
+        system.add_client_endpoint(
+            user_id, EndpointSpec(center.offset_km(-0.5 * i, 0.5 * i))
+        )
+        client = EdgeClient(system, user_id)
+        system.add_client(client)
+        clients.append(client)
+
+    system.run_for(horizon_ms)
+
+    report = ChaosReport(backend="sim", seed=seed)
+    report.injected = dict(injector.injected)
+    events = list(tracer.events())
+    report.event_counts = _count_events(events)
+    report.frames_completed = sum(c.stats.frames_completed for c in clients)
+    report.frames_lost = sum(c.stats.frames_lost for c in clients)
+    report.problems = _check_sim_invariants(system)
+    return report, events
+
+
+def _check_sim_invariants(system: object) -> List[str]:
+    """The recovery invariants, on the simulator's final state."""
+    problems: List[str] = []
+    nodes = system.nodes  # type: ignore[attr-defined]
+    clients = system.clients  # type: ignore[attr-defined]
+    for user_id, client in clients.items():
+        edge_id = client.current_edge
+        if edge_id is None:
+            problems.append(f"{user_id} not re-attached by end of run")
+            continue
+        node = nodes.get(edge_id)
+        if node is None or not node.alive:
+            problems.append(f"{user_id} attached to dead node {edge_id}")
+        elif user_id not in node.attached:
+            problems.append(
+                f"{user_id} claims {edge_id} but is missing from its admission state"
+            )
+    for node_id, node in nodes.items():
+        if not node.alive:
+            continue
+        for user_id in node.attached:
+            client = clients.get(user_id)
+            if client is None or client.current_edge != node_id:
+                problems.append(
+                    f"stranded admission state: {user_id} still on {node_id}"
+                )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Live backend
+# ----------------------------------------------------------------------
+class ChaosController:
+    """Executes a fault plan against a running :class:`LocalCluster`.
+
+    Plan time maps onto the wall clock at ``plan_ms_per_s`` plan
+    milliseconds per wall second (e.g. ``5000`` replays a 20 s plan in
+    4 s). The controller wires the injector into every client and edge
+    (message-level gating) and runs the node-level actions — kill,
+    restart, gray dial, manager outage — as a background task.
+    """
+
+    def __init__(
+        self,
+        cluster: object,
+        injector: FaultInjector,
+        *,
+        plan_ms_per_s: float = 1_000.0,
+    ) -> None:
+        if plan_ms_per_s <= 0:
+            raise ValueError(f"plan_ms_per_s must be positive: {plan_ms_per_s}")
+        self.cluster = cluster
+        self.injector = injector
+        self.plan_ms_per_s = plan_ms_per_s
+        self._epoch = 0.0
+        self._task: Optional[asyncio.Task] = None
+
+    # -- plan-time clock ------------------------------------------------
+    def now_ms(self) -> float:
+        return (time.monotonic() - self._epoch) * self.plan_ms_per_s
+
+    def _wire(self, actor: object) -> None:
+        actor.faults = self.injector  # type: ignore[attr-defined]
+        actor.fault_clock = self.now_ms  # type: ignore[attr-defined]
+        if hasattr(actor, "fault_scale"):
+            # wall-ms slept per injected plan-ms of delay
+            actor.fault_scale = 1_000.0 / self.plan_ms_per_s  # type: ignore[attr-defined]
+
+    def start(self) -> None:
+        """Stamp the epoch, wire every actor, launch the action script."""
+        self._epoch = time.monotonic()
+        self.injector.event_clock = self.cluster.tracer.now  # type: ignore[attr-defined]
+        for client in self.cluster.clients:  # type: ignore[attr-defined]
+            self._wire(client)
+        for edge in self.cluster.edges:  # type: ignore[attr-defined]
+            self._wire(edge)
+        self._task = asyncio.ensure_future(self._run_actions())
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+    async def wait(self) -> None:
+        """Block until every scheduled node action has run."""
+        if self._task is not None:
+            await self._task
+            self._task = None
+
+    # -- node-level actions --------------------------------------------
+    async def _run_actions(self) -> None:
+        from repro.obs.events import FaultInjected
+
+        tracer = self.cluster.tracer  # type: ignore[attr-defined]
+        for action in self.injector.node_actions():
+            wall_deadline = self._epoch + action.t_ms / self.plan_ms_per_s
+            delay = wall_deadline - time.monotonic()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            kind = action.kind
+            tracer.emit(
+                FaultInjected(
+                    tracer.now(), action.rule_id, kind, dst=action.node_id
+                )
+            )
+            self.injector.injected[kind] += 1
+            if kind == "crash":
+                await self.cluster.kill_edge(action.node_id)  # type: ignore[attr-defined]
+            elif kind == "restart":
+                edge = await self.cluster.restart_edge(action.node_id)  # type: ignore[attr-defined]
+                self._wire(edge)
+            elif kind == "gray_start":
+                self.cluster.edge_by_id(action.node_id).set_slowdown(  # type: ignore[attr-defined]
+                    action.factor
+                )
+            elif kind == "gray_end":
+                self.cluster.edge_by_id(action.node_id).set_slowdown(1.0)  # type: ignore[attr-defined]
+            elif kind == "outage_start":
+                await self.cluster.stop_manager()  # type: ignore[attr-defined]
+            elif kind == "outage_end":
+                await self.cluster.restart_manager()  # type: ignore[attr-defined]
+
+
+async def run_live_chaos(
+    seed: int = 0,
+    *,
+    horizon_ms: float = 20_000.0,
+    plan_ms_per_s: float = 5_000.0,
+    n_clients: int = 2,
+    time_scale: float = 0.05,
+) -> Tuple[ChaosReport, List[object]]:
+    """Drive the canonical plan against a loopback cluster.
+
+    Every unretrieved task exception and loop error is captured into
+    ``report.task_errors`` — the hardened runtime must absorb chaos
+    without leaking exceptions into the event loop.
+    """
+    from repro.nodes.hardware import VOLUNTEER_PROFILES
+    from repro.obs.tracer import Tracer
+    from repro.runtime.launcher import LocalCluster
+    from repro.runtime.protocol import RetryPolicy
+
+    task_errors: List[str] = []
+    loop = asyncio.get_running_loop()
+    previous_handler = loop.get_exception_handler()
+
+    def handler(loop: asyncio.AbstractEventLoop, context: dict) -> None:
+        task_errors.append(str(context.get("exception") or context.get("message")))
+
+    loop.set_exception_handler(handler)
+
+    tracer = Tracer()
+    cluster = LocalCluster(
+        VOLUNTEER_PROFILES[:3],
+        n_clients=n_clients,
+        seed=seed,
+        time_scale=time_scale,
+        heartbeat_period_s=0.1,
+        tracer=tracer,
+        monitor_period_s=0.25,
+        attachment_lease_s=0.8,
+    )
+    report = ChaosReport(backend="live", seed=seed)
+    events: List[object] = []
+    try:
+        await cluster.start()
+        for client in cluster.clients:
+            # Tight budgets: chaos runs fail over in milliseconds, not
+            # after stacked 5 s timeouts.
+            client.request_timeout = 0.5
+            client.retry_policy = RetryPolicy(
+                max_attempts=3, budget_s=0.6, base_delay_s=0.02, max_delay_s=0.1
+            )
+            client.breaker_reset_s = 0.4
+        edge_ids = [e.node_id for e in cluster.edges]
+        plan = chaos_plan(edge_ids, horizon_ms)
+        injector = FaultInjector(plan, seed=seed, tracer=tracer)
+        controller = ChaosController(
+            cluster, injector, plan_ms_per_s=plan_ms_per_s
+        )
+        controller.start()
+
+        async def client_loop(client: object) -> Tuple[int, int]:
+            completed = lost = 0
+            try:
+                await client.select_and_join()  # type: ignore[attr-defined]
+            except RuntimeError:
+                pass
+            # Stream 25% past the (fault-free-tailed) plan horizon:
+            # the extra beats keep legitimate attachment leases fresh
+            # while entries stranded by chaos idle out and expire.
+            while controller.now_ms() < horizon_ms * 1.25:
+                try:
+                    latency = await client.offload_frame()  # type: ignore[attr-defined]
+                    if latency is None:
+                        lost += 1
+                    else:
+                        completed += 1
+                except RuntimeError:
+                    # Unattached (or every candidate refused): keep
+                    # retrying the selection round until one lands.
+                    await asyncio.sleep(0.05)
+                    try:
+                        await client.select_and_join()  # type: ignore[attr-defined]
+                    except RuntimeError:
+                        pass
+                await asyncio.sleep(0.03)
+            return completed, lost
+
+        results = await asyncio.gather(
+            *(client_loop(c) for c in cluster.clients)
+        )
+        await controller.wait()
+        # Re-attach anyone chaos left dangling — the live equivalent of
+        # the sim's fault-free settle window.
+        for client in cluster.clients:
+            if client.current_edge is None:
+                try:
+                    await client.select_and_join()
+                except RuntimeError:
+                    pass
+        report.frames_completed = sum(r[0] for r in results)
+        report.frames_lost = sum(r[1] for r in results)
+        report.injected = dict(injector.injected)
+        events = list(tracer.events())
+        report.event_counts = _count_events(events)
+        report.problems = _check_live_invariants(cluster)
+    finally:
+        try:
+            await cluster.stop()
+        finally:
+            loop.set_exception_handler(previous_handler)
+    # Give cancelled tasks a beat to finalize before draining errors.
+    await asyncio.sleep(0)
+    report.task_errors = task_errors
+    return report, events
+
+
+def _check_live_invariants(cluster: object) -> List[str]:
+    """The same recovery invariants, on the cluster's final state."""
+    problems: List[str] = []
+    edges = {e.node_id: e for e in cluster.edges}  # type: ignore[attr-defined]
+    clients = {c.user_id: c for c in cluster.clients}  # type: ignore[attr-defined]
+    for user_id, client in clients.items():
+        edge_id = client.current_edge
+        if edge_id is None:
+            problems.append(f"{user_id} not re-attached by end of run")
+            continue
+        edge = edges.get(edge_id)
+        if edge is None or edge._dead:
+            problems.append(f"{user_id} attached to dead node {edge_id}")
+        elif user_id not in edge.attached:
+            problems.append(
+                f"{user_id} claims {edge_id} but is missing from its admission state"
+            )
+    for node_id, edge in edges.items():
+        if edge._dead:
+            continue
+        for user_id in edge.attached:
+            client = clients.get(user_id)
+            if client is None or client.current_edge != node_id:
+                problems.append(
+                    f"stranded admission state: {user_id} still on {node_id}"
+                )
+    return problems

@@ -33,11 +33,15 @@ anymore (the old ``record_*`` entry points survive one release as
 from repro.obs.events import (
     EVENT_TYPES,
     GOLDEN_LIFECYCLE_TYPES,
+    BreakerTransition,
     CacheHit,
     CacheMiss,
     CoveredFailover,
+    AttachmentExpired,
+    DegradedFallback,
     DiscoveryIssued,
     DiscoveryReturned,
+    FaultInjected,
     FrameDone,
     FrameStart,
     HeartbeatMissed,
@@ -45,10 +49,12 @@ from repro.obs.events import (
     JoinAttempt,
     JoinReject,
     NodeFail,
+    NodeRestart,
     PhaseSpan,
     PopulationChanged,
     ProbeAnswered,
     ProbeSent,
+    RetryScheduled,
     SweepRunFinished,
     SweepRunRetried,
     SweepRunSkipped,
@@ -95,6 +101,12 @@ __all__ = [
     "CacheMiss",
     "HeartbeatMissed",
     "PopulationChanged",
+    "FaultInjected",
+    "NodeRestart",
+    "BreakerTransition",
+    "RetryScheduled",
+    "DegradedFallback",
+    "AttachmentExpired",
     "SweepRunStarted",
     "SweepRunFinished",
     "SweepRunRetried",

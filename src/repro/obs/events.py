@@ -41,6 +41,12 @@ __all__ = [
     "CacheMiss",
     "HeartbeatMissed",
     "PopulationChanged",
+    "FaultInjected",
+    "NodeRestart",
+    "BreakerTransition",
+    "RetryScheduled",
+    "DegradedFallback",
+    "AttachmentExpired",
     "SweepRunStarted",
     "SweepRunFinished",
     "SweepRunRetried",
@@ -291,6 +297,85 @@ class PopulationChanged(TraceEvent):
 
 
 # ----------------------------------------------------------------------
+# Fault injection and recovery (the repro.faults subsystem)
+# ----------------------------------------------------------------------
+@dataclass
+class FaultInjected(TraceEvent):
+    """One fault fired (a rule of an active :class:`repro.faults.FaultPlan`).
+
+    ``kind`` is one of ``drop``/``delay``/``duplicate``/``partition``/
+    ``outage``/``gray_start``/``gray_end``/``crash``; ``src``/``dst``
+    name the affected link for message faults and are empty for
+    node-level faults (which carry the node in ``dst``).
+    """
+
+    type: ClassVar[str] = "fault_injected"
+    rule_id: str
+    kind: str
+    src: str = ""
+    dst: str = ""
+
+
+@dataclass
+class NodeRestart(TraceEvent):
+    """A previously crashed node came back under the *same* id (fresh
+    admission state: seqNum 0, empty attachment table, re-primed cache)."""
+
+    type: ClassVar[str] = "node_restart"
+    node_id: str
+
+
+@dataclass
+class BreakerTransition(TraceEvent):
+    """A per-endpoint circuit breaker changed state
+    (``closed``/``open``/``half_open``)."""
+
+    type: ClassVar[str] = "breaker_transition"
+    endpoint: str
+    from_state: str
+    to_state: str
+
+
+@dataclass
+class RetryScheduled(TraceEvent):
+    """A failed request will be retried after ``delay_ms`` of
+    decorrelated-jitter backoff (within the total latency budget)."""
+
+    type: ClassVar[str] = "retry_scheduled"
+    user_id: str
+    op: str
+    attempt: int
+    delay_ms: float
+
+
+@dataclass
+class DegradedFallback(TraceEvent):
+    """The Central Manager was unreachable: the selection round fell
+    back to the last known candidate list plus the adopted backups
+    instead of stalling (graceful degradation)."""
+
+    type: ClassVar[str] = "degraded_fallback"
+    user_id: str
+    reason: str
+    candidates: Tuple[str, ...] = ()
+
+
+@dataclass
+class AttachmentExpired(TraceEvent):
+    """A node's admission lease evicted a silent user.
+
+    The server-side cleanup path for a ``Leave()`` that never arrived
+    (lost to a partition, or skipped because the client believed the
+    node dead): after ``idle_ms`` without frames the node presumes the
+    user gone and processes an implicit leave."""
+
+    type: ClassVar[str] = "attachment_expired"
+    node_id: str
+    user_id: str
+    idle_ms: float
+
+
+# ----------------------------------------------------------------------
 # Sweep lifecycle (the repro.sweep execution engine)
 # ----------------------------------------------------------------------
 @dataclass
@@ -360,6 +445,12 @@ EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
         CacheMiss,
         HeartbeatMissed,
         PopulationChanged,
+        FaultInjected,
+        NodeRestart,
+        BreakerTransition,
+        RetryScheduled,
+        DegradedFallback,
+        AttachmentExpired,
         SweepRunStarted,
         SweepRunFinished,
         SweepRunRetried,
@@ -404,6 +495,8 @@ def event_from_dict(data: Dict[str, Any]) -> TraceEvent:
     """
     payload = dict(data)
     cls = EVENT_TYPES[payload.pop("type")]
-    if cls is DiscoveryReturned and isinstance(payload.get("candidates"), list):
+    if cls in (DiscoveryReturned, DegradedFallback) and isinstance(
+        payload.get("candidates"), list
+    ):
         payload["candidates"] = tuple(payload["candidates"])
     return cls(**payload)

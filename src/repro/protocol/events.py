@@ -29,6 +29,7 @@ __all__ = [
     # selection (client role)
     "RoundStarted",
     "CandidatesReceived",
+    "DiscoveryFailed",
     "ProbesCompleted",
     "JoinResult",
     "EdgeFailed",
@@ -73,6 +74,21 @@ class CandidatesReceived(ProtocolEvent):
     now: float
     node_ids: Tuple[str, ...]
     widened: bool = False
+
+
+@dataclass(slots=True)
+class DiscoveryFailed(ProtocolEvent):
+    """The discovery request never got an answer (Central Manager
+    unreachable, timed out, or partitioned away).
+
+    Distinct from :class:`CandidatesReceived` with an empty list — that
+    is the manager *answering* "nothing available", which ends the
+    round; an unreachable manager instead triggers the degraded
+    fallback onto cached candidates and backups.
+    """
+
+    now: float
+    reason: str = "unreachable"
 
 
 @dataclass(slots=True)

@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 from repro.obs.events import (
     CoveredFailover,
+    DegradedFallback,
     DiscoveryIssued,
     DiscoveryReturned,
     JoinAccept,
@@ -56,6 +57,7 @@ from repro.protocol.effects import (
 )
 from repro.protocol.events import (
     CandidatesReceived,
+    DiscoveryFailed,
     EdgeFailed,
     FailoverResult,
     JoinResult,
@@ -125,6 +127,9 @@ class SelectionMachine:
         self.top_n = config.top_n
         self.current_edge: Optional[str] = None
         self.monitor = FailureMonitor()
+        #: Last successfully received candidate list — the degraded
+        #: fallback pool when the Central Manager becomes unreachable.
+        self.last_candidates: Tuple[str, ...] = ()
         self.round_in_progress = False
         self.last_join_ms = float("-inf")
         self._retries = 0
@@ -142,6 +147,8 @@ class SelectionMachine:
             return self._on_round_started(event)
         if isinstance(event, CandidatesReceived):
             return self._on_candidates(event)
+        if isinstance(event, DiscoveryFailed):
+            return self._on_discovery_failed(event)
         if isinstance(event, ProbesCompleted):
             return self._on_probes_completed(event)
         if isinstance(event, JoinResult):
@@ -193,6 +200,7 @@ class SelectionMachine:
             # Nothing available: end the round; the periodic timer (or a
             # short retry while detached) tries again.
             return effects + self._conclude_round(failed=True)
+        self.last_candidates = tuple(event.node_ids)
         node_ids = list(event.node_ids)
         # Algorithm 2 line 12 compares C[0] against Current, so Current is
         # always probed — even when the manager's availability sort
@@ -202,6 +210,38 @@ class SelectionMachine:
             node_ids.append(self.current_edge)
         effects.append(ProbeCandidates(tuple(node_ids)))
         return effects
+
+    def _on_discovery_failed(self, event: DiscoveryFailed) -> List[Effect]:
+        """Graceful degradation: the manager is unreachable.
+
+        Instead of stalling the round until the manager returns, probe
+        the last known candidate list plus the adopted backups (and the
+        current edge) — every one of them was reachable recently, which
+        is the best information a cut-off client has. The round then
+        proceeds normally over whichever of them still answer.
+        """
+        if not self.round_in_progress:
+            return []
+        fallback: List[str] = []
+        for node_id in (
+            *self.last_candidates,
+            *self.monitor.backups,
+            *((self.current_edge,) if self.current_edge is not None else ()),
+        ):
+            if node_id not in fallback:
+                fallback.append(node_id)
+        if not fallback:
+            # Nothing cached either (first round of a fresh client):
+            # behave like an empty discovery — retry shortly.
+            return self._conclude_round(failed=True)
+        return [
+            EmitTrace(
+                DegradedFallback(
+                    event.now, self.user_id, event.reason, tuple(fallback)
+                )
+            ),
+            ProbeCandidates(tuple(fallback)),
+        ]
 
     # ------------------------------------------------------------------
     # Ranking, dwell, hysteresis, join

@@ -20,9 +20,10 @@ from __future__ import annotations
 import asyncio
 import time
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.messages import DiscoveryQuery, from_wire, to_wire
+from repro.faults.injector import MANAGER_ID
 from repro.core.policies.local_policies import (
     LocalSelectionPolicy,
     sort_by_global_overhead,
@@ -30,6 +31,7 @@ from repro.core.policies.local_policies import (
 from repro.core.probing import ProbeOutcome
 from repro.geo.point import GeoPoint
 from repro.obs.events import (
+    BreakerTransition,
     DiscoveryIssued,
     DiscoveryReturned,
     FrameDone,
@@ -37,6 +39,7 @@ from repro.obs.events import (
     PhaseSpan,
     ProbeAnswered,
     ProbeSent,
+    RetryScheduled,
 )
 from repro.obs.tracer import Tracer
 from repro.protocol.effects import (
@@ -54,6 +57,7 @@ from repro.protocol.effects import (
 )
 from repro.protocol.events import (
     CandidatesReceived,
+    DiscoveryFailed,
     EdgeFailed,
     FailoverResult,
     JoinResult,
@@ -63,7 +67,15 @@ from repro.protocol.events import (
 )
 from repro.protocol.selection import SelectionConfig, SelectionMachine
 from repro.runtime import protocol
-from repro.runtime.protocol import PersistentConnection
+from repro.runtime.protocol import (
+    CircuitBreaker,
+    PersistentConnection,
+    RetryPolicy,
+    call_with_retry,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.faults.injector import FaultInjector
 
 #: The live client's default protocol constants. Dwell/hysteresis are
 #: disabled because a live ``select_and_join()`` is an *explicit* round
@@ -97,6 +109,10 @@ class LiveClient:
         request_timeout: float = 5.0,
         tracer: Optional[Tracer] = None,
         selection_config: Optional[SelectionConfig] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker_failure_threshold: int = 3,
+        breaker_reset_s: float = 2.0,
+        max_reconnect_attempts: int = 3,
     ) -> None:
         self.user_id = user_id
         self.point = point
@@ -105,6 +121,19 @@ class LiveClient:
         self.request_timeout = request_timeout
         self.tracer = tracer if tracer is not None else Tracer.disabled()
         self._frame_counter = 0
+        #: Manager-request retry (bounded attempts + total-latency budget).
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.breaker_failure_threshold = breaker_failure_threshold
+        self.breaker_reset_s = breaker_reset_s
+        self.max_reconnect_attempts = max_reconnect_attempts
+        #: Per-endpoint breakers, persistent across reconnects.
+        self.breakers: Dict[str, CircuitBreaker] = {}
+        #: Optional chaos hooks, wired by the chaos controller: an
+        #: injector, a plan-time clock (plan ms) and a wall-seconds-per-
+        #: plan-ms scale for injected delays.
+        self.faults: Optional["FaultInjector"] = None
+        self.fault_clock: Callable[[], float] = lambda: 0.0
+        self.fault_scale: float = 1.0
 
         config = selection_config
         if config is None:
@@ -181,14 +210,25 @@ class LiveClient:
             if isinstance(effect, EmitTrace):
                 self.tracer.emit(effect.event)
             elif isinstance(effect, SendDiscovery):
-                node_ids, widened = await self._discover_io(
-                    effect.top_n, effect.exclude
-                )
-                pending.extend(
-                    self._machine.handle(
-                        CandidatesReceived(self._now(), node_ids, widened)
+                try:
+                    node_ids, widened = await self._discover_io(
+                        effect.top_n, effect.exclude
                     )
-                )
+                except (OSError, protocol.ProtocolError, asyncio.TimeoutError):
+                    # Manager unreachable after the retry budget:
+                    # degrade gracefully — the machine falls back to the
+                    # last candidate list + adopted backups.
+                    pending.extend(
+                        self._machine.handle(
+                            DiscoveryFailed(self._now(), reason="unreachable")
+                        )
+                    )
+                else:
+                    pending.extend(
+                        self._machine.handle(
+                            CandidatesReceived(self._now(), node_ids, widened)
+                        )
+                    )
             elif isinstance(effect, ProbeCandidates):
                 outcomes = [
                     o
@@ -236,10 +276,32 @@ class LiveClient:
     # ------------------------------------------------------------------
     # I/O helpers (trace-free: decision traces come from the machine)
     # ------------------------------------------------------------------
+    async def _fault_gate(self, dst: str, op: str) -> None:
+        """Consult the chaos injector (no-op without one).
+
+        A dropped/partitioned/outaged message surfaces as an
+        ``asyncio.TimeoutError`` — exactly what the real network would
+        eventually produce — so every existing error path (retry,
+        failover, breaker) exercises unchanged. Injected delays sleep
+        ``extra_delay_ms x fault_scale`` wall milliseconds
+        (``fault_scale`` = wall-ms per plan-ms).
+        """
+        faults = self.faults
+        if faults is None:
+            return
+        verdict = faults.decide(self.user_id, dst, op, self.fault_clock())
+        if not verdict.deliver:
+            raise asyncio.TimeoutError(
+                f"injected {verdict.kind} ({verdict.rule_id}) on {op!r}"
+            )
+        if verdict.extra_delay_ms > 0.0:
+            await asyncio.sleep(verdict.extra_delay_ms * self.fault_scale / 1000.0)
+
     async def _discover_io(
         self, top_n: int, exclude: Tuple[str, ...]
     ) -> Tuple[Tuple[str, ...], bool]:
-        """One discovery round trip; refreshes the address book."""
+        """One discovery round trip (retried under the retry policy);
+        refreshes the address book."""
         query = DiscoveryQuery(
             user_id=self.user_id,
             lat=self.point.lat,
@@ -247,12 +309,27 @@ class LiveClient:
             top_n=top_n,
             exclude=exclude,
         )
-        reply = await protocol.request(
-            self.manager_host,
-            self.manager_port,
-            "discover",
-            {"query": to_wire(query)},
-            timeout=self.request_timeout,
+
+        async def attempt() -> Dict[str, object]:
+            await self._fault_gate(MANAGER_ID, "discover")
+            return await protocol.request(
+                self.manager_host,
+                self.manager_port,
+                "discover",
+                {"query": to_wire(query)},
+                timeout=self.request_timeout,
+            )
+
+        def on_retry(attempt_no: int, delay_s: float) -> None:
+            self.tracer.emit(
+                RetryScheduled(
+                    self._now(), self.user_id, "discover", attempt_no,
+                    delay_s * 1000.0,
+                )
+            )
+
+        reply = await call_with_retry(
+            attempt, self.retry_policy, on_retry=on_retry
         )
         candidates = from_wire(reply["candidates"])
         for node_id, address in reply.get("addresses", {}).items():
@@ -272,11 +349,36 @@ class LiveClient:
             )
         return list(node_ids)
 
+    def _breaker(self, node_id: str) -> CircuitBreaker:
+        """The per-endpoint breaker — shared across reconnects so a dead
+        edge's failure history survives the connection object."""
+        breaker = self.breakers.get(node_id)
+        if breaker is None:
+
+            def on_transition(old: str, new: str) -> None:
+                self.tracer.emit(
+                    BreakerTransition(self._now(), node_id, old, new)
+                )
+
+            breaker = CircuitBreaker(
+                self.breaker_failure_threshold,
+                self.breaker_reset_s,
+                on_transition=on_transition,
+            )
+            self.breakers[node_id] = breaker
+        return breaker
+
     async def _connection(self, node_id: str) -> PersistentConnection:
         connection = self.connections.get(node_id)
         if connection is None:
             host, port = self.addresses[node_id]
-            connection = PersistentConnection(host, port, self.request_timeout)
+            connection = PersistentConnection(
+                host,
+                port,
+                self.request_timeout,
+                max_reconnect_attempts=self.max_reconnect_attempts,
+                breaker=self._breaker(node_id),
+            )
             self.connections[node_id] = connection
         return connection
 
@@ -285,6 +387,7 @@ class LiveClient:
         self.probes_sent += 1
         self.tracer.emit(ProbeSent(self._now(), self.user_id, node_id))
         try:
+            await self._fault_gate(node_id, "probe")
             connection = await self._connection(node_id)
             start = time.monotonic()
             await connection.request("rtt_probe")
@@ -316,6 +419,7 @@ class LiveClient:
         """``Join()`` the chosen candidate, echoing its probed seqNum."""
         attempted_at = self._now()
         try:
+            await self._fault_gate(best.node_id, "join")
             connection = await self._connection(best.node_id)
             reply = await connection.request(
                 "join",
@@ -344,6 +448,7 @@ class LiveClient:
         """``Unexpected_join()`` one backup over its standing connection."""
         start = time.monotonic()
         try:
+            await self._fault_gate(backup_id, "unexpected_join")
             connection = await self._connection(backup_id)
             reply = await connection.request(
                 "unexpected_join", {"user_id": self.user_id, "fps": 20.0}
@@ -381,6 +486,7 @@ class LiveClient:
 
     async def leave(self, node_id: str) -> None:
         try:
+            await self._fault_gate(node_id, "leave")
             connection = await self._connection(node_id)
             await connection.request("leave", {"user_id": self.user_id})
         except (OSError, protocol.ProtocolError, asyncio.TimeoutError, KeyError):
@@ -405,7 +511,8 @@ class LiveClient:
             tracer.emit(FrameStart(created_ms, self.user_id, edge_id, frame_id))
         start = time.monotonic()
         try:
-            reply = await connection.request("frame")
+            await self._fault_gate(edge_id, "frame")
+            reply = await connection.request("frame", {"user_id": self.user_id})
         except (OSError, protocol.ProtocolError, asyncio.TimeoutError):
             tracer.emit(
                 FrameDone(tracer.now(), self.user_id, edge_id, frame_id,

@@ -18,14 +18,20 @@ from __future__ import annotations
 import asyncio
 import random
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.core.messages import NodeStatus, ProbeReply, to_wire
 from repro.geo import geohash as gh
 from repro.geo.point import GeoPoint
 from repro.nodes.hardware import HardwareProfile
 from repro.nodes.processing import analytic_sojourn_ms
-from repro.obs.events import CacheMiss, HeartbeatMissed, NodeFail, TestWorkloadInvoked
+from repro.obs.events import (
+    AttachmentExpired,
+    CacheMiss,
+    HeartbeatMissed,
+    NodeFail,
+    TestWorkloadInvoked,
+)
 from repro.obs.tracer import Tracer
 from repro.protocol.admission import AdmissionConfig, AdmissionMachine
 from repro.protocol.effects import (
@@ -38,11 +44,15 @@ from repro.protocol.effects import (
 from repro.protocol.events import (
     JoinRequested,
     LeaveRequested,
+    MonitorSample,
     ProbeRequested,
     TestWorkloadCompleted,
     UnexpectedJoinRequested,
 )
 from repro.runtime import protocol
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.faults.injector import FaultInjector
 
 
 class LiveEdgeServer:
@@ -64,6 +74,8 @@ class LiveEdgeServer:
         standard_fps: float = 20.0,
         dedicated: bool = False,
         tracer: Optional[Tracer] = None,
+        monitor_period_s: Optional[float] = None,
+        attachment_lease_s: Optional[float] = None,
     ) -> None:
         if time_scale <= 0:
             raise ValueError(f"time_scale must be positive: {time_scale}")
@@ -82,6 +94,22 @@ class LiveEdgeServer:
         self.tracer = tracer if tracer is not None else Tracer.disabled()
         self.heartbeat_failures = 0
         self._backoff_rng = random.Random(node_id)
+        #: Performance-monitor cadence (trigger type 3). None keeps the
+        #: monitor off — the default, matching the original live node.
+        self.monitor_period_s = monitor_period_s
+        #: Admission lease: evict users whose frames stop arriving for
+        #: this long (cleanup for a Leave() lost to a partition, or
+        #: skipped by a client that believed this node dead). None — the
+        #: default — disables expiry.
+        self.attachment_lease_s = attachment_lease_s
+        self._last_seen: Dict[str, float] = {}
+        #: Gray-node dial: frame service runs ``slowdown``× slower while
+        #: heartbeats (and every control-plane reply) stay crisp.
+        self.slowdown = 1.0
+        #: Optional chaos hooks (wired by the chaos controller): an
+        #: injector plus a plan-time clock, consulted before heartbeats.
+        self.faults: Optional["FaultInjector"] = None
+        self.fault_clock: Callable[[], float] = lambda: 0.0
 
         #: The sans-IO admission core this driver executes (shared with
         #: the simulated backend).
@@ -101,6 +129,8 @@ class LiveEdgeServer:
         self._server: Optional[asyncio.AbstractServer] = None
         self._semaphore = asyncio.Semaphore(profile.parallelism)
         self._heartbeat_task: Optional[asyncio.Task] = None
+        self._monitor_task: Optional[asyncio.Task] = None
+        self._lease_task: Optional[asyncio.Task] = None
         self._queue_depth = 0
         self.max_queue_depth = 64
         self._dead = False
@@ -152,6 +182,10 @@ class LiveEdgeServer:
         await self._invoke_test_workload()
         if self.manager_host is not None and self.manager_port is not None:
             self._heartbeat_task = asyncio.ensure_future(self._heartbeat_loop())
+        if self.monitor_period_s is not None:
+            self._monitor_task = asyncio.ensure_future(self._monitor_loop())
+        if self.attachment_lease_s is not None:
+            self._lease_task = asyncio.ensure_future(self._lease_loop())
 
     async def stop(self) -> None:
         """Hard stop: the node vanishes, including live connections.
@@ -166,6 +200,12 @@ class LiveEdgeServer:
         if self._heartbeat_task is not None:
             self._heartbeat_task.cancel()
             self._heartbeat_task = None
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+            self._monitor_task = None
+        if self._lease_task is not None:
+            self._lease_task.cancel()
+            self._lease_task = None
         for writer in list(self._open_writers):
             writer.close()
         self._open_writers.clear()
@@ -217,7 +257,10 @@ class LiveEdgeServer:
         try:
             async with self._semaphore:
                 service_start = time.monotonic()
-                await asyncio.sleep(self.profile.base_frame_ms / 1000.0 * self.time_scale)
+                await asyncio.sleep(
+                    self.profile.base_frame_ms / 1000.0 * self.time_scale
+                    * self.slowdown
+                )
         finally:
             self._queue_depth -= 1
         done = time.monotonic()
@@ -249,7 +292,9 @@ class LiveEdgeServer:
         self.tracer.emit(TestWorkloadInvoked(self.tracer.now(), self.node_id))
         self._run_effects(
             self._machine.handle(
-                TestWorkloadCompleted(self.tracer.now(), result[0])
+                TestWorkloadCompleted(
+                    self.tracer.now(), result[0], slowdown_factor=self.slowdown
+                )
             )
         )
 
@@ -258,6 +303,75 @@ class LiveEdgeServer:
         (scaled), so it observes the new user's traffic."""
         await asyncio.sleep(0.04 * self.time_scale * 10)
         await self._invoke_test_workload()
+
+    def set_slowdown(self, factor: float) -> None:
+        """Dial frame-service speed (gray-node injection / host load).
+
+        Only the data plane slows down — heartbeats and probe replies
+        stay instant, which is exactly what makes a gray node invisible
+        to liveness checks and visible only to the performance
+        monitor's drift trigger.
+        """
+        if factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1.0: {factor}")
+        self.slowdown = factor
+
+    async def _monitor_loop(self) -> None:
+        """Performance monitor (trigger type 3) on the wall clock.
+
+        Mirrors the simulated node's periodic
+        :class:`~repro.protocol.events.MonitorSample` feed: the machine
+        compares the recently *measured* sojourns against its cached
+        baseline and refreshes the what-if cache on noticeable drift —
+        the only detection path that catches a gray node.
+        """
+        assert self.monitor_period_s is not None
+        while not self._dead:
+            await asyncio.sleep(self.monitor_period_s)
+            if self._dead:
+                return
+            self._run_effects(
+                self._machine.handle(
+                    MonitorSample(
+                        self.tracer.now(),
+                        measured_ms=self._recent_mean_sojourn_ms(),
+                        idle_floor_ms=self.profile.base_frame_ms * self.slowdown,
+                    )
+                )
+            )
+
+    async def _lease_loop(self) -> None:
+        """Evict attached users whose frames stopped arriving.
+
+        The live twin of the simulated node's attachment lease: a
+        ``Leave()`` lost to a partition (or skipped by a client that
+        presumed this node dead) would otherwise strand admission state
+        forever. Expiry feeds the machine a plain
+        :class:`~repro.protocol.events.LeaveRequested`, so the usual
+        trigger-type-2 cache refresh happens.
+        """
+        assert self.attachment_lease_s is not None
+        lease_s = self.attachment_lease_s
+        while not self._dead:
+            await asyncio.sleep(lease_s / 2.0)
+            if self._dead:
+                return
+            now = time.monotonic()
+            for user_id in list(self._machine.attached):
+                idle_s = now - self._last_seen.get(user_id, now)
+                if idle_s < lease_s:
+                    continue
+                self._last_seen.pop(user_id, None)
+                self.tracer.emit(
+                    AttachmentExpired(
+                        self.tracer.now(), self.node_id, user_id, idle_s * 1000.0
+                    )
+                )
+                self._run_effects(
+                    self._machine.handle(
+                        LeaveRequested(self.tracer.now(), user_id)
+                    )
+                )
 
     # ------------------------------------------------------------------
     # Heartbeats
@@ -288,6 +402,15 @@ class LiveEdgeServer:
         while True:
             delay_s = self.heartbeat_period_s
             try:
+                if self.faults is not None:
+                    verdict = self.faults.decide(
+                        self.node_id, "central-manager", "heartbeat",
+                        self.fault_clock(),
+                    )
+                    if not verdict.deliver:
+                        raise asyncio.TimeoutError(
+                            f"injected {verdict.kind} ({verdict.rule_id})"
+                        )
                 await protocol.request(
                     self.manager_host,
                     self.manager_port,
@@ -383,6 +506,8 @@ class LiveEdgeServer:
                 )
             )
             assert isinstance(reply, ReplyJoin)
+            if reply.accepted:
+                self._last_seen[payload["user_id"]] = time.monotonic()
             return {"ok": True, "accepted": reply.accepted, "seq_num": reply.seq_num}
         if op == "unexpected_join":
             reply = self._run_effects(
@@ -395,13 +520,19 @@ class LiveEdgeServer:
                 )
             )
             assert isinstance(reply, ReplyJoin)
+            if reply.accepted:
+                self._last_seen[payload["user_id"]] = time.monotonic()
             return {"ok": True, "accepted": reply.accepted}
         if op == "leave":
+            self._last_seen.pop(payload["user_id"], None)
             self._run_effects(
                 self._machine.handle(LeaveRequested(now, payload["user_id"]))
             )
             return {"ok": True}
         if op == "frame":
+            user_id = payload.get("user_id")
+            if user_id is not None:
+                self._last_seen[user_id] = time.monotonic()
             result = await self._process_frame()
             if result is None:
                 return {"ok": False, "error": "overloaded"}

@@ -9,6 +9,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.geo.point import GeoPoint
 from repro.geo.region import MSP_CENTER, MetroArea
 from repro.nodes.hardware import HardwareProfile
+from repro.obs.events import NodeRestart
 from repro.obs.tracer import Tracer
 from repro.runtime.client_runtime import LiveClient
 from repro.runtime.edge_server import LiveEdgeServer
@@ -40,6 +41,8 @@ class LocalCluster:
         heartbeat_period_s: float = 0.2,
         top_n: int = 3,
         tracer: Optional[Tracer] = None,
+        monitor_period_s: Optional[float] = None,
+        attachment_lease_s: Optional[float] = None,
     ) -> None:
         if not profiles:
             raise ValueError("need at least one edge profile")
@@ -58,20 +61,15 @@ class LocalCluster:
         self.time_scale = time_scale
         self.heartbeat_period_s = heartbeat_period_s
         self.top_n = top_n
+        self.monitor_period_s = monitor_period_s
+        self.attachment_lease_s = attachment_lease_s
 
     async def start(self) -> None:
         """Start the manager, all edges, and build (unattached) clients."""
         await self.manager.start()
         for index, (profile, point) in enumerate(self._edge_specs):
-            edge = LiveEdgeServer(
-                f"edge-{index + 1:02d}-{profile.name}",
-                profile,
-                point,
-                manager_host=self.manager.host,
-                manager_port=self.manager.port,
-                heartbeat_period_s=self.heartbeat_period_s,
-                time_scale=self.time_scale,
-                tracer=self.tracer,
+            edge = self._build_edge(
+                f"edge-{index + 1:02d}-{profile.name}", profile, point
             )
             await edge.start()
             self.edges.append(edge)
@@ -96,6 +94,22 @@ class LocalCluster:
             await edge.stop()
         await self.manager.stop()
 
+    def _build_edge(
+        self, node_id: str, profile: HardwareProfile, point: GeoPoint
+    ) -> LiveEdgeServer:
+        return LiveEdgeServer(
+            node_id,
+            profile,
+            point,
+            manager_host=self.manager.host,
+            manager_port=self.manager.port,
+            heartbeat_period_s=self.heartbeat_period_s,
+            time_scale=self.time_scale,
+            tracer=self.tracer,
+            monitor_period_s=self.monitor_period_s,
+            attachment_lease_s=self.attachment_lease_s,
+        )
+
     def edge_by_id(self, node_id: str) -> LiveEdgeServer:
         for edge in self.edges:
             if edge.node_id == node_id:
@@ -106,6 +120,43 @@ class LocalCluster:
         """Hard-stop one edge (volunteer leaves without notification)."""
         edge = self.edge_by_id(node_id)
         await edge.stop()
+
+    async def restart_edge(self, node_id: str) -> LiveEdgeServer:
+        """Restart a killed edge under the *same* node id.
+
+        A brand-new :class:`LiveEdgeServer` process on the same
+        hardware/placement, listening on a fresh port: seqNum restarts
+        at 0, the what-if cache re-primes, and the first heartbeat
+        re-registers the new address at the manager — no pre-crash
+        state survives the identity.
+        """
+        index = next(
+            (i for i, e in enumerate(self.edges) if e.node_id == node_id), None
+        )
+        if index is None:
+            raise KeyError(f"unknown edge: {node_id!r}")
+        old = self.edges[index]
+        if not old._dead:
+            raise ValueError(f"edge {node_id!r} is still running; kill it first")
+        profile, point = self._edge_specs[index]
+        edge = self._build_edge(node_id, profile, point)
+        await edge.start()
+        self.edges[index] = edge
+        self.tracer.emit(NodeRestart(self.tracer.now(), node_id))
+        return edge
+
+    async def stop_manager(self) -> None:
+        """Take the Central Manager offline (outage injection).
+
+        Edges keep heartbeating into the void with backoff; attached
+        clients keep offloading frames — only discovery goes dark.
+        """
+        await self.manager.stop()
+
+    async def restart_manager(self) -> None:
+        """Bring the manager back on its original port; heartbeats
+        repopulate the registry within one period."""
+        await self.manager.start()
 
     def manager_address(self) -> Dict[str, object]:
         return {"host": self.manager.host, "port": self.manager.port}

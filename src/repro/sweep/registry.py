@@ -17,6 +17,8 @@ Built-ins wrap the repo's paper experiments:
 - ``churn_trace`` — the Fig. 8 trace reduced to scalars.
 - ``network_study`` — Fig. 1 RTT study per target class.
 - ``qos_admission`` — one (population, QoS bound) admission cell.
+- ``chaos_matrix`` — one fault family of the canonical chaos plan run
+  through the simulator (recovery metrics per seed x family cell).
 - ``selftest``    — a microsecond-scale deterministic pseudo-experiment
   for exercising the engine itself (tests, smoke jobs); supports
   ``fail=1`` (raises) and ``sleep_s`` (stalls) to probe failure paths.
@@ -170,6 +172,51 @@ def _qos_admission(params: Dict[str, Any], root_seed: int) -> MetricsDict:
     }
 
 
+def _chaos_matrix(params: Dict[str, Any], root_seed: int) -> MetricsDict:
+    from repro.faults import FaultPlan
+    from repro.faults.scenarios import chaos_plan, run_sim_chaos
+
+    family = str(params.get("fault_family", "all"))
+    horizon_ms = float(params.get("horizon_ms", 20_000.0))
+    full = chaos_plan(["edge-a", "edge-b", "edge-c"], horizon_ms=horizon_ms)
+    families = {
+        "none": FaultPlan(),
+        "messages": FaultPlan(message_faults=full.message_faults),
+        "partition": FaultPlan(partitions=full.partitions),
+        "crash": FaultPlan(crashes=full.crashes),
+        "outage": FaultPlan(outages=full.outages),
+        "gray": FaultPlan(gray_nodes=full.gray_nodes),
+        "all": full,
+    }
+    if family not in families:
+        raise ValueError(
+            f"unknown fault_family {family!r}; known: {sorted(families)}"
+        )
+    report, _ = run_sim_chaos(
+        root_seed,
+        horizon_ms=horizon_ms,
+        plan=families[family],
+        top_n=int(params.get("top_n", 3)),
+    )
+    total = report.frames_completed + report.frames_lost
+    return {
+        "frames_completed": float(report.frames_completed),
+        "frames_lost": float(report.frames_lost),
+        "loss_rate": report.frames_lost / total if total else 0.0,
+        "faults_injected": float(sum(report.injected.values())),
+        "covered_failovers": float(
+            report.event_counts.get("covered_failover", 0)
+        ),
+        "uncovered_failures": float(
+            report.event_counts.get("uncovered_failure", 0)
+        ),
+        "degraded_fallbacks": float(
+            report.event_counts.get("degraded_fallback", 0)
+        ),
+        "invariant_violations": float(len(report.problems)),
+    }
+
+
 def _selftest(params: Dict[str, Any], root_seed: int) -> MetricsDict:
     """Deterministic pseudo-metrics in microseconds — engine self-checks."""
     if int(params.get("fail", 0)):
@@ -223,6 +270,25 @@ register(
         fn=_qos_admission,
         description="QoS admission cell: admitted/violations at one population",
         default_grid={"n_users": [5, 10, 15, 20]},
+    )
+)
+register(
+    SweepableExperiment(
+        name="chaos_matrix",
+        fn=_chaos_matrix,
+        description="policy (TopN) x fault-family grid through the chaos scenario",
+        default_grid={
+            "fault_family": [
+                "none",
+                "messages",
+                "partition",
+                "crash",
+                "outage",
+                "gray",
+                "all",
+            ],
+            "top_n": [1, 3],
+        },
     )
 )
 register(

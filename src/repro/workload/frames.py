@@ -39,8 +39,6 @@ class FrameSource:
     paper's "standard size" simplification).
     """
 
-    _ids = itertools.count(1)
-
     def __init__(
         self,
         user_id: str,
@@ -55,6 +53,10 @@ class FrameSource:
         self.rng = rng or random.Random(0)
         self.size_jitter = size_jitter
         self.frames_created = 0
+        # Per-source ids: frames are identified by (user_id, frame_id)
+        # everywhere downstream, and a process-global counter would make
+        # otherwise-identical runs diverge (determinism contract).
+        self._ids = itertools.count(1)
 
     def next_frame(self, now_ms: float) -> Frame:
         """Create the next frame at time ``now_ms``."""

@@ -1,0 +1,148 @@
+"""Differential chaos tests: the same seeded fault plan drives the
+simulator and the live asyncio runtime, and both must uphold the same
+recovery invariants.
+
+Also pins the determinism contract: same seed → identical sim trace;
+an *empty* plan must leave the simulation bit-identical to running
+with no injector at all (fault hooks are zero-cost when idle).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.client import EdgeClient
+from repro.core.config import SystemConfig
+from repro.core.system import EdgeSystem
+from repro.faults import FaultInjector, FaultPlan
+from repro.faults.scenarios import chaos_plan, run_live_chaos, run_sim_chaos
+from repro.geo.point import GeoPoint
+from repro.net.topology import EndpointSpec
+from repro.nodes.hardware import profile_by_name
+from repro.obs.tracer import Tracer
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+def test_sim_chaos_same_seed_identical_trace():
+    report_a, events_a = run_sim_chaos(7)
+    report_b, events_b = run_sim_chaos(7)
+    assert report_a.ok and report_b.ok
+    assert [e.to_dict() for e in events_a] == [e.to_dict() for e in events_b]
+    assert report_a.injected == report_b.injected
+
+
+def test_sim_chaos_seed_changes_trace():
+    _, events_a = run_sim_chaos(7)
+    _, events_b = run_sim_chaos(8)
+    assert [e.to_dict() for e in events_a] != [e.to_dict() for e in events_b]
+
+
+def _plain_scenario_events(faults):
+    """A small fault-free scenario, with or without an (idle) injector."""
+    tracer = Tracer()
+    system = EdgeSystem(
+        SystemConfig(seed=5, probing_period_ms=2_000.0),
+        trace=tracer,
+        faults=faults,
+    )
+    center = GeoPoint(44.97, -93.25)
+    for i, name in enumerate(("V1", "V2")):
+        system.add_node(
+            f"edge-{name}",
+            profile_by_name(name),
+            EndpointSpec(center.offset_km(1.0 + i, -1.0)),
+        )
+    system.add_client_endpoint("alice", EndpointSpec(center))
+    system.add_client(EdgeClient(system, "alice"))
+    system.run_for(8_000.0)
+    return [e.to_dict() for e in tracer.events()]
+
+
+def test_empty_plan_is_bit_identical_to_no_injector():
+    without = _plain_scenario_events(None)
+    with_idle = _plain_scenario_events(FaultInjector(FaultPlan(), seed=5))
+    assert without == with_idle
+    assert any(e["type"] == "frame_done" for e in without)  # a real run
+
+
+# ----------------------------------------------------------------------
+# Chaos recovery, per backend
+# ----------------------------------------------------------------------
+def test_sim_chaos_recovers_with_canonical_plan():
+    report, events = run_sim_chaos(0)
+    assert report.ok, report.problems
+    # every fault family of the canonical plan actually fired
+    assert report.injected.get("drop", 0) > 0
+    assert report.injected.get("delay", 0) > 0
+    assert report.injected.get("crash", 0) == 1
+    assert report.injected.get("outage", 0) > 0
+    assert report.injected.get("gray_start", 0) == 1
+    types = {e.type for e in events}
+    assert "fault_injected" in types
+    assert "node_restart" in types
+    assert "degraded_fallback" in types
+    assert report.frames_completed > 0
+
+
+@pytest.mark.slow
+def test_live_chaos_recovers_with_canonical_plan():
+    report, _ = asyncio.run(run_live_chaos(0))
+    assert report.ok, (report.problems, report.task_errors)
+    assert report.task_errors == []
+    assert report.injected.get("crash", 0) == 1
+    assert report.injected.get("restart", 0) == 1
+    assert report.event_counts.get("fault_injected", 0) > 0
+    assert report.event_counts.get("node_restart", 0) == 1
+    assert report.frames_completed > 0
+
+
+@pytest.mark.slow
+def test_chaos_parity_shared_invariants():
+    """The differential check: one plan, two runtimes, same contract."""
+    sim_report, sim_events = run_sim_chaos(1)
+    live_report, _ = asyncio.run(run_live_chaos(1))
+    for report in (sim_report, live_report):
+        assert report.ok, (report.backend, report.problems)
+        assert report.frames_completed > 0
+        # the crash fired and the node came back in both worlds
+        assert report.injected.get("crash", 0) == 1
+        assert report.event_counts.get("node_restart", 0) == 1
+        # message chaos actually happened
+        assert report.injected.get("drop", 0) > 0
+    sim_types = {e.type for e in sim_events}
+    assert "covered_failover" in sim_types
+    assert live_report.event_counts.get("covered_failover", 0) > 0
+
+
+# ----------------------------------------------------------------------
+# The canonical plan itself
+# ----------------------------------------------------------------------
+def test_chaos_plan_covers_every_fault_family():
+    plan = chaos_plan(["edge-a", "edge-b", "edge-c"], horizon_ms=20_000.0)
+    assert plan.message_faults
+    assert plan.partitions
+    assert plan.crashes and plan.crashes[0].restart_at_ms is not None
+    assert plan.outages
+    assert plan.gray_nodes
+    rule_ids = [r.rule_id for r in plan.all_rules()]
+    assert len(rule_ids) == len(set(rule_ids))
+
+
+def test_chaos_plan_tail_is_fault_free():
+    """The last 20% of the horizon is a settle window: no rule is
+    active there, so a run always ends in recoverable conditions."""
+    horizon = 20_000.0
+    plan = chaos_plan(["edge-a", "edge-b", "edge-c"], horizon_ms=horizon)
+    settle_start = 0.8 * horizon
+    for fault in plan.message_faults:
+        assert fault.window.end_ms <= settle_start
+    for cut in plan.partitions:
+        assert cut.window.end_ms <= settle_start
+    for outage in plan.outages:
+        assert outage.window.end_ms <= settle_start
+    for gray in plan.gray_nodes:
+        assert gray.window.end_ms <= settle_start
+    for crash in plan.crashes:
+        assert (crash.restart_at_ms or crash.at_ms) <= settle_start

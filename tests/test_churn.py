@@ -218,3 +218,111 @@ def test_injector_custom_placer():
     injector.install(trace)
     system.run_for(500.0)
     assert system.topology.endpoint("vol-x").point == fixed
+
+
+# ----------------------------------------------------------------------
+# Crash-and-return episodes (restart under the same node id)
+# ----------------------------------------------------------------------
+def test_restart_episode_validation_and_kind():
+    plain = NodeEpisode("vol-a", 1_000.0, 5_000.0)
+    assert plain.kind == "fail"
+    restart = NodeEpisode("vol-a", 1_000.0, 5_000.0, restart_ms=9_000.0)
+    assert restart.kind == "restart"
+    with pytest.raises(ValueError, match="restart"):
+        NodeEpisode("vol-a", 1_000.0, 5_000.0, restart_ms=4_000.0)
+
+
+def test_restart_episode_alive_interval():
+    episode = NodeEpisode("vol-a", 1_000.0, 5_000.0, restart_ms=9_000.0)
+    assert not episode.alive_at(500.0)
+    assert episode.alive_at(1_000.0)
+    assert not episode.alive_at(5_000.0)  # crashed
+    assert not episode.alive_at(8_999.0)  # still down
+    assert episode.alive_at(9_000.0)  # back under the same id
+    assert episode.alive_at(1e9)  # stays up to the horizon
+
+
+def test_restart_episode_population_steps():
+    trace = ChurnTrace(
+        episodes=[NodeEpisode("vol-a", 1_000.0, 5_000.0, restart_ms=9_000.0)],
+        horizon_ms=20_000.0,
+    )
+    assert trace.population_steps() == [
+        (1_000.0, 1),
+        (5_000.0, 0),
+        (9_000.0, 1),
+    ]
+    assert trace.alive_count_at(9_500.0) == 1
+
+
+def test_injector_restart_reuses_node_id_with_fresh_state():
+    """Node-id reuse regression: the restarted volunteer is a fresh
+    process — seqNum back at 0, empty attachment table, re-primed
+    what-if cache — not a resurrected copy of the pre-crash state."""
+    from repro.obs.tracer import Tracer
+
+    tracer = Tracer()
+    system = EdgeSystem(SystemConfig(seed=12), trace=tracer)
+    trace = ChurnTrace(
+        episodes=[
+            NodeEpisode("vol-a", 1_000.0, 5_000.0, restart_ms=9_000.0),
+        ],
+        horizon_ms=20_000.0,
+    )
+    injector = ChurnInjector(
+        system, [profile_by_name("t2.xlarge")], center=MSP_CENTER
+    )
+    injector.install(trace)
+
+    system.run_for(2_000.0)  # t=2s: first incarnation is up
+    first = system.nodes["vol-a"]
+    # poison the pre-crash state so staleness would be visible
+    first.seq_num = 7
+    first.attached = {"ghost-user": 20.0}
+    first.what_if_ms = 12_345.0
+
+    system.run_for(4_000.0)  # t=6s: crashed
+    assert not system.nodes["vol-a"].alive
+
+    system.run_for(4_000.0)  # t=10s: restarted under the same id
+    second = system.nodes["vol-a"]
+    assert second is not first  # a genuinely fresh process
+    assert second.alive
+    assert second.seq_num == 0
+    assert second.attached == {}
+    assert second.what_if_ms != 12_345.0  # cache re-primed, not inherited
+
+    # the restart re-primed the what-if cache: one "prime" per incarnation
+    primes = [
+        e
+        for e in tracer.events()
+        if e.type == "cache_miss"
+        and e.node_id == "vol-a"
+        and e.reason == "prime"
+    ]
+    assert len(primes) == 2
+    restarts = [e for e in tracer.events() if e.type == "node_restart"]
+    assert [e.node_id for e in restarts] == ["vol-a"]
+
+
+def test_injector_restart_skipped_if_node_never_failed():
+    """A restart scheduled for a node that is somehow still alive is a
+    no-op, not an error."""
+    system = EdgeSystem(SystemConfig(seed=12))
+    trace = ChurnTrace(
+        episodes=[
+            NodeEpisode("vol-a", 1_000.0, 50_000.0, restart_ms=60_000.0),
+        ],
+        horizon_ms=70_000.0,
+    )
+    injector = ChurnInjector(
+        system, [profile_by_name("t2.xlarge")], center=MSP_CENTER
+    )
+    injector.install(trace)
+    system.run_for(52_000.0)  # past fail_ms: the node crashed
+    assert not system.nodes["vol-a"].alive
+    # someone else already brought it back before the scheduled restart
+    system.restart_node("vol-a")
+    revived = system.nodes["vol-a"]
+    system.run_for(10_000.0)  # past restart_ms: the no-op restart fires
+    assert system.nodes["vol-a"] is revived  # not restarted a second time

@@ -139,6 +139,20 @@ def test_sweep_list_names_builtin_experiments(capsys):
         assert name in out
 
 
+def test_chaos_command_runs_sim_and_dumps_trace(tmp_path, capsys):
+    out_path = tmp_path / "chaos.jsonl"
+    assert main(["chaos", "--seed", "0", "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "backend=sim seed=0" in out
+    assert "all recovery invariants hold" in out
+    assert f"-> {out_path}" in out
+    lines = out_path.read_text().splitlines()
+    assert lines, "trace dump must not be empty"
+    import json
+
+    assert all("type" in json.loads(line) for line in lines[:10])
+
+
 def test_trace_summary_of_existing_file(tmp_path, capsys):
     from repro.obs import (
         FrameDone,

@@ -1,0 +1,139 @@
+"""Gray-node blind-spot tests, on both backends.
+
+A gray node serves frames slowly while answering heartbeats and probes
+crisply. Liveness checks therefore never flag it — the manager keeps it
+in the registry, no ``NodeFail`` fires. The only detection path is the
+performance monitor: measured sojourns drift away from the cached
+baseline and trigger a what-if refresh (``CacheMiss reason="drift"``).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.client import EdgeClient
+from repro.core.config import SystemConfig
+from repro.core.system import EdgeSystem
+from repro.geo.point import GeoPoint
+from repro.net.topology import EndpointSpec
+from repro.nodes.hardware import profile_by_name
+from repro.obs.tracer import Tracer
+from repro.runtime import LiveEdgeServer, ManagerServer
+from repro.runtime import protocol
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# ----------------------------------------------------------------------
+# Simulated backend
+# ----------------------------------------------------------------------
+def _gray_sim():
+    tracer = Tracer()
+    system = EdgeSystem(
+        SystemConfig(seed=11, probing_period_ms=2_000.0),
+        trace=tracer,
+    )
+    center = GeoPoint(44.97, -93.25)
+    for i, name in enumerate(("V1", "V2")):
+        system.add_node(
+            f"edge-{name}",
+            profile_by_name(name),
+            EndpointSpec(center.offset_km(1.0 + i, -1.0)),
+        )
+    system.add_client_endpoint("alice", EndpointSpec(center))
+    client = EdgeClient(system, "alice")
+    system.add_client(client)
+    return system, tracer, client
+
+
+def test_sim_gray_node_blind_spot():
+    system, tracer, client = _gray_sim()
+    system.run_for(4_000.0)
+    assert client.current_edge is not None
+    gray_id = client.current_edge
+    node = system.nodes[gray_id]
+    baseline_what_if = node.what_if_ms
+
+    drift_before = sum(
+        1
+        for e in tracer.events()
+        if e.type == "cache_miss" and e.node_id == gray_id and e.reason == "drift"
+    )
+    node.processor.set_slowdown(8.0)
+    system.run_for(6_000.0)
+
+    # Blind spot: liveness never noticed — the node still heartbeats,
+    # stays registered, and no failure was declared.
+    system.manager.prune_stale()
+    assert gray_id in system.manager.known_node_ids()
+    assert node.alive
+    assert not any(
+        e.type == "node_fail" and e.node_id == gray_id for e in tracer.events()
+    )
+    assert client.stats.covered_failovers == 0
+    assert client.stats.uncovered_failures == 0
+
+    # Detection: the performance monitor's drift trigger fired and the
+    # advertised what-if rose to reflect the real (slow) service rate.
+    drift_after = sum(
+        1
+        for e in tracer.events()
+        if e.type == "cache_miss" and e.node_id == gray_id and e.reason == "drift"
+    )
+    assert drift_after > drift_before
+    assert node.what_if_ms > baseline_what_if
+
+
+# ----------------------------------------------------------------------
+# Live backend
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+def test_live_gray_node_blind_spot():
+    async def scenario():
+        tracer = Tracer()
+        manager = ManagerServer(tracer=tracer)
+        await manager.start()
+        edge = LiveEdgeServer(
+            "gray-1",
+            profile_by_name("V1"),
+            GeoPoint(44.98, -93.26),
+            manager_host=manager.host,
+            manager_port=manager.port,
+            heartbeat_period_s=0.05,
+            time_scale=0.01,
+            tracer=tracer,
+            monitor_period_s=0.1,
+        )
+        await edge.start()
+        try:
+            baseline_what_if = edge.what_if_ms
+            edge.set_slowdown(6.0)
+            # keep frames flowing so measured sojourns reflect the slowdown
+            for _ in range(12):
+                reply = await protocol.request(edge.host, edge.port, "frame")
+                assert reply["ok"]
+                await asyncio.sleep(0.02)
+            await asyncio.sleep(0.25)  # a couple of monitor periods
+            status = await protocol.request(manager.host, manager.port, "status")
+            events = list(tracer.events())
+            return {
+                "registry": status["nodes"],
+                "what_if": edge.what_if_ms,
+                "baseline": baseline_what_if,
+                "types": [
+                    (e.type, getattr(e, "reason", None)) for e in events
+                ],
+            }
+        finally:
+            await edge.stop()
+            await manager.stop()
+
+    result = run(scenario())
+    # Blind spot: heartbeats kept the gray node registered; no failure.
+    assert "gray-1" in result["registry"]
+    assert ("node_fail", None) not in result["types"]
+    # Detection: drift trigger fired; the what-if cache re-primed upward.
+    assert ("cache_miss", "drift") in result["types"]
+    assert result["what_if"] > result["baseline"]

@@ -214,3 +214,67 @@ def test_cluster_two_clients_share_fleet():
 def test_cluster_validates_profiles():
     with pytest.raises(ValueError):
         LocalCluster([], n_clients=1)
+
+
+def test_cluster_manager_outage_degrades_gracefully():
+    """Satellite of the fault-injection work: a Central Manager outage
+    must not interrupt attached clients. Frames keep flowing on the
+    standing edge connections, a selection round during the outage
+    falls back to the last candidate list (degraded, not stalled), and
+    once the manager returns heartbeats re-register every edge so
+    fresh discovery works again."""
+    from repro.obs.tracer import Tracer
+
+    async def scenario():
+        tracer = Tracer()
+        cluster = LocalCluster(
+            VOLUNTEER_PROFILES[:3],
+            n_clients=1,
+            time_scale=0.01,
+            heartbeat_period_s=0.05,
+            tracer=tracer,
+        )
+        await cluster.start()
+        try:
+            for edge in cluster.edges:
+                edge.max_heartbeat_backoff_s = 0.2  # quick post-outage return
+            client = cluster.clients[0]
+            chosen = await client.select_and_join()
+
+            await cluster.stop_manager()
+            during = [await client.offload_frame() for _ in range(5)]
+            # a probing round during the outage: discovery is dark, but
+            # the round degrades to the remembered candidates + backups
+            rejoined_during = await client.select_and_join()
+
+            await cluster.restart_manager()
+            await asyncio.sleep(0.5)  # heartbeats re-register the fleet
+            status = await protocol.request(
+                cluster.manager.host, cluster.manager.port, "status"
+            )
+            rejoined_after = await client.select_and_join()
+            after = await client.offload_frame()
+            types = [e.type for e in tracer.events()]
+            return {
+                "chosen": chosen,
+                "during": during,
+                "rejoined_during": rejoined_during,
+                "registry": status["nodes"],
+                "rejoined_after": rejoined_after,
+                "after": after,
+                "types": types,
+            }
+        finally:
+            await cluster.stop()
+
+    result = run(scenario())
+    # frames never stopped while the manager was down
+    assert all(latency is not None for latency in result["during"])
+    # the outage round still produced an attachment, via the fallback
+    assert result["rejoined_during"].startswith("edge-")
+    assert "degraded_fallback" in result["types"]
+    # the returned manager re-learned every edge from heartbeats
+    assert len(result["registry"]) == 3
+    # and fresh discovery works again end to end
+    assert result["rejoined_after"].startswith("edge-")
+    assert result["after"] is not None

@@ -118,6 +118,8 @@ class ScenarioBuilder:
         self._app = app
         self._manager_point = manager_point
         self._global_policy = global_policy
+        self._policy_spec: Optional[object] = None
+        self._policy_params: dict = {}
         self._node_default: Optional[EndpointSpec] = None
         self._client_default: Optional[EndpointSpec] = None
         self._decls: List[Tuple[str, object]] = []
@@ -137,6 +139,24 @@ class ScenarioBuilder:
     def default_client_spec(self, spec: EndpointSpec) -> "ScenarioBuilder":
         """Network spec template for clients declared with only a point."""
         self._client_default = spec
+        return self
+
+    def policy(self, spec: object, **params: object) -> "ScenarioBuilder":
+        """Select the client ranking policy for every built client.
+
+        ``spec`` is a :mod:`repro.policy` registry name (``"ewma"``,
+        ``"reliability"``, ...), a :class:`~repro.policy.SelectionPolicy`
+        prototype (deep-copied per client, so per-node state is never
+        shared), or a legacy ranking callable; keyword ``params`` are
+        constructor arguments when ``spec`` is a name::
+
+            ScenarioBuilder(config).policy("ewma", alpha=0.5)
+
+        Overrides ``SystemConfig.policy_spec``. QoS admission from
+        ``qos_latency_ms`` still wraps the chosen policy.
+        """
+        self._policy_spec = spec
+        self._policy_params = dict(params)
         return self
 
     def observe(
@@ -284,6 +304,8 @@ class ScenarioBuilder:
             app=self._app,
             manager_point=self._manager_point,
             global_policy=self._global_policy,
+            selection_policy=self._policy_spec,
+            selection_policy_params=self._policy_params or None,
             trace=tracer,
         )
         if self._observe_profile_kernel:

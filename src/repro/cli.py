@@ -324,6 +324,16 @@ def cmd_trace(args: argparse.Namespace) -> None:
             title="Latency-phase breakdown (means over completed frames)",
         )
     )
+    decisions = analyzer.policy_decision_summary()
+    if decisions:
+        print(
+            format_table(
+                ["winner", "wins", "mean margin ms"],
+                [[node, int(stats["wins"]), f"{stats['mean_margin_ms']:.2f}"]
+                 for node, stats in decisions.items()],
+                title="Policy decisions (ranked-first counts)",
+            )
+        )
     histogram = analyzer.failover_gap_histogram(bin_ms=args.bin_ms)
     if histogram:
         print(
@@ -396,6 +406,13 @@ def cmd_sweep_run(args: argparse.Namespace) -> None:
 
     experiment = get_experiment(args.experiment)
     grid = _parse_grid(args.param) or dict(experiment.default_grid)
+    if getattr(args, "policy", None):
+        from repro.policy import get as get_policy
+
+        names = [p.strip() for p in args.policy.split(",") if p.strip()]
+        for name in names:
+            get_policy(name)  # fail fast on unknown policies
+        grid["policy"] = names
     spec = SweepSpec.build(
         experiment.name,
         grid,
@@ -525,6 +542,30 @@ def cmd_sweep(args: argparse.Namespace) -> None:
     _SWEEP_SUBCOMMANDS[args.sweep_command](args)
 
 
+# ----------------------------------------------------------------------
+# Selection policies (repro.policy)
+# ----------------------------------------------------------------------
+def cmd_policy_list(args: argparse.Namespace) -> None:
+    from repro.policy import describe, policy_names
+
+    print(
+        format_table(
+            ["name", "description"],
+            [[name, describe(name)] for name in policy_names()],
+            title="Registered selection policies",
+        )
+    )
+
+
+_POLICY_SUBCOMMANDS = {
+    "list": cmd_policy_list,
+}
+
+
+def cmd_policy(args: argparse.Namespace) -> None:
+    _POLICY_SUBCOMMANDS[args.policy_command](args)
+
+
 COMMANDS = {
     "fig1": (cmd_fig1, "Fig. 1 network study"),
     "table2": (cmd_table2, "Table II hardware catalog"),
@@ -541,6 +582,7 @@ COMMANDS = {
     "chaos": (cmd_chaos, "seeded fault-injection run with recovery checks"),
     "trace": (cmd_trace, "capture/summarize a structured trace"),
     "sweep": (cmd_sweep, "parallel, resumable experiment sweeps"),
+    "policy": (cmd_policy, "inspect the selection-policy registry"),
 }
 
 
@@ -553,6 +595,11 @@ def _add_sweep_subparsers(parser: argparse.ArgumentParser) -> None:
     run.add_argument(
         "--param", action="append", default=None, metavar="NAME=V1,V2,...",
         help="one grid axis; repeatable. Default: the experiment's own grid",
+    )
+    run.add_argument(
+        "--policy", default=None, metavar="NAME[,NAME...]",
+        help="override the grid's policy axis with these registry names "
+             "(see `repro policy list`)",
     )
     run.add_argument("--seeds", type=int, default=5,
                      help="replicates per parameter cell")
@@ -601,6 +648,14 @@ def build_parser() -> argparse.ArgumentParser:
         sub = subparsers.add_parser(name, help=help_text)
         if name == "sweep":
             _add_sweep_subparsers(sub)
+            continue
+        if name == "policy":
+            policy_sub = sub.add_subparsers(
+                dest="policy_command", required=True
+            )
+            policy_sub.add_parser(
+                "list", help="list registered selection policies"
+            )
             continue
         sub.add_argument("--seed", type=int, default=42)
         if name == "fig1":

@@ -42,7 +42,8 @@ from typing import (
 
 from repro.core.config import SystemConfig
 from repro.core.messages import CandidateList, DiscoveryQuery
-from repro.core.policies.local_policies import LocalSelectionPolicy, policy_for
+from repro.core.policies.local_policies import LocalSelectionPolicy
+from repro.policy.base import SelectionPolicy
 from repro.core.probing import ProbeOutcome
 from repro.net.link import CONNECTION_SETUP_RTTS, Link
 from repro.obs.events import (
@@ -150,8 +151,11 @@ class EdgeClient:
         system: owning :class:`~repro.core.system.EdgeSystem`.
         user_id: unique id; must match a registered network endpoint.
         app: application profile (defaults to the system's).
-        local_policy: ranking over probe outcomes; defaults to the
-            config-selected LO/GO(/QoS) policy.
+        local_policy: a :class:`~repro.policy.base.SelectionPolicy` or
+            legacy ranking callable; defaults to the system/config
+            resolved policy (``EdgeSystem.make_selection_policy``),
+            which honours ``ScenarioBuilder.policy(...)`` and
+            ``SystemConfig.policy_spec`` including QoS wrapping.
         proactive_connections: keep standing connections to backups
             (False reproduces the reactive "re-connect" baseline).
         backlog_limit: max frames buffered while unattached.
@@ -163,7 +167,7 @@ class EdgeClient:
         user_id: str,
         *,
         app: Optional[ARApplication] = None,
-        local_policy: Optional[LocalSelectionPolicy] = None,
+        local_policy: "Optional[SelectionPolicy | LocalSelectionPolicy]" = None,
         proactive_connections: bool = True,
         backlog_limit: int = 64,
     ) -> None:
@@ -181,9 +185,8 @@ class EdgeClient:
         self._machine = SelectionMachine(
             user_id,
             local_policy
-            or policy_for(
-                self.config.use_global_overhead, self.config.qos_latency_ms
-            ),
+            if local_policy is not None
+            else system.make_selection_policy(user_id),
             SelectionConfig(
                 top_n=self.config.top_n,
                 min_dwell_ms=self.config.min_dwell_ms,
@@ -210,11 +213,13 @@ class EdgeClient:
     # baselines and the adaptive robustness controller.
     # ------------------------------------------------------------------
     @property
-    def local_policy(self) -> LocalSelectionPolicy:
+    def local_policy(self) -> SelectionPolicy:
         return self._machine.policy
 
     @local_policy.setter
-    def local_policy(self, policy: LocalSelectionPolicy) -> None:
+    def local_policy(
+        self, policy: "SelectionPolicy | LocalSelectionPolicy"
+    ) -> None:
         self._machine.policy = policy
 
     @property

@@ -15,6 +15,7 @@ described behaviour.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
@@ -54,8 +55,15 @@ class SystemConfig:
             immediately.
         rtt_probe_samples: pings averaged per ``RTT_probe`` (real probes
             send several ICMP/UDP pings; averaging tames jitter).
-        use_global_overhead: select by GO (True, the paper's average-
-            optimizing policy) or plain LO (False) — the ablation knob.
+        policy_spec: name of the client selection policy in the
+            :mod:`repro.policy` registry (``"go"``, ``"lo"``,
+            ``"ewma"``, ``"reliability"``, ``"churn"``, ...). None means
+            the paper's default, GO. QoS filtering composes on top via
+            ``qos_latency_ms``.
+        use_global_overhead: **deprecated** — the old boolean form of
+            ``policy_spec`` (True → ``"go"``, False → ``"lo"``).
+            Setting it warns and still works for one release; setting
+            both it and ``policy_spec`` is an error.
         join_synchronization: enforce the ``seqNum`` check in ``Join()``
             (Algorithm 1). False is an ablation: joins always accept, so
             simultaneous selections collide on stale what-if values.
@@ -91,7 +99,7 @@ class SystemConfig:
     switch_penalty_fraction: float = 0.15
     min_dwell_ms: float = 5_000.0
     rtt_probe_samples: int = 3
-    use_global_overhead: bool = True
+    use_global_overhead: Optional[bool] = None
     join_synchronization: bool = True
     qos_latency_ms: Optional[float] = None
     common_rtt_ms: float = 20.0
@@ -100,8 +108,21 @@ class SystemConfig:
     max_discovery_retries: int = 3
     attachment_lease_ms: Optional[float] = None
     seed: int = 42
+    policy_spec: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.use_global_overhead is not None:
+            if self.policy_spec is not None:
+                raise ValueError(
+                    "give policy_spec or the deprecated use_global_overhead, "
+                    "not both"
+                )
+            warnings.warn(
+                "SystemConfig.use_global_overhead is deprecated; use "
+                "policy_spec='go' / policy_spec='lo' instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
         if self.top_n < 1:
             raise ValueError(f"top_n must be >= 1: {self.top_n}")
         if self.probing_period_ms <= 0:
@@ -141,6 +162,17 @@ class SystemConfig:
     def backup_count(self) -> int:
         """Size of the backup edge list (``TopN - 1``)."""
         return self.top_n - 1
+
+    @property
+    def selection_policy_spec(self) -> str:
+        """The effective policy name: ``policy_spec``, else the
+        deprecated boolean mapped to ``"go"``/``"lo"``, else the
+        paper's default GO."""
+        if self.policy_spec is not None:
+            return self.policy_spec
+        if self.use_global_overhead is not None:
+            return "go" if self.use_global_overhead else "lo"
+        return "go"
 
     def with_top_n(self, top_n: int) -> "SystemConfig":
         """Copy with a different ``TopN`` (used by the Fig. 9/10 sweeps)."""

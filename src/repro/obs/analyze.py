@@ -227,6 +227,35 @@ class TraceAnalyzer:
                     gaps.append((event["user_id"], event["t_ms"] - start))
         return gaps
 
+    def policy_decisions(self) -> List[Dict[str, Any]]:
+        """All ``policy_decision`` events (per-candidate scored rankings)."""
+        return [e for e in self.events if e["type"] == "policy_decision"]
+
+    def policy_decision_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per winning node: how often the policy ranked it first, and by
+        how much.
+
+        Returns ``{node_id: {"wins", "mean_margin_ms"}}`` where the
+        margin is the runner-up's score minus the winner's — small
+        margins mean contested decisions, large ones a clear favourite.
+        Decisions with a single candidate count as wins with margin 0.
+        """
+        margins: Dict[str, List[float]] = defaultdict(list)
+        for event in self.policy_decisions():
+            ranked = event.get("ranked") or ()
+            if not ranked:
+                continue
+            scores = event.get("scores") or ()
+            margin = scores[1] - scores[0] if len(scores) >= 2 else 0.0
+            margins[ranked[0]].append(margin)
+        return {
+            node: {
+                "wins": float(len(values)),
+                "mean_margin_ms": sum(values) / len(values),
+            }
+            for node, values in sorted(margins.items())
+        }
+
     def failover_gap_histogram(
         self, bin_ms: float = 100.0
     ) -> List[Tuple[float, int]]:

@@ -29,6 +29,7 @@ __all__ = [
     "JoinAttempt",
     "JoinAccept",
     "JoinReject",
+    "PolicyDecision",
     "Switch",
     "FrameStart",
     "PhaseSpan",
@@ -166,6 +167,24 @@ class Switch(TraceEvent):
     user_id: str
     from_node: Optional[str] = None
     to_node: Optional[str] = None
+
+
+@dataclass
+class PolicyDecision(TraceEvent):
+    """One ranking verdict of the client's selection policy.
+
+    ``ranked`` lists the surviving candidates best-first and ``scores``
+    carries each one's policy score in the same order (predicted ms,
+    lower is better) — enough for the analyzer to explain *why* a node
+    won and by what margin. A detail event: only emitted when trace
+    capture is enabled, like ``JoinAttempt``/``DiscoveryReturned``.
+    """
+
+    type: ClassVar[str] = "policy_decision"
+    user_id: str
+    policy: str
+    ranked: Tuple[str, ...]
+    scores: Tuple[float, ...]
 
 
 # ----------------------------------------------------------------------
@@ -433,6 +452,7 @@ EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
         JoinAttempt,
         JoinAccept,
         JoinReject,
+        PolicyDecision,
         Switch,
         FrameStart,
         PhaseSpan,
@@ -499,4 +519,8 @@ def event_from_dict(data: Dict[str, Any]) -> TraceEvent:
         payload.get("candidates"), list
     ):
         payload["candidates"] = tuple(payload["candidates"])
+    if cls is PolicyDecision:
+        for key in ("ranked", "scores"):
+            if isinstance(payload.get(key), list):
+                payload[key] = tuple(payload[key])
     return cls(**payload)

@@ -1,12 +1,23 @@
 """The client selection round as a sans-IO state machine (Algorithm 2).
 
 One :class:`SelectionMachine` holds every *decision* the paper puts on
-the client: when to discover, which candidates to probe, the LO/GO/QoS
-ranking (via an injected policy), dwell and hysteresis gating on
-voluntary switches, the seqNum-echoing join with repeat-from-discovery
-on rejection, backup adoption (Algorithm 2 line 20), and the failover
-walk over ``Unexpected_join`` with the covered/uncovered distinction of
-Fig. 10b.
+the client: when to discover, which candidates to probe, the candidate
+ranking and backup ordering (via an injected
+:class:`~repro.policy.base.SelectionPolicy`), dwell and hysteresis
+gating on voluntary switches, the seqNum-echoing join with
+repeat-from-discovery on rejection, backup adoption (Algorithm 2 line
+20), and the failover walk over ``Unexpected_join`` with the
+covered/uncovered distinction of Fig. 10b.
+
+The machine is also the policy's *sensor*: every protocol transition
+that carries information about a node — an answered or timed-out
+probe, a broken connection, a failover verdict, a changed candidate
+list, a degraded discovery — is forwarded to the policy as a typed
+observation (:mod:`repro.policy.base`), which is how history-aware
+policies accumulate per-node state without ever touching I/O. Dwell
+and hysteresis compare **policy scores** (not raw probe RTTs), so the
+switch margin is always expressed in the same currency the ranking
+used and the two can never disagree about which node is better.
 
 The machine is pure protocol: it consumes
 :mod:`~repro.protocol.events` (each carrying an explicit ``now``) and
@@ -29,7 +40,16 @@ adopted.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.obs.events import (
     CoveredFailover,
@@ -39,9 +59,23 @@ from repro.obs.events import (
     JoinAccept,
     JoinAttempt,
     JoinReject,
+    PolicyDecision,
     Switch,
     UncoveredFailure,
 )
+from repro.policy.base import (
+    AttachmentObserved,
+    CandidateChurn,
+    DegradedDiscovery,
+    FailoverObserved,
+    NodeFailureObserved,
+    ProbeObserved,
+    ProbeTimeout,
+    Ranking,
+    RankingContext,
+    SelectionPolicy,
+)
+from repro.policy.baselines import as_policy
 from repro.protocol.effects import (
     Attached,
     Effect,
@@ -104,10 +138,13 @@ class SelectionMachine:
 
     Args:
         user_id: the client's id (stamped into trace events).
-        policy: the LO/GO(/QoS) ranking over probe outcomes.
+        policy: a :class:`~repro.policy.base.SelectionPolicy`, or a
+            legacy ranking callable (wrapped in the adapter that
+            preserves its exact historical behaviour).
         config: protocol constants (dwell, hysteresis, retries).
         detail_guard: zero-arg callable gating *detail* trace events
-            (``JoinAttempt``, ``DiscoveryReturned``) — drivers pass
+            (``JoinAttempt``, ``DiscoveryReturned``,
+            ``PolicyDecision``) — drivers pass
             ``lambda: tracer.enabled`` so disabled capture never even
             constructs them. Decision verdicts are always emitted.
     """
@@ -115,13 +152,13 @@ class SelectionMachine:
     def __init__(
         self,
         user_id: str,
-        policy: LocalRanking,
+        policy: "SelectionPolicy | LocalRanking",
         config: SelectionConfig,
         *,
         detail_guard: Callable[[], bool] = _never,
     ) -> None:
         self.user_id = user_id
-        self.policy = policy
+        self._policy = as_policy(policy)
         self.config = config
         #: Live robustness knob (§IV-E): adaptive controllers may move it.
         self.top_n = config.top_n
@@ -134,11 +171,40 @@ class SelectionMachine:
         self.last_join_ms = float("-inf")
         self._retries = 0
         self._ranked: List["ProbeOutcome"] = []
+        #: Nodes the current round asked to probe — whoever does not
+        #: answer is reported to the policy as a probe timeout.
+        self._probe_targets: Tuple[str, ...] = ()
         self._detail_guard = detail_guard
 
     @property
     def attached(self) -> bool:
         return self.current_edge is not None
+
+    # ------------------------------------------------------------------
+    # Policy access (drivers accept legacy callables through here too)
+    # ------------------------------------------------------------------
+    @property
+    def policy(self) -> SelectionPolicy:
+        return self._policy
+
+    @policy.setter
+    def policy(self, policy: "SelectionPolicy | LocalRanking") -> None:
+        self._policy = as_policy(policy)
+
+    # ------------------------------------------------------------------
+    # Pickling: per-node policy state is part of the machine's state;
+    # the detail guard is a driver-owned closure and is dropped (a
+    # restored machine emits no detail events until a driver rewires it).
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        state["_detail_guard"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        if state.get("_detail_guard") is None:
+            self._detail_guard = _never
 
     # ------------------------------------------------------------------
     def handle(self, event: ProtocolEvent) -> List[Effect]:
@@ -200,7 +266,16 @@ class SelectionMachine:
             # Nothing available: end the round; the periodic timer (or a
             # short retry while detached) tries again.
             return effects + self._conclude_round(failed=True)
-        self.last_candidates = tuple(event.node_ids)
+        previous = self.last_candidates
+        incoming = tuple(event.node_ids)
+        if previous:
+            appeared = tuple(n for n in incoming if n not in previous)
+            vanished = tuple(n for n in previous if n not in incoming)
+            if appeared or vanished:
+                self._policy.observe(
+                    CandidateChurn(event.now, appeared, vanished)
+                )
+        self.last_candidates = incoming
         node_ids = list(event.node_ids)
         # Algorithm 2 line 12 compares C[0] against Current, so Current is
         # always probed — even when the manager's availability sort
@@ -208,6 +283,7 @@ class SelectionMachine:
         # low on availability, which must not force a blind switch).
         if self.current_edge is not None and self.current_edge not in node_ids:
             node_ids.append(self.current_edge)
+        self._probe_targets = tuple(node_ids)
         effects.append(ProbeCandidates(tuple(node_ids)))
         return effects
 
@@ -234,6 +310,8 @@ class SelectionMachine:
             # Nothing cached either (first round of a fresh client):
             # behave like an empty discovery — retry shortly.
             return self._conclude_round(failed=True)
+        self._policy.observe(DegradedDiscovery(event.now, event.reason))
+        self._probe_targets = tuple(fallback)
         return [
             EmitTrace(
                 DegradedFallback(
@@ -248,6 +326,16 @@ class SelectionMachine:
     # ------------------------------------------------------------------
     def _on_probes_completed(self, event: ProbesCompleted) -> List[Effect]:
         outcomes: List["ProbeOutcome"] = list(event.outcomes)
+        # Feed the policy the raw measurements (pre stay-substitution)
+        # plus the silence of whoever was probed and never answered.
+        answered = set()
+        for outcome in outcomes:
+            answered.add(outcome.node_id)
+            self._policy.observe(ProbeObserved(event.now, outcome))
+        for node_id in self._probe_targets:
+            if node_id not in answered:
+                self._policy.observe(ProbeTimeout(event.now, node_id))
+        self._probe_targets = ()
         # For the node we are already attached to, the question is not
         # "what if one more user joins" (we are one of its n users) but
         # "what do I get by staying at my full rate" — the stay
@@ -261,39 +349,67 @@ class SelectionMachine:
                 else o
                 for o in outcomes
             ]
-        ranked = self.policy(outcomes)
+        ctx = RankingContext(now=event.now, current_edge=self.current_edge)
+        ranking: Ranking = self._policy.rank(outcomes, ctx)
+        ranked = list(ranking.ranked)
+        effects: List[Effect] = []
+        if ranked and self._detail_guard():
+            effects.append(
+                EmitTrace(
+                    PolicyDecision(
+                        event.now,
+                        self.user_id,
+                        self._policy.name,
+                        tuple(o.node_id for o in ranked),
+                        tuple(
+                            ranking.scores.get(o.node_id, 0.0) for o in ranked
+                        ),
+                    )
+                )
+            )
         if not ranked:
             # No candidate satisfies QoS / all candidates dead.
             return self._conclude_round(failed=True)
         best = ranked[0]
         if self.attached and best.node_id == self.current_edge:
-            return self._adopt_backups(ranked[1:]) + self._conclude_round(
-                failed=False
+            return (
+                effects
+                + self._adopt_backups(ranked[1:], ctx)
+                + self._conclude_round(failed=False)
             )
         if self.attached:
             # Dwell: a voluntary switch is only considered once the
             # previous join has had time to settle.
             if event.now - self.last_join_ms < self.config.min_dwell_ms:
-                return self._adopt_non_current(ranked) + self._conclude_round(
-                    failed=False
+                return (
+                    effects
+                    + self._adopt_non_current(ranked, ctx)
+                    + self._conclude_round(failed=False)
                 )
-            current_outcome = next(
-                (o for o in ranked if o.node_id == self.current_edge), None
-            )
-            threshold = (
-                current_outcome.local_overhead_ms
-                * (1.0 - self.config.switch_penalty_fraction)
-                - self.config.switch_penalty_ms
-                if current_outcome is not None
-                else float("inf")
-            )
-            if current_outcome is not None and best.local_overhead_ms >= threshold:
-                # Hysteresis: not enough improvement to justify a switch.
-                return self._adopt_non_current(ranked) + self._conclude_round(
-                    failed=False
+            # Hysteresis compares *policy scores* — the same currency
+            # the ranking sorted by — so a policy whose score is not
+            # raw LO (GO, a predictive forecast, ...) cannot disagree
+            # with its own switch gate.
+            current_score = ranking.score_of(self.current_edge)
+            if current_score is not None:
+                threshold = (
+                    current_score
+                    * (1.0 - self.config.switch_penalty_fraction)
+                    - self.config.switch_penalty_ms
                 )
+                best_score = ranking.scores.get(
+                    best.node_id, best.local_overhead_ms
+                )
+                if best_score >= threshold:
+                    # Hysteresis: not enough improvement to justify a
+                    # switch.
+                    return (
+                        effects
+                        + self._adopt_non_current(ranked, ctx)
+                        + self._conclude_round(failed=False)
+                    )
         self._ranked = ranked
-        return [SendJoin(best)]
+        return effects + [SendJoin(best)]
 
     def _on_join_result(self, event: JoinResult) -> List[Effect]:
         ranked = self._ranked
@@ -313,6 +429,9 @@ class SelectionMachine:
                 return effects + self._discover(event.now)
             return effects + self._conclude_round(failed=True)
         effects.append(EmitTrace(JoinAccept(event.now, self.user_id, event.node_id)))
+        self._policy.observe(
+            AttachmentObserved(event.now, event.node_id, via="join")
+        )
         previous = self.current_edge
         if previous is not None and previous != event.node_id:
             effects.append(SendLeave(previous, "switch"))
@@ -341,7 +460,10 @@ class SelectionMachine:
         # transition closes the join-accept/backup-adoption race (see
         # module docstring).
         effects.extend(
-            self._adopt_backups([o for o in ranked if o.node_id != event.node_id])
+            self._adopt_backups(
+                [o for o in ranked if o.node_id != event.node_id],
+                RankingContext(now=event.now, current_edge=self.current_edge),
+            )
         )
         effects.extend(self._conclude_round(failed=False))
         if previous is None:
@@ -351,23 +473,33 @@ class SelectionMachine:
     # ------------------------------------------------------------------
     # Backups (Algorithm 2 line 20)
     # ------------------------------------------------------------------
-    def _adopt_backups(self, ranked_rest: Sequence["ProbeOutcome"]) -> List[Effect]:
+    def _adopt_backups(
+        self, ranked_rest: Sequence["ProbeOutcome"], ctx: RankingContext
+    ) -> List[Effect]:
         backup_count = max(0, self.top_n - 1)
-        adopted = list(ranked_rest[:backup_count])
+        ordered = self._policy.order_backups(tuple(ranked_rest), ctx)
+        adopted = list(ordered[:backup_count])
         self.monitor.update_backups([o.node_id for o in adopted])
         return [UpdateBackups(tuple(adopted))]
 
     def _adopt_non_current(
-        self, ranked: Sequence["ProbeOutcome"]
+        self, ranked: Sequence["ProbeOutcome"], ctx: RankingContext
     ) -> List[Effect]:
         return self._adopt_backups(
-            [o for o in ranked if o.node_id != self.current_edge]
+            [o for o in ranked if o.node_id != self.current_edge], ctx
         )
 
     # ------------------------------------------------------------------
     # Failure handling (§IV-E)
     # ------------------------------------------------------------------
     def _on_edge_failed(self, event: EdgeFailed) -> List[Effect]:
+        self._policy.observe(
+            NodeFailureObserved(
+                event.now,
+                event.node_id,
+                serving=event.node_id == self.current_edge,
+            )
+        )
         if event.node_id != self.current_edge:
             self.monitor.remove(event.node_id)
             return []
@@ -389,9 +521,15 @@ class SelectionMachine:
         return effects
 
     def _on_failover_result(self, event: FailoverResult) -> List[Effect]:
+        self._policy.observe(
+            FailoverObserved(event.now, event.node_id, event.accepted)
+        )
         if not event.accepted:
             # This backup is dead too: try the next one.
             return self._next_failover(event.now)
+        self._policy.observe(
+            AttachmentObserved(event.now, event.node_id, via="failover")
+        )
         self.monitor.note_covered()
         self.current_edge = event.node_id
         self.last_join_ms = event.now

@@ -24,11 +24,10 @@ from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.messages import DiscoveryQuery, from_wire, to_wire
 from repro.faults.injector import MANAGER_ID
-from repro.core.policies.local_policies import (
-    LocalSelectionPolicy,
-    sort_by_global_overhead,
-)
+from repro.core.policies.local_policies import LocalSelectionPolicy
 from repro.core.probing import ProbeOutcome
+from repro.policy import SelectionPolicy, build_policy
+from repro.sim.random import derive_seed
 from repro.geo.point import GeoPoint
 from repro.obs.events import (
     BreakerTransition,
@@ -105,7 +104,7 @@ class LiveClient:
         manager_port: int,
         *,
         top_n: int = 3,
-        policy: Optional[LocalSelectionPolicy] = None,
+        policy: "Optional[str | SelectionPolicy | LocalSelectionPolicy]" = None,
         request_timeout: float = 5.0,
         tracer: Optional[Tracer] = None,
         selection_config: Optional[SelectionConfig] = None,
@@ -143,10 +142,16 @@ class LiveClient:
                 switch_penalty_ms=_LIVE_DEFAULTS.switch_penalty_ms,
                 switch_penalty_fraction=_LIVE_DEFAULTS.switch_penalty_fraction,
             )
-        #: The sans-IO protocol core this driver executes.
+        #: The sans-IO protocol core this driver executes. The policy
+        #: spec accepts a repro.policy registry name, a policy object,
+        #: or a legacy ranking callable; its private randomness is
+        #: seeded deterministically from the user id.
         self._machine = SelectionMachine(
             user_id,
-            policy or sort_by_global_overhead,
+            build_policy(
+                policy if policy is not None else "go",
+                seed=derive_seed(0, f"live-policy.{user_id}"),
+            ),
             config,
             detail_guard=lambda: self.tracer.enabled,
         )
@@ -179,11 +184,17 @@ class LiveClient:
         self._machine.top_n = value
 
     @property
-    def policy(self) -> LocalSelectionPolicy:
+    def policy(self) -> SelectionPolicy:
         return self._machine.policy
 
     @policy.setter
-    def policy(self, policy: LocalSelectionPolicy) -> None:
+    def policy(
+        self, policy: "str | SelectionPolicy | LocalSelectionPolicy"
+    ) -> None:
+        if isinstance(policy, str):
+            policy = build_policy(
+                policy, seed=derive_seed(0, f"live-policy.{self.user_id}")
+            )
         self._machine.policy = policy
 
     @property

@@ -19,6 +19,9 @@ Built-ins wrap the repo's paper experiments:
 - ``qos_admission`` — one (population, QoS bound) admission cell.
 - ``chaos_matrix`` — one fault family of the canonical chaos plan run
   through the simulator (recovery metrics per seed x family cell).
+- ``policy_matrix`` — one selection policy under the trap scenario of
+  :mod:`repro.experiments.policy_matrix` (steady-state latency and
+  failover-gap metrics per policy x churn x fault-family cell).
 - ``selftest``    — a microsecond-scale deterministic pseudo-experiment
   for exercising the engine itself (tests, smoke jobs); supports
   ``fail=1`` (raises) and ``sleep_s`` (stalls) to probe failure paths.
@@ -217,6 +220,21 @@ def _chaos_matrix(params: Dict[str, Any], root_seed: int) -> MetricsDict:
     }
 
 
+def _policy_matrix(params: Dict[str, Any], root_seed: int) -> MetricsDict:
+    from repro.experiments.policy_matrix import run_policy_matrix
+
+    result = run_policy_matrix(
+        str(params.get("policy", "go")),
+        fault_family=str(params.get("fault_family", "node_crash")),
+        churn_rate=float(params.get("churn_rate", 1.0)),
+        horizon_ms=float(params.get("horizon_ms", 60_000.0)),
+        n_users=int(params.get("n_users", 3)),
+        warmup_ms=float(params.get("warmup_ms", 10_000.0)),
+        seed=root_seed,
+    )
+    return dict(result.metrics)
+
+
 def _selftest(params: Dict[str, Any], root_seed: int) -> MetricsDict:
     """Deterministic pseudo-metrics in microseconds — engine self-checks."""
     if int(params.get("fail", 0)):
@@ -288,6 +306,18 @@ register(
                 "all",
             ],
             "top_n": [1, 3],
+        },
+    )
+)
+register(
+    SweepableExperiment(
+        name="policy_matrix",
+        fn=_policy_matrix,
+        description="selection-policy x churn-rate x fault-family trap scenario",
+        default_grid={
+            "policy": ["lo", "go", "ewma", "reliability", "churn"],
+            "churn_rate": [0.5, 2.0],
+            "fault_family": ["node_crash", "gray"],
         },
     )
 )

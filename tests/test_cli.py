@@ -135,8 +135,38 @@ def test_sweep_list_names_builtin_experiments(capsys):
     assert main(["sweep", "list"]) == 0
     out = capsys.readouterr().out
     for name in ("fig9_topn", "churn_trace", "network_study",
-                 "qos_admission", "selftest"):
+                 "qos_admission", "selftest", "policy_matrix"):
         assert name in out
+
+
+def test_policy_list_command(capsys):
+    assert main(["policy", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("lo", "go", "ewma", "reliability", "churn"):
+        assert name in out
+
+
+def test_sweep_run_policy_flag_overrides_grid(tmp_path, capsys):
+    store = tmp_path / "store"
+    assert main([
+        "sweep", "run", "--experiment", "policy_matrix",
+        "--policy", "lo,reliability",
+        "--param", "churn_rate=2.0", "--param", "fault_family=node_crash",
+        "--param", "horizon_ms=20000.0",
+        "--seeds", "1", "--store", str(store), "--serial",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "executed=2" in out and "failed=0" in out
+    assert "failover_gap_p95_ms" in out
+
+
+def test_sweep_run_unknown_policy_fails_fast(tmp_path):
+    with pytest.raises(KeyError, match="nope"):
+        main([
+            "sweep", "run", "--experiment", "policy_matrix",
+            "--policy", "nope",
+            "--seeds", "1", "--store", str(tmp_path / "s"), "--serial",
+        ])
 
 
 def test_chaos_command_runs_sim_and_dumps_trace(tmp_path, capsys):

@@ -9,7 +9,9 @@ def test_defaults_are_paper_shaped():
     config = SystemConfig()
     assert config.top_n == 3
     assert config.backup_count == 2
-    assert config.use_global_overhead
+    # The paper's default ranking is GO (average-optimizing).
+    assert config.policy_spec is None
+    assert config.selection_policy_spec == "go"
 
 
 def test_with_top_n_copies():

@@ -54,6 +54,32 @@ def test_modern_construction_api_does_not_warn():
         system.add_client_endpoint("alice", EndpointSpec(GeoPoint(44.97, -93.25)))
 
 
+def test_use_global_overhead_warns_and_maps_to_policy_spec():
+    with pytest.warns(
+        DeprecationWarning, match="use_global_overhead is deprecated"
+    ):
+        legacy_go = SystemConfig(use_global_overhead=True)
+    assert legacy_go.selection_policy_spec == "go"
+    with pytest.warns(DeprecationWarning):
+        legacy_lo = SystemConfig(use_global_overhead=False)
+    assert legacy_lo.selection_policy_spec == "lo"
+
+
+def test_policy_spec_does_not_warn():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        config = SystemConfig(policy_spec="reliability")
+    assert config.selection_policy_spec == "reliability"
+    assert SystemConfig().selection_policy_spec == "go"
+
+
+def test_policy_spec_and_legacy_flag_together_rejected():
+    with pytest.raises(ValueError, match="not both"):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            SystemConfig(policy_spec="lo", use_global_overhead=True)
+
+
 def test_metrics_record_shims_are_removed():
     collector = MetricsCollector()
     for name in (

@@ -14,7 +14,7 @@ from repro.experiments.churn_experiment import make_churn_trace, run_churn_once
 
 
 def run(top_n: int) -> None:
-    config = SystemConfig(seed=11).with_top_n(top_n)
+    config = SystemConfig(seed=11).with_(top_n=top_n)
     trace = make_churn_trace(SystemConfig(seed=11))
     result = run_churn_once(config, trace=trace)
     metrics = result.metrics

@@ -37,14 +37,15 @@ The old keyword-heavy methods survive as deprecated thin wrappers on
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from repro.core.client import ClientLike, EdgeClient
 from repro.core.config import SystemConfig
 from repro.core.policies.global_policies import GlobalSelectionPolicy
 from repro.core.system import EdgeSystem
 from repro.geo.point import GeoPoint
+from repro.metro.spec import MetroSpec, ShardSpec
 from repro.net.topology import EndpointSpec, NetworkTopology
 from repro.nodes.hardware import HardwareProfile
 from repro.nodes.host_workload import HostWorkloadSchedule
@@ -52,11 +53,16 @@ from repro.obs.profile import KernelProfiler
 from repro.obs.tracer import Tracer, as_sink
 from repro.workload.ar import ARApplication, DEFAULT_AR_APP
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle-free typing only
+    from repro.metro.runner import MetroSimulation
+
 __all__ = [
     "ClientFactory",
     "ClientLike",
     "EndpointSpec",
+    "MetroSpec",
     "ScenarioBuilder",
+    "ShardSpec",
 ]
 
 #: Builds a client for a system — ``EdgeClient`` itself and every
@@ -127,6 +133,8 @@ class ScenarioBuilder:
         self._observe_sink: object = None
         self._observe_capacity = 65536
         self._observe_profile_kernel = False
+        self._metro_spec: Optional[MetroSpec] = None
+        self._shard_overrides: dict = {}
 
     # ------------------------------------------------------------------
     # Defaults
@@ -186,6 +194,97 @@ class ScenarioBuilder:
         self._observe_capacity = capacity
         self._observe_profile_kernel = profile_kernel
         return self
+
+    # ------------------------------------------------------------------
+    # Metro scale
+    # ------------------------------------------------------------------
+    def metro(
+        self,
+        nodes: Optional[int] = None,
+        users: Optional[int] = None,
+        *,
+        region_km: float = 40.0,
+        shards: int = 1,
+        center: Optional[GeoPoint] = None,
+        fps: float = 10.0,
+        spec: Optional[MetroSpec] = None,
+    ) -> "ScenarioBuilder":
+        """Declare a metro-scale synthetic deployment.
+
+        Either give a full :class:`MetroSpec` via ``spec=``, or the
+        common knobs directly::
+
+            ScenarioBuilder(config).metro(nodes=100_000, users=1_000_000,
+                                          region_km=40, shards=4)
+
+        ``build_metro()`` then returns a runnable
+        :class:`~repro.metro.runner.MetroSimulation` instead of an
+        :class:`EdgeSystem`. Compose with :meth:`shard` for worker
+        processes and boundary-epoch tuning.
+        """
+        if spec is not None:
+            if nodes is not None or users is not None:
+                raise ValueError("give spec= or nodes=/users=, not both")
+            self._metro_spec = spec
+        else:
+            if nodes is None or users is None:
+                raise ValueError("metro() needs nodes= and users= (or spec=)")
+            self._metro_spec = MetroSpec(
+                nodes=nodes,
+                users=users,
+                region_km=region_km,
+                fps=fps,
+                **({"center": center} if center is not None else {}),
+                shard=ShardSpec(count=shards),
+            )
+        return self
+
+    def shard(
+        self,
+        *,
+        by: str = "geohash",
+        count: Optional[int] = None,
+        workers: int = 1,
+        precision: Optional[int] = None,
+        boundary_epoch_ms: Optional[float] = None,
+    ) -> "ScenarioBuilder":
+        """Tune the metro partition declared by :meth:`metro`.
+
+        ``count`` overrides the shard count; ``workers`` steps shards in
+        forked worker processes; ``precision``/``boundary_epoch_ms``
+        control the shard prefix size and the boundary-channel period.
+        """
+        self._shard_overrides = {
+            "by": by,
+            **({"count": count} if count is not None else {}),
+            "workers": workers,
+            **({"precision": precision} if precision is not None else {}),
+            **(
+                {"boundary_epoch_ms": boundary_epoch_ms}
+                if boundary_epoch_ms is not None
+                else {}
+            ),
+        }
+        return self
+
+    def build_metro(self) -> "MetroSimulation":
+        """Wire the declared metro into a runnable simulation.
+
+        Requires a prior :meth:`metro` call; :meth:`observe` composes
+        (``trace=True`` captures the typed event stream per shard).
+        """
+        if self._metro_spec is None:
+            raise ValueError("call .metro(...) before build_metro()")
+        from repro.metro.runner import MetroSimulation
+
+        spec = self._metro_spec
+        if self._shard_overrides:
+            spec = spec.with_shard(replace(spec.shard, **self._shard_overrides))
+        return MetroSimulation(
+            spec,
+            self._config,
+            capture_trace=self._observe_trace,
+        )
 
     # ------------------------------------------------------------------
     # Declarations

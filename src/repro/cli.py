@@ -543,6 +543,54 @@ def cmd_sweep(args: argparse.Namespace) -> None:
 
 
 # ----------------------------------------------------------------------
+# Perf benchmarks (benchmarks/perf via repro.metrics.bench)
+# ----------------------------------------------------------------------
+def cmd_bench_list(args: argparse.Namespace) -> None:
+    from repro.metrics.bench import PERF_BENCHMARKS
+
+    print(
+        format_table(
+            ["name", "script"],
+            [[name, script] for name, script in sorted(PERF_BENCHMARKS.items())],
+            title="Registered perf benchmarks (benchmarks/perf)",
+        )
+    )
+
+
+def cmd_bench_run(args: argparse.Namespace) -> None:
+    import tempfile
+    from pathlib import Path
+
+    from repro.metrics.bench import perf_bench_dir, run_perf_bench
+
+    extra = list(args.bench_args or [])
+    if extra and extra[0] == "--":
+        extra = extra[1:]
+    if "--output" not in extra:
+        if args.update_baseline:
+            baseline = perf_bench_dir().parents[1] / "BENCH_perf.json"
+            extra += ["--output", str(baseline)]
+        else:
+            scratch = Path(tempfile.gettempdir()) / "repro_bench_scratch.json"
+            extra += ["--output", str(scratch)]
+            print(f"(dry run: writing {scratch}; pass --update-baseline "
+                  f"to record into the repo BENCH_perf.json)")
+    rc = run_perf_bench(args.bench_name, extra)
+    if rc != 0:
+        raise SystemExit(rc)
+
+
+_BENCH_SUBCOMMANDS = {
+    "run": cmd_bench_run,
+    "list": cmd_bench_list,
+}
+
+
+def cmd_bench(args: argparse.Namespace) -> None:
+    _BENCH_SUBCOMMANDS[args.bench_command](args)
+
+
+# ----------------------------------------------------------------------
 # Selection policies (repro.policy)
 # ----------------------------------------------------------------------
 def cmd_policy_list(args: argparse.Namespace) -> None:
@@ -583,7 +631,28 @@ COMMANDS = {
     "trace": (cmd_trace, "capture/summarize a structured trace"),
     "sweep": (cmd_sweep, "parallel, resumable experiment sweeps"),
     "policy": (cmd_policy, "inspect the selection-policy registry"),
+    "bench": (cmd_bench, "run the registered perf benchmarks"),
 }
+
+
+def _add_bench_subparsers(parser: argparse.ArgumentParser) -> None:
+    sub = parser.add_subparsers(dest="bench_command", required=True)
+
+    run = sub.add_parser("run", help="run one registered benchmark")
+    run.add_argument("bench_name", metavar="NAME",
+                     help="benchmark name (see `bench list`)")
+    run.add_argument(
+        "--update-baseline", action="store_true",
+        help="record into the repo-root BENCH_perf.json "
+             "(default: a scratch file, so baselines never move by accident)",
+    )
+    run.add_argument(
+        "bench_args", nargs=argparse.REMAINDER, metavar="ARGS",
+        help="extra arguments passed through to the benchmark script "
+             "(prefix with `--`)",
+    )
+
+    sub.add_parser("list", help="list registered perf benchmarks")
 
 
 def _add_sweep_subparsers(parser: argparse.ArgumentParser) -> None:
@@ -648,6 +717,9 @@ def build_parser() -> argparse.ArgumentParser:
         sub = subparsers.add_parser(name, help=help_text)
         if name == "sweep":
             _add_sweep_subparsers(sub)
+            continue
+        if name == "bench":
+            _add_bench_subparsers(sub)
             continue
         if name == "policy":
             policy_sub = sub.add_subparsers(

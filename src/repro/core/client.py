@@ -207,6 +207,23 @@ class EdgeClient:
         self._probe_event: Optional[TimerHandle] = None
         self._offload_timer: Optional[TimerHandle] = None
         self._stopped = False
+        # Interned hot-path event labels. The frame loop schedules ~4
+        # kernel events per frame; rebuilding the same f-string label on
+        # every call was measurable at metro scale, so each label is
+        # built once per client here.
+        uid = self.user_id
+        self._lbl_probe = uid + ".probe"
+        self._lbl_retry = uid + ".retry"
+        self._lbl_discover_timeout = uid + ".discover-timeout"
+        self._lbl_discover = uid + ".discover"
+        self._lbl_probed = uid + ".probed"
+        self._lbl_join = uid + ".join"
+        self._lbl_failover = uid + ".failover"
+        self._lbl_frame = uid + ".frame"
+        self._lbl_dup = uid + ".dup"
+        self._lbl_resp = uid + ".resp"
+        self._lbl_uplink = uid + ".uplink"
+        self._lbl_leave = uid + ".leave"
 
     # ------------------------------------------------------------------
     # Protocol-core state, exposed on the driver for experiments,
@@ -302,7 +319,7 @@ class EdgeClient:
             self._schedule_probe_round()
 
         self._probe_event = self.system.sim.schedule(
-            delay, fire, label=f"{self.user_id}.probe"
+            delay, fire, label=self._lbl_probe
         )
 
     def stop(self) -> None:
@@ -367,7 +384,7 @@ class EdgeClient:
                 self.system.sim.schedule(
                     effect.delay_ms,
                     self._begin_selection_round,
-                    label=f"{self.user_id}.retry",
+                    label=self._lbl_retry,
                 )
             else:  # pragma: no cover - forward-compatibility guard
                 raise TypeError(f"unhandled effect {type(effect).__name__}")
@@ -427,14 +444,14 @@ class EdgeClient:
                     lambda: self._feed(
                         DiscoveryFailed(self.system.sim.now, reason=verdict.kind)
                     ),
-                    label=f"{self.user_id}.discover-timeout",
+                    label=self._lbl_discover_timeout,
                 )
                 return
             rtt += verdict.extra_delay_ms
         self.system.sim.schedule(
             rtt,
             lambda: self._deliver_candidates(self.system.manager.discover(query)),
-            label=f"{self.user_id}.discover",
+            label=self._lbl_discover,
         )
 
     def _deliver_candidates(self, candidates: CandidateList) -> None:
@@ -508,7 +525,7 @@ class EdgeClient:
             lambda: self._feed(
                 ProbesCompleted(self.system.sim.now, tuple(outcomes))
             ),
-            label=f"{self.user_id}.probed",
+            label=self._lbl_probed,
         )
 
     def _perform_join(self, best: ProbeOutcome) -> None:
@@ -543,7 +560,7 @@ class EdgeClient:
                 )
             )
 
-        self.system.sim.schedule(rtt, deliver, label=f"{self.user_id}.join")
+        self.system.sim.schedule(rtt, deliver, label=self._lbl_join)
 
     # ------------------------------------------------------------------
     # Links
@@ -615,7 +632,7 @@ class EdgeClient:
                 )
             )
 
-        self.system.sim.schedule(rtt, deliver, label=f"{self.user_id}.failover")
+        self.system.sim.schedule(rtt, deliver, label=self._lbl_failover)
 
     # ------------------------------------------------------------------
     # Offloading loop
@@ -624,7 +641,7 @@ class EdgeClient:
         if self._stopped:
             return
         self.system.sim.schedule(
-            delay_ms, self._offload_tick, label=f"{self.user_id}.frame"
+            delay_ms, self._offload_tick, label=self._lbl_frame
         )
 
     def _offload_tick(self) -> None:
@@ -685,7 +702,7 @@ class EdgeClient:
                 self.system.sim.schedule_at(
                     self.system.sim.now + uplink_delay,
                     lambda: node.receive_frame(frame, self.system.sim.now),
-                    label=f"{self.user_id}.dup",
+                    label=self._lbl_dup,
                 )
         # Time the frame spent in the client-side backlog before leaving
         # (0 for frames sent the moment they were captured) — part of the
@@ -735,10 +752,10 @@ class EdgeClient:
             self.system.sim.schedule_at(
                 completed.completion_ms + downlink,
                 respond,
-                label=f"{self.user_id}.resp",
+                label=self._lbl_resp,
             )
 
-        self.system.sim.schedule_at(arrival, arrive, label=f"{self.user_id}.uplink")
+        self.system.sim.schedule_at(arrival, arrive, label=self._lbl_uplink)
 
     def _record_lost(self, frame: Frame, edge_id: str) -> None:
         self.stats.frames_lost += 1
@@ -763,7 +780,7 @@ class EdgeClient:
         if verdict is not None:
             delay += verdict.extra_delay_ms
         self.system.sim.schedule(
-            delay, lambda: node.leave(self.user_id), label=f"{self.user_id}.leave"
+            delay, lambda: node.leave(self.user_id), label=self._lbl_leave
         )
 
     def __repr__(self) -> str:

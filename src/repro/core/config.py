@@ -85,6 +85,25 @@ class SystemConfig:
             entry would otherwise inflate the node's what-if projection
             forever). None (the default) disables expiry.
         seed: root seed for all random streams.
+        cohort_batching: metro kernel only — advance whole cohorts of
+            same-phase clients per tick with array arithmetic instead of
+            one kernel event per frame. Both modes emit the same
+            trace-event multiset (tested); False exists for parity tests
+            and as the reference implementation.
+        cohort_tick_ms: width of the metro kernel's cohort tick window.
+            All control-plane activity (selection rounds, failures,
+            detections, shard epochs) is quantized to tick boundaries —
+            this is what makes batched and per-client stepping
+            equivalent.
+        metro_shards: number of independent geohash-sharded metro
+            kernels. 1 (the default) is bit-identical to the unsharded
+            kernel.
+        shard_workers: worker processes stepping shard kernels
+            (forked, sweep-executor style). 1 steps them serially in
+            process; results are identical either way.
+        boundary_epoch_ms: period of the cross-shard boundary channel
+            (ghost-load refresh + user handoffs). Must be a whole
+            multiple of ``cohort_tick_ms``.
     """
 
     top_n: int = 3
@@ -109,6 +128,13 @@ class SystemConfig:
     attachment_lease_ms: Optional[float] = None
     seed: int = 42
     policy_spec: Optional[str] = None
+    # Metro-kernel knobs (PR 7). Keyword-only: they are new surface and
+    # must never be reachable by positional construction.
+    cohort_batching: bool = field(default=True, kw_only=True)
+    cohort_tick_ms: float = field(default=250.0, kw_only=True)
+    metro_shards: int = field(default=1, kw_only=True)
+    shard_workers: int = field(default=1, kw_only=True)
+    boundary_epoch_ms: float = field(default=1_000.0, kw_only=True)
 
     def __post_init__(self) -> None:
         if self.use_global_overhead is not None:
@@ -157,6 +183,22 @@ class SystemConfig:
             raise ValueError("max_discovery_retries must be >= 0")
         if self.attachment_lease_ms is not None and self.attachment_lease_ms <= 0:
             raise ValueError("attachment_lease_ms must be positive when set")
+        if self.cohort_tick_ms <= 0:
+            raise ValueError(f"cohort_tick_ms must be positive: {self.cohort_tick_ms}")
+        if self.metro_shards < 1:
+            raise ValueError(f"metro_shards must be >= 1: {self.metro_shards}")
+        if self.shard_workers < 1:
+            raise ValueError(f"shard_workers must be >= 1: {self.shard_workers}")
+        if self.boundary_epoch_ms <= 0:
+            raise ValueError(
+                f"boundary_epoch_ms must be positive: {self.boundary_epoch_ms}"
+            )
+        ticks_per_epoch = self.boundary_epoch_ms / self.cohort_tick_ms
+        if abs(ticks_per_epoch - round(ticks_per_epoch)) > 1e-9 or ticks_per_epoch < 1:
+            raise ValueError(
+                "boundary_epoch_ms must be a whole multiple of cohort_tick_ms "
+                f"(got {self.boundary_epoch_ms} / {self.cohort_tick_ms})"
+            )
 
     @property
     def backup_count(self) -> int:
@@ -175,13 +217,19 @@ class SystemConfig:
         return "go"
 
     def with_top_n(self, top_n: int) -> "SystemConfig":
-        """Copy with a different ``TopN`` (used by the Fig. 9/10 sweeps)."""
+        """**Deprecated** — use ``with_(top_n=...)``.
+
+        Kept for one release as a warning shim; the single-field helper
+        predates the general :meth:`with_` copier.
+        """
+        warnings.warn(
+            "SystemConfig.with_top_n() is deprecated; use "
+            "config.with_(top_n=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return replace(self, top_n=top_n)
 
     def with_(self, **changes: object) -> "SystemConfig":
         """Copy with arbitrary field changes (validated)."""
         return replace(self, **changes)  # type: ignore[arg-type]
-
-
-#: Field kept for API symmetry with dataclasses' `field` import users.
-_ = field

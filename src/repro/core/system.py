@@ -263,6 +263,9 @@ class EdgeSystem:
         self.trace.emit(NodeFail(self.sim.now, node_id))
         self._record_population()
         detection = self.config.failure_detection_ms
+        # Hoisted out of the loop: a popular node schedules one detection
+        # per observing client, and they all share this label.
+        detect_label = node_id + ".detect"
 
         for client in list(self.clients.values()):
             if client.observes_node(node_id):
@@ -270,7 +273,7 @@ class EdgeSystem:
                 self.sim.schedule(
                     detection,
                     lambda h=handler: h(node_id),
-                    label=f"{node_id}.detect",
+                    label=detect_label,
                 )
 
     def restart_node(self, node_id: str) -> EdgeServer:

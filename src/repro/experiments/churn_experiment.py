@@ -151,7 +151,7 @@ def run_churn_trace(
     bin_ms: float = 5_000.0,
 ) -> ChurnTraceResult:
     """Reproduce Fig. 8 (TopN = 3, 10 static users)."""
-    config = (config or SystemConfig()).with_top_n(3)
+    config = (config or SystemConfig()).with_(top_n=3)
     result = run_churn_once(config)
     times: List[float] = []
     values: List[float] = []
@@ -195,7 +195,7 @@ def run_topn_sweep(
     trace = make_churn_trace(config)
     result = TopNSweepResult(top_ns=list(top_ns))
     for top_n in top_ns:
-        run = run_churn_once(config.with_top_n(top_n), trace=trace)
+        run = run_churn_once(config.with_(top_n=top_n), trace=trace)
         result.probes[top_n] = run.metrics.total_probes()
         result.test_invocations[top_n] = run.metrics.total_test_invocations()
         result.avg_latency_ms[top_n] = run.average_latency_ms(*window)
@@ -269,16 +269,16 @@ def run_fault_tolerance(
     config = config or SystemConfig()
     trace = make_churn_trace(config)
 
-    proactive = run_churn_once(config.with_top_n(3), trace=trace)
+    proactive = run_churn_once(config.with_(top_n=3), trace=trace)
     reactive = run_churn_once(
-        config.with_top_n(1), trace=trace, proactive_connections=False
+        config.with_(top_n=1), trace=trace, proactive_connections=False
     )
     pro_spikes = _recovery_downtimes(proactive.metrics)
     rea_spikes = _recovery_downtimes(reactive.metrics)
 
     failures: Dict[int, int] = {}
     for top_n in top_ns:
-        run = run_churn_once(config.with_top_n(top_n), trace=trace)
+        run = run_churn_once(config.with_(top_n=top_n), trace=trace)
         failures[top_n] = run.metrics.total_failures()
 
     return FaultToleranceResult(

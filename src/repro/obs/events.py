@@ -52,6 +52,7 @@ __all__ = [
     "SweepRunFinished",
     "SweepRunRetried",
     "SweepRunSkipped",
+    "ShardHandoff",
     "EVENT_TYPES",
     "GOLDEN_LIFECYCLE_TYPES",
     "PHASES",
@@ -440,6 +441,25 @@ class SweepRunSkipped(TraceEvent):
 
 
 # ----------------------------------------------------------------------
+# Metro kernel / sharding
+# ----------------------------------------------------------------------
+@dataclass
+class ShardHandoff(TraceEvent):
+    """A user migrated across the shard boundary channel.
+
+    Emitted by the owning shard when a re-selection round picked a
+    ghost-advertised node owned by another shard; the migration itself
+    completes at the next boundary epoch.
+    """
+
+    type: ClassVar[str] = "shard_handoff"
+    user_id: str
+    from_shard: str
+    to_shard: str
+    node_id: str
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
@@ -475,6 +495,7 @@ EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
         SweepRunFinished,
         SweepRunRetried,
         SweepRunSkipped,
+        ShardHandoff,
     )
 }
 

@@ -63,6 +63,60 @@ def _noop() -> None:
     return None
 
 
+class EventPool:
+    """A free-list of :class:`Event` objects for allocation-heavy loops.
+
+    The metro kernel's per-client fallback path schedules one event per
+    frame — tens of millions of short-lived ``Event`` allocations per
+    simulated hour. Recycling fired events through a bounded free-list
+    keeps that path off the allocator. Usage contract: events obtained
+    from :meth:`acquire` must be handed back via :meth:`release` only
+    after they have fired (or been cancelled *and* popped) — a pooled
+    event still sitting in a heap must never be reused.
+    """
+
+    __slots__ = ("_free", "_max_size", "acquired", "recycled")
+
+    def __init__(self, max_size: int = 4096) -> None:
+        if max_size < 0:
+            raise ValueError(f"max_size must be >= 0, got {max_size}")
+        self._free: List[Event] = []
+        self._max_size = max_size
+        #: Total acquire() calls (pool hits + fresh allocations).
+        self.acquired = 0
+        #: acquire() calls served from the free-list.
+        self.recycled = 0
+
+    def acquire(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], Any],
+        label: str = "",
+    ) -> Event:
+        """A reinitialised pooled event, or a fresh one if the pool is dry."""
+        self.acquired += 1
+        if self._free:
+            self.recycled += 1
+            event = self._free.pop()
+            event.time = time
+            event.seq = seq
+            event.callback = callback
+            event.cancelled = False
+            event.label = label
+            return event
+        return Event(time, seq, callback, label)
+
+    def release(self, event: Event) -> None:
+        """Return a fired event to the free-list (drops when full)."""
+        if len(self._free) < self._max_size:
+            event.callback = _noop  # break closure reference cycles early
+            self._free.append(event)
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+
 class EventQueue:
     """A stable min-heap of :class:`Event` objects."""
 
@@ -81,6 +135,18 @@ class EventQueue:
     def push(self, time: float, callback: Callable[[], Any], label: str = "") -> Event:
         """Schedule ``callback`` at absolute time ``time`` and return the event."""
         event = Event(time, next(self._counter), callback, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def push_pooled(
+        self,
+        pool: EventPool,
+        time: float,
+        callback: Callable[[], Any],
+        label: str = "",
+    ) -> Event:
+        """Schedule via ``pool.acquire`` instead of allocating a new event."""
+        event = pool.acquire(time, next(self._counter), callback, label)
         heapq.heappush(self._heap, event)
         return event
 

@@ -1,5 +1,6 @@
 """Tests for the command-line interface."""
 
+import json
 import re
 from pathlib import Path
 
@@ -210,3 +211,30 @@ def test_trace_summary_of_existing_file(tmp_path, capsys):
     assert "Latency-phase breakdown" in out
     assert "phase reconciliation + event ordering: OK" in out
     assert "timeline for u1" in out
+
+
+def test_bench_list_names_registered_benchmarks(capsys):
+    assert main(["bench", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("discovery", "steady_state", "metro"):
+        assert name in out
+    assert "bench_metro.py" in out
+
+
+def test_bench_run_unknown_name_fails():
+    with pytest.raises(KeyError, match="unknown benchmark"):
+        main(["bench", "run", "nope"])
+
+
+def test_bench_run_writes_scratch_not_baseline(tmp_path, capsys, monkeypatch):
+    out_path = tmp_path / "bench.json"
+    assert main([
+        "bench", "run", "metro", "--",
+        "--nodes", "200", "--users", "500", "--sim-seconds", "1",
+        "--skip-compare", "--output", str(out_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "wall-s per simulated second" in out
+    payload = json.loads(out_path.read_text())
+    assert "metro" in payload
+    assert payload["metro"]["wall_s_per_sim_s"] > 0

@@ -16,7 +16,8 @@ def test_defaults_are_paper_shaped():
 
 def test_with_top_n_copies():
     base = SystemConfig()
-    varied = base.with_top_n(5)
+    with pytest.warns(DeprecationWarning, match="with_top_n"):
+        varied = base.with_top_n(5)
     assert varied.top_n == 5
     assert base.top_n == 3
     assert varied.probing_period_ms == base.probing_period_ms
@@ -44,11 +45,36 @@ def test_with_arbitrary_changes_validated():
         {"qos_latency_ms": 0.0},
         {"perf_monitor_threshold": 0.0},
         {"max_discovery_retries": -1},
+        {"cohort_tick_ms": 0.0},
+        {"metro_shards": 0},
+        {"shard_workers": 0},
+        {"boundary_epoch_ms": -5.0},
+        # The boundary channel must fire on a tick boundary.
+        {"cohort_tick_ms": 300.0, "boundary_epoch_ms": 1_000.0},
+        {"cohort_tick_ms": 500.0, "boundary_epoch_ms": 250.0},
     ],
 )
 def test_invalid_configs_rejected(kwargs):
     with pytest.raises(ValueError):
         SystemConfig(**kwargs)
+
+
+def test_metro_knobs_are_keyword_only():
+    from dataclasses import fields
+
+    kw_only = {f.name for f in fields(SystemConfig) if f.kw_only}
+    assert {
+        "cohort_batching", "cohort_tick_ms", "metro_shards",
+        "shard_workers", "boundary_epoch_ms",
+    } <= kw_only
+
+
+def test_metro_knob_defaults_compose():
+    config = SystemConfig(cohort_tick_ms=125.0, boundary_epoch_ms=500.0,
+                          metro_shards=4, shard_workers=2)
+    assert config.boundary_epoch_ms / config.cohort_tick_ms == 4.0
+    assert config.metro_shards == 4
+    assert config.shard_workers == 2
 
 
 def test_qos_none_is_allowed():

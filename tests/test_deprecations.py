@@ -94,3 +94,16 @@ def test_metrics_record_shims_are_removed():
         "record_alive_nodes",
     ):
         assert not hasattr(collector, name), name
+
+
+def test_with_top_n_warns_and_still_works():
+    with pytest.warns(DeprecationWarning, match="with_top_n"):
+        varied = SystemConfig().with_top_n(5)
+    assert varied.top_n == 5
+    assert varied.backup_count == 4
+
+
+def test_with_does_not_warn():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        assert SystemConfig().with_(top_n=5).top_n == 5

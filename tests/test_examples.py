@@ -50,6 +50,14 @@ def test_live_cluster_runs(capsys):
     assert "Killing" in out
 
 
+def test_metro_scale_runs(capsys):
+    load_example("metro_scale.py").main()
+    out = capsys.readouterr().out
+    assert "5000 nodes, 20000 users, 2 shards" in out
+    assert "covered failovers" in out
+    assert "shard handoffs" in out
+
+
 @pytest.mark.slow
 def test_selection_strategies_runs(capsys):
     load_example("selection_strategies.py").main()

@@ -185,3 +185,60 @@ def test_common_prefix_length():
     assert gh.common_prefix_length("9zvxg", "9zabc") == 2
     assert gh.common_prefix_length("abc", "xyz") == 0
     assert gh.common_prefix_length("ABC", "abc") == 3  # case-insensitive
+
+
+# ----------------------------------------------------------------------
+# Vectorized integer cells (the metro kernel's fast path)
+# ----------------------------------------------------------------------
+@given(
+    st.floats(min_value=-89.9, max_value=89.9),
+    st.floats(min_value=-179.9, max_value=179.9),
+    st.integers(min_value=1, max_value=12),
+)
+def test_encode_cells_matches_scalar_encode(lat, lon, precision):
+    import numpy as np
+
+    cells = gh.encode_cells(
+        np.array([lat]), np.array([lon]), precision
+    )
+    assert gh.cell_to_geohash(int(cells[0]), precision) == gh.encode(
+        lat, lon, precision
+    )
+
+
+def test_cell_string_round_trip():
+    for s in ["9", "9z", "9zvxg", "cbj0u3h1", "000000000000"]:
+        assert gh.cell_to_geohash(gh.geohash_to_cell(s), len(s)) == s
+
+
+def test_cell_parent_is_prefix_truncation():
+    cell = gh.geohash_to_cell("9zvxg")
+    assert gh.cell_parent(cell) == gh.geohash_to_cell("9zvx")
+    assert gh.cell_parent(cell, levels=3) == gh.geohash_to_cell("9z")
+
+
+@given(
+    st.floats(min_value=-80.0, max_value=80.0),
+    st.floats(min_value=-179.9, max_value=179.9),
+    st.integers(min_value=2, max_value=8),
+)
+def test_cell_neighborhood_matches_string_neighbors(lat, lon, precision):
+    import numpy as np
+
+    cell = gh.encode_cells(np.array([lat]), np.array([lon]), precision)
+    block = gh.cell_neighborhood(cell, precision)
+    got = {gh.cell_to_geohash(int(c), precision) for c in block[0]}
+    want = set(gh.neighbors(gh.encode(lat, lon, precision)))
+    want.add(gh.encode(lat, lon, precision))
+    assert got == want
+
+
+def test_cell_neighborhood_wraps_longitude():
+    import numpy as np
+
+    cell = gh.encode_cells(np.array([0.0]), np.array([179.99]), 4)
+    block = gh.cell_neighborhood(cell, 4)
+    strings = {gh.cell_to_geohash(int(c), 4) for c in block[0]}
+    # The antimeridian neighborhood spans both hemispheres.
+    assert any(s.startswith("x") or s.startswith("r") for s in strings)
+    assert any(s.startswith("8") or s.startswith("2") for s in strings)

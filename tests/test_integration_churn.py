@@ -28,7 +28,7 @@ def test_trace_population_floor(trace):
 
 @pytest.fixture(scope="module")
 def churn_run(trace):
-    return run_churn_once(SystemConfig(seed=5).with_top_n(3), trace=trace)
+    return run_churn_once(SystemConfig(seed=5).with_(top_n=3), trace=trace)
 
 
 def test_users_keep_completing_frames_through_churn(churn_run):
@@ -70,14 +70,14 @@ def test_all_users_served_during_measurement_window(churn_run):
 
 
 def test_topn1_suffers_more_failures_than_topn3(trace):
-    one = run_churn_once(SystemConfig(seed=5).with_top_n(1), trace=trace)
-    three = run_churn_once(SystemConfig(seed=5).with_top_n(3), trace=trace)
+    one = run_churn_once(SystemConfig(seed=5).with_(top_n=1), trace=trace)
+    three = run_churn_once(SystemConfig(seed=5).with_(top_n=3), trace=trace)
     assert one.metrics.total_failures() > three.metrics.total_failures()
 
 
 def test_same_trace_same_seed_reproduces(trace):
-    a = run_churn_once(SystemConfig(seed=5).with_top_n(2), trace=trace)
-    b = run_churn_once(SystemConfig(seed=5).with_top_n(2), trace=trace)
+    a = run_churn_once(SystemConfig(seed=5).with_(top_n=2), trace=trace)
+    b = run_churn_once(SystemConfig(seed=5).with_(top_n=2), trace=trace)
     assert a.metrics.total_probes() == b.metrics.total_probes()
     assert a.metrics.total_failures() == b.metrics.total_failures()
     assert len(a.metrics.frames) == len(b.metrics.frames)

@@ -62,3 +62,49 @@ def test_atomic_write_text_roundtrip(tmp_path):
     atomic_write_text(path, "replaced\n")
     assert path.read_text() == "replaced\n"
     assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+
+# ----------------------------------------------------------------------
+# The perf-benchmark registry behind `repro bench`
+# ----------------------------------------------------------------------
+def test_registry_scripts_all_exist():
+    from repro.metrics.bench import PERF_BENCHMARKS, perf_bench_dir
+
+    perf = perf_bench_dir()
+    for name, script in PERF_BENCHMARKS.items():
+        assert (perf / script).is_file(), f"{name} -> {script}"
+
+
+def test_perf_bench_dir_walks_up(tmp_path):
+    from repro.metrics.bench import perf_bench_dir
+
+    (tmp_path / "benchmarks" / "perf").mkdir(parents=True)
+    nested = tmp_path / "a" / "b"
+    nested.mkdir(parents=True)
+    assert perf_bench_dir(nested) == tmp_path / "benchmarks" / "perf"
+
+
+def test_run_perf_bench_rejects_unknown_name():
+    from repro.metrics.bench import run_perf_bench
+
+    with pytest.raises(KeyError, match="unknown benchmark"):
+        run_perf_bench("no_such_bench")
+
+
+def test_run_perf_bench_invokes_script_main(tmp_path):
+    from repro.metrics.bench import run_perf_bench
+
+    perf = tmp_path / "benchmarks" / "perf"
+    perf.mkdir(parents=True)
+    (perf / "bench_discovery.py").write_text(
+        "import json, sys\n"
+        "def main(argv):\n"
+        "    json.dump(argv, open(argv[argv.index('--output') + 1], 'w'))\n"
+        "    return 0\n"
+    )
+    out = tmp_path / "result.json"
+    rc = run_perf_bench(
+        "discovery", ["--output", str(out)], perf_dir=perf
+    )
+    assert rc == 0
+    assert json.loads(out.read_text()) == ["--output", str(out)]

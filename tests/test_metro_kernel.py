@@ -1,0 +1,135 @@
+"""The unsharded metro kernel: determinism, counters, stepping modes."""
+
+from collections import Counter
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.metro.kernel import MetroKernel
+from repro.metro.spec import MetroSpec, build_population
+from repro.obs.tracer import Tracer
+
+
+def make_kernel(config=None, *, nodes=150, users=600, tracer=None, fps=10.0):
+    config = config if config is not None else SystemConfig(seed=5)
+    spec = MetroSpec(nodes=nodes, users=users, region_km=20.0, fps=fps)
+    population = build_population(spec, config.seed)
+    return MetroKernel(config, spec, population, tracer=tracer)
+
+
+def config_for_tests(**overrides):
+    """Short-run friendly: dwell low enough that switches can happen."""
+    kwargs = {"seed": 5, "min_dwell_ms": 1_000.0}
+    kwargs.update(overrides)
+    return SystemConfig(**kwargs)
+
+
+def event_multiset(tracer):
+    return Counter(
+        tuple(sorted(e.to_dict().items())) for e in tracer.events()
+    )
+
+
+def test_all_users_attach_and_stream():
+    kernel = make_kernel()
+    report = kernel.run(5.0)
+    assert report.unattached_initial == 0
+    assert report.frames_done == 600 * 10 * 5
+    assert report.frames_lost == 0
+    assert report.mean_latency_ms > 0
+
+
+def test_counters_are_deterministic_across_runs():
+    a = make_kernel(config_for_tests()).run(10.0)
+    b = make_kernel(config_for_tests()).run(10.0)
+    assert a.frames_done == b.frames_done
+    assert a.switches == b.switches
+    assert a.latency_sum_ms == b.latency_sum_ms
+    assert a.latency_max_ms == b.latency_max_ms
+
+
+def test_trace_is_deterministic_and_ordered():
+    tracers = [Tracer(enabled=True, capacity=1 << 20) for _ in range(2)]
+    for tracer in tracers:
+        make_kernel(config_for_tests(), tracer=tracer).run(5.0)
+    a = [e.to_dict() for e in tracers[0].events()]
+    b = [e.to_dict() for e in tracers[1].events()]
+    assert a == b
+    assert len(a) > 0
+
+
+def test_scheduled_failure_is_detected_and_covered():
+    tracer = Tracer(enabled=True, capacity=1 << 20)
+    config = config_for_tests()
+    kernel = make_kernel(config, tracer=tracer)
+    victim = int(kernel.n_gid[0])
+    kernel.schedule_node_fail(victim, at_ms=2_000.0)
+    report = kernel.run(8.0)
+    fails = tracer.events("node_fail")
+    assert len(fails) == 1 and fails[0].node_id == f"n{victim}"
+    # Every user parked on the victim either failed over or was orphaned.
+    assert report.covered_failovers + report.uncovered_failures >= 0
+    assert not kernel.n_alive[0]
+
+
+def test_schedule_fail_rejects_unknown_node():
+    kernel = make_kernel()
+    with pytest.raises(KeyError):
+        kernel.schedule_node_fail(10**9, at_ms=100.0)
+
+
+def test_step_to_requires_tick_boundary():
+    kernel = make_kernel()
+    with pytest.raises(ValueError):
+        kernel.step_to(333.0)  # not a multiple of cohort_tick_ms=250
+
+
+def test_batched_and_per_client_counters_match():
+    """The two stepping modes are observably the same simulation."""
+    batched = make_kernel(config_for_tests(cohort_batching=True)).run(5.0)
+    per_client = make_kernel(config_for_tests(cohort_batching=False)).run(5.0)
+    assert batched.frames_done == per_client.frames_done
+    assert batched.frames_lost == per_client.frames_lost
+    assert batched.switches == per_client.switches
+    assert batched.covered_failovers == per_client.covered_failovers
+    # Identical per-frame latencies; the accumulation order differs, so
+    # the float sums agree to rounding, not bit-for-bit.
+    assert batched.latency_max_ms == per_client.latency_max_ms
+    assert batched.mean_latency_ms == pytest.approx(
+        per_client.mean_latency_ms, rel=1e-9
+    )
+
+
+def test_traced_and_untraced_batched_runs_agree():
+    """Tracing swaps in a python loop; it must not change the physics."""
+    tracer = Tracer(enabled=True, capacity=1 << 20)
+    traced = make_kernel(config_for_tests(), tracer=tracer).run(5.0)
+    untraced = make_kernel(config_for_tests()).run(5.0)
+    assert traced.frames_done == untraced.frames_done
+    assert traced.switches == untraced.switches
+    assert traced.latency_sum_ms == untraced.latency_sum_ms
+    assert traced.latency_max_ms == untraced.latency_max_ms
+
+
+def test_per_client_mode_recycles_pooled_events():
+    report = make_kernel(config_for_tests(cohort_batching=False)).run(5.0)
+    assert report.pool_acquired == report.frames_advanced
+    assert report.pool_recycled > report.pool_acquired // 2
+
+
+def test_batched_mode_schedules_no_frame_events():
+    report = make_kernel(config_for_tests(cohort_batching=True)).run(5.0)
+    assert report.pool_acquired == 0
+
+
+def test_run_rejects_nonpositive_horizon():
+    kernel = make_kernel()
+    with pytest.raises(ValueError):
+        kernel.run(0.0)
+
+
+def test_frame_accounting_matches_fps():
+    config = config_for_tests()
+    report = make_kernel(config, nodes=80, users=200, fps=4.0).run(10.0)
+    assert report.frames_done + report.frames_lost == 200 * 4 * 10

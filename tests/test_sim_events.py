@@ -145,3 +145,62 @@ def test_large_random_workload_stays_ordered():
         previous = event.time
         count += 1
     assert count == 5_000
+
+
+# ----------------------------------------------------------------------
+# EventPool: recycled events must be indistinguishable from fresh ones.
+# ----------------------------------------------------------------------
+def test_pool_recycles_released_events():
+    from repro.sim.events import EventPool
+
+    pool = EventPool(max_size=8)
+    queue = EventQueue()
+    fired = []
+    first = queue.push_pooled(pool, 1.0, lambda: fired.append("a"), "a")
+    queue.pop().callback()
+    pool.release(first)
+    second = queue.push_pooled(pool, 2.0, lambda: fired.append("b"), "b")
+    assert second is first  # same object, reinitialized
+    assert second.time == 2.0 and second.label == "b"
+    assert not second.cancelled
+    queue.pop().callback()
+    assert fired == ["a", "b"]
+    assert pool.acquired == 2 and pool.recycled == 1
+
+
+def test_pool_respects_max_size():
+    from repro.sim.events import EventPool
+
+    pool = EventPool(max_size=1)
+    queue = EventQueue()
+    events = [queue.push_pooled(pool, float(i), lambda: None) for i in range(3)]
+    while queue.pop() is not None:
+        pass
+    for event in events:
+        pool.release(event)
+    # Only one slot: two of the three releases were dropped.
+    recycled = [queue.push_pooled(pool, 9.0, lambda: None) for _ in range(3)]
+    assert sum(1 for e in recycled if e in events) == 1
+    assert pool.recycled == 1
+
+
+def test_pooled_events_interleave_with_plain_pushes():
+    from repro.sim.events import EventPool
+
+    pool = EventPool()
+    queue = EventQueue()
+    order = []
+    queue.push(2.0, lambda: order.append("plain"))
+    queue.push_pooled(pool, 1.0, lambda: order.append("pooled"))
+    for _ in range(2):
+        queue.pop().callback()
+    assert order == ["pooled", "plain"]
+
+
+def test_pool_rejects_negative_max_size():
+    from repro.sim.events import EventPool
+
+    import pytest
+
+    with pytest.raises(ValueError):
+        EventPool(max_size=-1)

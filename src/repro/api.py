@@ -135,6 +135,7 @@ class ScenarioBuilder:
         self._observe_profile_kernel = False
         self._metro_spec: Optional[MetroSpec] = None
         self._shard_overrides: dict = {}
+        self._control_plane: Optional[Tuple[int, int]] = None
 
     # ------------------------------------------------------------------
     # Defaults
@@ -193,6 +194,33 @@ class ScenarioBuilder:
         self._observe_sink = sink
         self._observe_capacity = capacity
         self._observe_profile_kernel = profile_kernel
+        return self
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def control_plane(
+        self, *, shards: int = 1, replicas: int = 1
+    ) -> "ScenarioBuilder":
+        """Run the Central Manager as a sharded, replicated control plane.
+
+        ``shards`` partitions the registry by geohash range behind a
+        deterministic router (cross-shard discovery merges to the exact
+        single-manager TopN — bit-identical, held by a property test);
+        ``replicas`` adds per-shard standbys that a shard-targeted
+        outage promotes after the failure-detection window. The default
+        ``shards=1, replicas=1`` builds the plain single manager, and a
+        ``control_plane(shards=1, replicas=1)`` system behaves
+        bit-identically to one that never called this method::
+
+            ScenarioBuilder(config).control_plane(shards=4, replicas=2)
+
+        Overlays ``SystemConfig.control_plane_shards`` /
+        ``control_plane_replicas`` at build time.
+        """
+        if shards < 1 or replicas < 1:
+            raise ValueError("control_plane needs shards >= 1 and replicas >= 1")
+        self._control_plane = (shards, replicas)
         return self
 
     # ------------------------------------------------------------------
@@ -397,8 +425,16 @@ class ScenarioBuilder:
                 capacity=self._observe_capacity,
                 sink=as_sink(self._observe_sink),
             )
+        config = self._config
+        if self._control_plane is not None:
+            shards, replicas = self._control_plane
+            config = replace(
+                config if config is not None else SystemConfig(),
+                control_plane_shards=shards,
+                control_plane_replicas=replicas,
+            )
         system = EdgeSystem(
-            self._config,
+            config,
             topology=self._topology,
             app=self._app,
             manager_point=self._manager_point,

@@ -287,6 +287,43 @@ def cmd_chaos(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def cmd_controlplane(args: argparse.Namespace) -> None:
+    from repro.faults.scenarios import run_sim_controlplane_chaos
+
+    report, events = run_sim_controlplane_chaos(
+        args.seed,
+        shards=args.shards,
+        replicas=args.replicas,
+        horizon_ms=args.horizon_ms,
+    )
+    if args.out:
+        from repro.obs.tracer import JsonlSink
+
+        sink = JsonlSink(args.out)
+        try:
+            for event in events:
+                sink.write(event)
+        finally:
+            sink.close()
+        print(f"trace: {len(events)} events -> {args.out}")
+    for line in report.summary_lines():
+        print(line)
+    print(
+        "control plane: "
+        + ", ".join(
+            f"{kind}={report.event_counts.get(kind, 0)}"
+            for kind in (
+                "shard_route",
+                "shard_merge",
+                "manager_promote",
+                "registry_handoff",
+            )
+        )
+    )
+    if not report.ok:
+        raise SystemExit(1)
+
+
 def cmd_trace(args: argparse.Namespace) -> None:
     from repro.obs.analyze import TraceAnalyzer, load_trace, validate_event_order
 
@@ -628,6 +665,9 @@ COMMANDS = {
     "fig10": (cmd_fig10, "Fig. 10 fault tolerance"),
     "qos": (cmd_qos, "QoS admission extension"),
     "chaos": (cmd_chaos, "seeded fault-injection run with recovery checks"),
+    "controlplane": (cmd_controlplane,
+                     "sharded control-plane chaos: kill shard primaries, "
+                     "check promotion + recovery"),
     "trace": (cmd_trace, "capture/summarize a structured trace"),
     "sweep": (cmd_sweep, "parallel, resumable experiment sweeps"),
     "policy": (cmd_policy, "inspect the selection-policy registry"),
@@ -744,6 +784,23 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument(
                 "--run", choices=("sim", "live"), default="sim",
                 help="which backend to drive through the canonical plan",
+            )
+            sub.add_argument(
+                "--horizon-ms", type=float, default=20_000.0,
+                help="scenario length in application milliseconds",
+            )
+            sub.add_argument(
+                "--out", default=None, metavar="PATH",
+                help="also dump the full trace as JSONL",
+            )
+        if name == "controlplane":
+            sub.add_argument(
+                "--shards", type=int, default=2,
+                help="control-plane shard count",
+            )
+            sub.add_argument(
+                "--replicas", type=int, default=2,
+                help="replicas per shard (2+ exercises promotion)",
             )
             sub.add_argument(
                 "--horizon-ms", type=float, default=20_000.0,

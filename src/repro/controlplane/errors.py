@@ -1,0 +1,25 @@
+"""Control-plane exceptions.
+
+Kept import-free so any layer (including ``repro.core.client``, which
+must translate this into the ``DiscoveryFailed`` → degraded-fallback
+path) can import it without cycles.
+"""
+
+__all__ = ["ControlPlaneUnavailable"]
+
+
+class ControlPlaneUnavailable(RuntimeError):
+    """A discovery touched a shard with no serving replica.
+
+    Semantically the sharded analogue of "the Central Manager is
+    unreachable": callers must treat it exactly like a discovery
+    timeout (clients fall back to cached candidates and backups), never
+    like an empty candidate list.
+    """
+
+    def __init__(self, shard: int, reason: str = "shard_unavailable") -> None:
+        super().__init__(
+            f"control-plane shard {shard} has no serving replica ({reason})"
+        )
+        self.shard = shard
+        self.reason = reason

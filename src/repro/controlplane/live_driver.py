@@ -1,0 +1,440 @@
+"""Sharded Central Manager — live (asyncio) driver over the control plane.
+
+Two pieces:
+
+- :class:`RouterServer` — a TCP front speaking the *manager* wire
+  protocol (``heartbeat`` / ``discover`` / ``status``), so an unmodified
+  :class:`~repro.runtime.client_runtime.LiveClient` or
+  :class:`~repro.runtime.edge_server.LiveEdgeServer` pointed at it
+  cannot tell it from a single :class:`ManagerServer`. Behind the front
+  it runs the same sans-IO :class:`~repro.controlplane.router.ShardRouter`
+  as the sim driver: heartbeats forward to every alive replica of the
+  owning shard, discovery fans ``discover_partial`` phases out to the
+  covering shards' primaries and merges the global TopN.
+
+- :class:`ControlPlaneCluster` — a loopback harness that boots
+  ``shards x replicas`` real :class:`ManagerServer` processes plus one
+  RouterServer, with kill/restart primitives for the chaos tests.
+
+Failure model: the router has no heartbeat channel to the managers —
+failure detection *is* the failed RPC. A ``discover_partial`` (or
+forwarded heartbeat) that errors marks the replica down; if it was the
+shard's primary the lowest alive standby is promoted immediately
+(``manager_promote``, reason ``unreachable``) and the fetch retries on
+the new primary within the same client request. A shard with no alive
+replica makes the router *close the connection without replying* — the
+client's discovery errors, feeding ``DiscoveryFailed`` into its
+machine, which rides the existing degraded-fallback path exactly as a
+whole-manager outage would.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.controlplane.errors import ControlPlaneUnavailable
+from repro.controlplane.router import PartialSelection, ShardRouter
+from repro.controlplane.sharding import DEFAULT_SHARD_PRECISION, ShardMap
+from repro.core.messages import CandidateList, DiscoveryQuery, NodeStatus, from_wire, to_wire
+from repro.core.policies.global_policies import GlobalSelectionPolicy
+from repro.obs.events import ManagerPromote, RegistryHandoff, ShardMerge, ShardRoute
+from repro.obs.tracer import Tracer
+from repro.runtime import protocol
+from repro.runtime.manager_server import ManagerServer
+
+__all__ = ["RouterServer", "ControlPlaneCluster"]
+
+#: An ``(host, port)`` pair of one manager replica.
+Address = Tuple[str, int]
+
+
+class RouterServer:
+    """The control plane's client-facing front: route, fan out, merge."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        shard_map: ShardMap,
+        replica_addresses: Sequence[Sequence[Address]],
+        policy: Optional[GlobalSelectionPolicy] = None,
+        tracer: Optional[Tracer] = None,
+        request_timeout_s: float = 1.0,
+    ) -> None:
+        if len(replica_addresses) != shard_map.count:
+            raise ValueError(
+                f"need one replica list per shard: got {len(replica_addresses)} "
+                f"for {shard_map.count} shards"
+            )
+        self.host = host
+        self.port = port
+        self.shard_map = shard_map
+        self.tracer = tracer if tracer is not None else Tracer.disabled()
+        self.request_timeout_s = request_timeout_s
+        self.router = ShardRouter(shard_map, policy or GlobalSelectionPolicy())
+        self._replicas: List[List[Address]] = [
+            list(addresses) for addresses in replica_addresses
+        ]
+        self._primary: List[int] = [0] * shard_map.count
+        self._down: List[Set[int]] = [set() for _ in range(shard_map.count)]
+        #: node id -> serving address, refreshed from heartbeats.
+        self._addresses: Dict[str, Address] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.queries_served = 0
+        self.heartbeats_received = 0
+        self.promotions = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # Replica bookkeeping
+    # ------------------------------------------------------------------
+    def serving_primary(self, shard: int) -> Optional[int]:
+        """The replica currently serving ``shard`` (None = unavailable)."""
+        primary = self._primary[shard]
+        return None if primary in self._down[shard] else primary
+
+    def mark_down(self, shard: int, replica: int) -> None:
+        self._down[shard].add(replica)
+
+    def mark_up(self, shard: int, replica: int) -> None:
+        self._down[shard].discard(replica)
+
+    def _promote(self, shard: int, reason: str) -> Optional[int]:
+        """Promote the lowest alive standby; None when all are down."""
+        alive = [
+            index
+            for index in range(len(self._replicas[shard]))
+            if index not in self._down[shard]
+        ]
+        if not alive:
+            return None
+        self._primary[shard] = alive[0]
+        self.promotions += 1
+        self.tracer.emit(
+            ManagerPromote(
+                self.tracer.now(), shard=shard, replica=alive[0], reason=reason
+            )
+        )
+        return alive[0]
+
+    async def _fetch_partial(
+        self, query: DiscoveryQuery, shard: int, radius_km: float
+    ) -> PartialSelection:
+        """One ``discover_partial`` phase against ``shard``'s primary.
+
+        A dead primary is detected by the failed RPC itself: the replica
+        is marked down, a standby promoted, and the fetch retried on the
+        new primary — all within the caller's request.
+
+        Raises:
+            ControlPlaneUnavailable: every replica of the shard is down.
+        """
+        while True:
+            replica = self.serving_primary(shard)
+            if replica is None:
+                replica_or_none = self._promote(shard, reason="unreachable")
+                if replica_or_none is None:
+                    raise ControlPlaneUnavailable(shard)
+                replica = replica_or_none
+            host, port = self._replicas[shard][replica]
+            try:
+                reply = await protocol.request(
+                    host,
+                    port,
+                    "discover_partial",
+                    {"query": to_wire(query), "radius_km": radius_km},
+                    timeout=self.request_timeout_s,
+                )
+            except (OSError, protocol.ProtocolError, asyncio.TimeoutError):
+                self.mark_down(shard, replica)
+                continue
+            statuses = tuple(from_wire(s) for s in reply["statuses"])
+            for node_id, address in reply.get("addresses", {}).items():
+                self._addresses[node_id] = (address[0], address[1])
+            return PartialSelection(
+                shard=shard, count=int(reply["count"]), statuses=statuses
+            )
+
+    # ------------------------------------------------------------------
+    # Wire surface (manager-compatible)
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                frame = await protocol.read_frame(reader)
+                if frame is None:
+                    break
+                reply = await self._dispatch(frame)
+                if reply is None:
+                    # Unavailable shard: hang up instead of answering —
+                    # the client's request errors and its machine takes
+                    # the DiscoveryFailed / degraded-fallback path.
+                    break
+                writer.write(protocol.encode_frame("reply", reply))
+                await writer.drain()
+        except (protocol.ProtocolError, ConnectionResetError):
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                # CancelledError: server teardown raced the hang-up —
+                # the socket is gone either way, so end the task clean.
+                pass
+
+    async def _dispatch(self, frame: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        op = frame["op"]
+        payload = frame["payload"]
+        if op == "heartbeat":
+            return await self._on_heartbeat(payload)
+        if op == "discover":
+            return await self._on_discover(payload)
+        if op == "status":
+            return {
+                "ok": True,
+                "nodes": sorted(self._addresses),
+                "queries_served": self.queries_served,
+                "heartbeats_received": self.heartbeats_received,
+                "promotions": self.promotions,
+                "primaries": list(self._primary),
+                "down": [sorted(d) for d in self._down],
+            }
+        return {"ok": False, "error": f"unknown op: {op!r}"}
+
+    async def _on_heartbeat(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        status = from_wire(payload["status"])
+        assert isinstance(status, NodeStatus)
+        self.heartbeats_received += 1
+        self._addresses[status.node_id] = (payload["host"], payload["port"])
+        shard = self.router.owner_of(status)
+        delivered = 0
+        for replica, (host, port) in enumerate(self._replicas[shard]):
+            if replica in self._down[shard]:
+                continue
+            try:
+                await protocol.request(
+                    host, port, "heartbeat", payload, timeout=self.request_timeout_s
+                )
+                delivered += 1
+            except (OSError, protocol.ProtocolError, asyncio.TimeoutError):
+                self.mark_down(shard, replica)
+        if self.serving_primary(shard) is None:
+            self._promote(shard, reason="unreachable")
+        return {"ok": True, "delivered": delivered}
+
+    async def _on_discover(self, payload: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        query = from_wire(payload["query"])
+        assert isinstance(query, DiscoveryQuery)
+        self.queries_served += 1
+        geo = self.router.policy.geo_filter
+        local_shards, wide_shards = self.router.plan(query)
+        try:
+            local = [
+                await self._fetch_partial(query, shard, geo.radius_km)
+                for shard in local_shards
+            ]
+            wide: Optional[List[PartialSelection]] = None
+            if self.router.needs_widening(query, local):
+                wide = [
+                    await self._fetch_partial(query, shard, geo.wide_radius_km)
+                    for shard in wide_shards
+                ]
+        except ControlPlaneUnavailable:
+            return None
+        routed = self.router.merge(query, local, wide)
+        if self.tracer.enabled:
+            now = self.tracer.now()
+            self.tracer.emit(
+                ShardRoute(
+                    now,
+                    user_id=query.user_id,
+                    shards=routed.shards_queried,
+                    epoch=self.shard_map.epoch,
+                    cross_shard=routed.cross_shard,
+                )
+            )
+            if routed.cross_shard:
+                self.tracer.emit(
+                    ShardMerge(
+                        now,
+                        user_id=query.user_id,
+                        shards=len(routed.shards_queried),
+                        pool=routed.pool,
+                        widened=routed.widened,
+                    )
+                )
+        candidates = CandidateList(
+            user_id=query.user_id,
+            node_ids=routed.node_ids,
+            widened=routed.widened,
+        )
+        return {
+            "ok": True,
+            "candidates": to_wire(candidates),
+            "addresses": {
+                node_id: list(self._addresses[node_id])
+                for node_id in routed.node_ids
+                if node_id in self._addresses
+            },
+        }
+
+
+class ControlPlaneCluster:
+    """``shards x replicas`` real managers behind one router, loopback.
+
+    The chaos harness for the live control plane: :meth:`kill_primary`
+    stops a shard's serving :class:`ManagerServer` outright (the router
+    discovers this the hard way, via a failed RPC) and
+    :meth:`restart_replica` brings the process back on its old port,
+    re-seeded from the current primary's deduplicated snapshot (a
+    ``registry_handoff``).
+    """
+
+    def __init__(
+        self,
+        *,
+        shards: int = 2,
+        replicas: int = 2,
+        policy: Optional[GlobalSelectionPolicy] = None,
+        tracer: Optional[Tracer] = None,
+        heartbeat_timeout_s: float = 3.0,
+        request_timeout_s: float = 1.0,
+        shard_precision: int = DEFAULT_SHARD_PRECISION,
+    ) -> None:
+        if shards < 1 or replicas < 1:
+            raise ValueError("shards and replicas must both be >= 1")
+        self.tracer = tracer if tracer is not None else Tracer.disabled()
+        self.policy = policy
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.request_timeout_s = request_timeout_s
+        self.shard_map = ShardMap(count=shards, precision=shard_precision)
+        self.managers: List[List[Optional[ManagerServer]]] = [
+            [None] * replicas for _ in range(shards)
+        ]
+        self._ports: List[List[int]] = [[0] * replicas for _ in range(shards)]
+        self.router: Optional[RouterServer] = None
+
+    @property
+    def address(self) -> Address:
+        """Where clients and edges should point their "manager"."""
+        assert self.router is not None
+        return (self.router.host, self.router.port)
+
+    async def start(self) -> None:
+        for shard in range(self.shard_map.count):
+            for replica in range(len(self.managers[shard])):
+                server = ManagerServer(
+                    policy=self.policy,
+                    heartbeat_timeout_s=self.heartbeat_timeout_s,
+                    tracer=Tracer.disabled(),
+                )
+                await server.start()
+                self.managers[shard][replica] = server
+                self._ports[shard][replica] = server.port
+        self.router = RouterServer(
+            shard_map=self.shard_map,
+            replica_addresses=[
+                [("127.0.0.1", port) for port in ports] for ports in self._ports
+            ],
+            policy=self.policy,
+            tracer=self.tracer,
+            request_timeout_s=self.request_timeout_s,
+        )
+        await self.router.start()
+
+    async def stop(self) -> None:
+        if self.router is not None:
+            await self.router.stop()
+            self.router = None
+        for shard_servers in self.managers:
+            for replica, server in enumerate(shard_servers):
+                if server is not None:
+                    await server.stop()
+                    shard_servers[replica] = None
+
+    # ------------------------------------------------------------------
+    # Chaos primitives
+    # ------------------------------------------------------------------
+    async def kill_primary(self, shard: int) -> int:
+        """Stop the shard's serving manager; returns the replica index."""
+        assert self.router is not None
+        replica = self.router.serving_primary(shard)
+        if replica is None:
+            raise RuntimeError(f"shard {shard} has no serving primary to kill")
+        server = self.managers[shard][replica]
+        assert server is not None
+        await server.stop()
+        self.managers[shard][replica] = None
+        return replica
+
+    async def restart_replica(self, shard: int, replica: int) -> None:
+        """Restart a killed replica on its old port and re-seed it.
+
+        The returning process is empty; it rejoins as a standby, its
+        registry restored from the current primary's snapshot so no
+        tombstone or stale incarnation can travel (the snapshot is
+        deduplicated at the source).
+        """
+        assert self.router is not None
+        if self.managers[shard][replica] is not None:
+            raise RuntimeError(f"shard {shard} replica {replica} is running")
+        server = ManagerServer(
+            port=self._ports[shard][replica],
+            policy=self.policy,
+            heartbeat_timeout_s=self.heartbeat_timeout_s,
+            tracer=Tracer.disabled(),
+        )
+        await server.start()
+        self.managers[shard][replica] = server
+        entries = 0
+        serving = self.router.serving_primary(shard)
+        if serving is not None and serving != replica:
+            host, port = ("127.0.0.1", self._ports[shard][serving])
+            snapshot = await protocol.request(
+                host, port, "snapshot", {}, timeout=self.request_timeout_s
+            )
+            restored = await protocol.request(
+                "127.0.0.1",
+                server.port,
+                "restore",
+                {
+                    "statuses": snapshot["statuses"],
+                    "stamps": snapshot["stamps"],
+                    "wrr": snapshot["wrr"],
+                    "addresses": snapshot["addresses"],
+                },
+                timeout=self.request_timeout_s,
+            )
+            entries = int(restored["entries"])
+            self.tracer.emit(
+                RegistryHandoff(
+                    self.tracer.now(),
+                    source=f"shard{shard}/r{serving}",
+                    target=f"shard{shard}/r{replica}",
+                    entries=entries,
+                    epoch=self.shard_map.epoch,
+                    reason="rejoin",
+                )
+            )
+        self.router.mark_up(shard, replica)

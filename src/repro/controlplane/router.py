@@ -1,0 +1,159 @@
+"""Sans-IO request router: shard fan-out and cross-shard TopN merge.
+
+The router owns exactly the logic a single manager's
+``GlobalSelectionPolicy.select`` runs in one process, decomposed into
+fixed-radius phases the shards can answer independently:
+
+1. fan out at ``radius_km`` to the shards covering the query disc;
+2. if the summed exact in-radius counts reach ``top_n``, merge; else
+3. fan out at ``wide_radius_km`` and keep the wide result only when it
+   is strictly larger (the single-manager widening rule, verbatim);
+4. cut the global TopN from the concatenated per-shard TopNs with the
+   same ``heapq.nsmallest`` + total-order key.
+
+Bit-identity argument: the shards partition the registry, a node within
+radius lies in a covering cell so its owner shard is queried, any
+member of the global TopN is beaten by fewer than ``top_n`` candidates
+globally — hence within its own shard — so it survives into its
+shard's local TopN; and the summed counts equal the single manager's
+``len(local)``/``len(wide)`` exactly, replaying the widening decision.
+Unique node ids plus the node-id tie-breaker in the sort key make the
+merged order a total order independent of shard interleaving. A
+hypothesis property test holds this bit-for-bit.
+
+Transport-free by design: drivers supply ``fetch(shard, radius_km)``.
+The sim driver calls machines synchronously; the live driver resolves
+the same two phases with awaited socket requests via
+:meth:`ShardRouter.plan`/:meth:`ShardRouter.merge`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence, Tuple, cast
+
+from repro.controlplane.sharding import ShardMap
+from repro.geo import geohash as gh
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.core.messages import DiscoveryQuery, NodeStatus
+    from repro.core.policies.global_policies import GlobalSelectionPolicy
+
+__all__ = ["PartialSelection", "RoutedSelection", "ShardRouter"]
+
+
+@dataclass(frozen=True)
+class PartialSelection:
+    """One shard's answer to one fixed-radius phase: its exact in-radius
+    count plus its local TopN statuses."""
+
+    shard: int
+    count: int
+    statuses: Tuple["NodeStatus", ...]
+
+
+@dataclass(frozen=True)
+class RoutedSelection:
+    """The merged discovery answer plus routing metadata for obs/bench."""
+
+    node_ids: Tuple[str, ...]
+    widened: bool
+    epoch: int
+    local_shards: Tuple[int, ...]
+    wide_shards: Tuple[int, ...]
+    pool: int
+
+    @property
+    def shards_queried(self) -> Tuple[int, ...]:
+        return tuple(sorted(set(self.local_shards) | set(self.wide_shards)))
+
+    @property
+    def cross_shard(self) -> bool:
+        return len(self.shards_queried) > 1
+
+
+#: Driver-supplied transport: answer one (shard, radius) phase. Raises
+#: (typically ``ControlPlaneUnavailable``) when the shard cannot serve.
+Fetch = Callable[[int, float], PartialSelection]
+
+
+class ShardRouter:
+    """Routes heartbeats to owners and discovery to covering shards."""
+
+    def __init__(self, shard_map: ShardMap, policy: "GlobalSelectionPolicy") -> None:
+        self.shard_map = shard_map
+        self.policy = policy
+
+    # ------------------------------------------------------------------
+    # Heartbeat / registration routing
+    # ------------------------------------------------------------------
+    def owner_of(self, status: "NodeStatus") -> int:
+        """The shard owning a node's registry entry (by its geohash)."""
+        return self.shard_map.owner_of_geohash(status.geohash)
+
+    # ------------------------------------------------------------------
+    # Discovery fan-out
+    # ------------------------------------------------------------------
+    def shards_for(self, query: "DiscoveryQuery", radius_km: float) -> Tuple[int, ...]:
+        """Shards whose ranges the query's covering cells intersect."""
+        cells = gh.covering_cells(query.point, radius_km)
+        return self.shard_map.owners_for_cells(cells)
+
+    def plan(self, query: "DiscoveryQuery") -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """(local-phase shards, wide-phase shards) for ``query``."""
+        geo = self.policy.geo_filter
+        return (
+            self.shards_for(query, geo.radius_km),
+            self.shards_for(query, geo.wide_radius_km),
+        )
+
+    def needs_widening(self, query: "DiscoveryQuery", local: Sequence[PartialSelection]) -> bool:
+        """Whether the single-manager rule would try the wide radius."""
+        return sum(p.count for p in local) < query.top_n
+
+    def merge(
+        self,
+        query: "DiscoveryQuery",
+        local: Sequence[PartialSelection],
+        wide: Optional[Sequence[PartialSelection]] = None,
+    ) -> RoutedSelection:
+        """Replay the widening decision and cut the global TopN.
+
+        ``wide`` is None when the local phase already satisfied
+        ``top_n`` (the driver never fetched phase 2).
+        """
+        local_total = sum(p.count for p in local)
+        widened = False
+        chosen: Sequence[PartialSelection] = local
+        if wide is not None:
+            wide_total = sum(p.count for p in wide)
+            if wide_total > local_total:
+                widened = True
+                chosen = wide
+        pool: List["NodeStatus"] = [s for p in chosen for s in p.statuses]
+        # The factory is declared as returning an opaque ``object`` key
+        # (policies compose tuples of mixed comparables); cast for the
+        # nsmallest stub, which wants SupportsRichComparison.
+        sort_key = cast(
+            "Callable[[NodeStatus], Any]", self.policy.sort_key_factory(query)
+        )
+        best = heapq.nsmallest(query.top_n, pool, key=sort_key)
+        return RoutedSelection(
+            node_ids=tuple(n.node_id for n in best),
+            widened=widened,
+            epoch=self.shard_map.epoch,
+            local_shards=tuple(p.shard for p in local),
+            wide_shards=tuple(p.shard for p in wide) if wide is not None else (),
+            pool=len(pool),
+        )
+
+    def select(self, query: "DiscoveryQuery", fetch: Fetch) -> RoutedSelection:
+        """Full two-phase routed selection over a synchronous transport."""
+        geo = self.policy.geo_filter
+        local_shards, wide_shards = self.plan(query)
+        local = [fetch(shard, geo.radius_km) for shard in local_shards]
+        if not self.needs_widening(query, local):
+            return self.merge(query, local)
+        wide = [fetch(shard, geo.wide_radius_km) for shard in wide_shards]
+        return self.merge(query, local, wide)

@@ -1,0 +1,432 @@
+"""Sharded Central Manager — simulation driver over the control plane.
+
+A drop-in replacement for :class:`repro.core.manager.CentralManager`
+that steps ``shards x replicas`` :class:`GlobalSelectionMachine`
+instances inside the kernel. Heartbeats route to the owning shard and
+are applied to every alive replica (delta replication); discovery runs
+the :class:`~repro.controlplane.router.ShardRouter` two-phase fan-out
+with each shard answering from its serving primary.
+
+Failure model (driven by shard-targeted ``ManagerOutage`` rules via
+``EdgeSystem._apply_fault_action``):
+
+- ``on_shard_outage_start`` takes the shard's current primary down.
+  Until promotion the shard serves nothing: a discovery touching it
+  raises :class:`ControlPlaneUnavailable` and the client rides the
+  existing ``DiscoveryFailed`` -> degraded-fallback path.
+- After ``promotion_delay_ms`` (the failure-detection window) a kernel
+  timer promotes the lowest alive standby and emits ``manager_promote``.
+- ``on_shard_outage_end`` revives the downed replica; if a standby was
+  promoted meanwhile, the returnee is re-seeded from the new primary's
+  deduplicated snapshot and rejoins as standby (``registry_handoff``).
+
+With ``shards=1, replicas=1`` every code path collapses to a single
+machine answering plain ``DiscoveryRequested``-equivalent phases, and
+the answers are bit-identical to the seed manager (held by the golden
+parity test).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.controlplane.errors import ControlPlaneUnavailable
+from repro.controlplane.replication import ReplicatedShard
+from repro.controlplane.router import PartialSelection, ShardRouter
+from repro.controlplane.sharding import DEFAULT_SHARD_PRECISION, ShardMap
+from repro.core.messages import CandidateList, DiscoveryQuery, NodeStatus
+from repro.core.policies.global_policies import GlobalSelectionPolicy
+from repro.obs.events import ManagerPromote, RegistryHandoff, ShardMerge, ShardRoute
+from repro.protocol.effects import (
+    Effect,
+    NodeExpired,
+    NodeOnline,
+    ReplyPartialCandidates,
+)
+from repro.protocol.events import HeartbeatReceived, NodeForgotten, PartialDiscoveryRequested
+from repro.protocol.global_select import GlobalSelectionMachine
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.policies.reputation import ReputationTracker
+    from repro.core.system import EdgeSystem
+
+__all__ = ["ShardedCentralManager"]
+
+#: Period of the standby snapshot-sync timer (bounds divergence when a
+#: standby missed deltas; a no-op while deltas keep replicas identical).
+SNAPSHOT_SYNC_PERIOD_MS = 5_000.0
+
+
+class ShardedCentralManager:
+    """N replicated manager shards behind a deterministic router."""
+
+    def __init__(
+        self,
+        system: "EdgeSystem",
+        policy: Optional[GlobalSelectionPolicy] = None,
+        reputation: Optional["ReputationTracker"] = None,
+        *,
+        shards: int = 1,
+        replicas: int = 1,
+        shard_precision: int = DEFAULT_SHARD_PRECISION,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.system = system
+        self._policy = policy or GlobalSelectionPolicy()
+        self.shard_map = ShardMap(count=shards, precision=shard_precision)
+        self.router = ShardRouter(self.shard_map, self._policy)
+        timeout = system.config.heartbeat_timeout_ms
+        self.shards: List[ReplicatedShard] = [
+            ReplicatedShard(
+                index,
+                [
+                    GlobalSelectionMachine(self._policy, heartbeat_timeout=timeout)
+                    for _ in range(replicas)
+                ],
+            )
+            for index in range(shards)
+        ]
+        self.reputation = reputation
+        self.queries_served = 0
+        self.heartbeats_received = 0
+        #: Heartbeats dropped because the owning shard had no alive replica.
+        self.heartbeats_dropped = 0
+        self.promotions = 0
+        #: Primary-loss detection window before a standby is promoted.
+        #: Reuses the system's failure-detection budget: the control
+        #: plane notices a dead primary as fast as clients notice a dead
+        #: edge node.
+        self.promotion_delay_ms = system.config.failure_detection_ms
+        #: shard -> replica taken down by the active outage rule.
+        self._outage_victim: Dict[int, int] = {}
+        # Smooth-WRR state lives in the driver: the baseline's round
+        # robin is global across shards, so no single machine can own it.
+        self._wrr_current: Dict[str, float] = {}
+        self._last_snapshot_sync = 0.0
+
+    # ------------------------------------------------------------------
+    # CentralManager-compatible surface
+    # ------------------------------------------------------------------
+    @property
+    def policy(self) -> GlobalSelectionPolicy:
+        return self._policy
+
+    @policy.setter
+    def policy(self, policy: GlobalSelectionPolicy) -> None:
+        self._policy = policy
+        self.router.policy = policy
+        for shard in self.shards:
+            for machine in shard.machines:
+                machine.policy = policy
+
+    @property
+    def _registry(self) -> Dict[str, NodeStatus]:
+        """Merged registry view (serving replicas), for experiments."""
+        merged: Dict[str, NodeStatus] = {}
+        for shard in self.shards:
+            machine = shard.serving_machine() or shard.machines[shard.primary]
+            merged.update(machine.registry)
+        return merged
+
+    def _run_effects(self, effects: List[Effect]) -> Optional[Effect]:
+        reply: Optional[Effect] = None
+        for effect in effects:
+            if isinstance(effect, NodeOnline):
+                if self.reputation is not None:
+                    self.reputation.record_online(effect.node_id, self.system.sim.now)
+            elif isinstance(effect, NodeExpired):
+                self._wrr_current.pop(effect.node_id, None)
+                if self.reputation is not None:
+                    self.reputation.record_departure(
+                        effect.node_id, self.system.sim.now
+                    )
+            elif isinstance(effect, ReplyPartialCandidates):
+                reply = effect
+            else:  # pragma: no cover - forward-compatibility guard
+                raise TypeError(f"unhandled effect {type(effect).__name__}")
+        return reply
+
+    # ------------------------------------------------------------------
+    # Registry maintenance
+    # ------------------------------------------------------------------
+    def receive_heartbeat(self, status: NodeStatus) -> None:
+        """Route a status report to its owning shard's replica set."""
+        self.heartbeats_received += 1
+        shard = self.shards[self.router.owner_of(status)]
+        if not shard.alive_replicas():
+            self.heartbeats_dropped += 1
+            return
+        self._run_effects(shard.apply_heartbeat(status.reported_at_ms, status))
+        self._maybe_snapshot_sync()
+
+    def forget_node(self, node_id: str) -> None:
+        """Administrative deregistration (ownership unknown without the
+        status, so every replica is told; extra calls are no-ops)."""
+        self._wrr_current.pop(node_id, None)
+        for shard in self.shards:
+            for machine in shard.machines:
+                machine.handle(NodeForgotten(node_id))
+
+    def prune_stale(self) -> None:
+        now = self.system.sim.now
+        for shard in self.shards:
+            self._run_effects(shard.prune(now))
+
+    def alive_statuses(self) -> List[NodeStatus]:
+        """Statuses from every serving replica, pruned on read.
+
+        Order is per-shard insertion order, concatenated shard-by-shard
+        (deterministic, but not the single-manager global insertion
+        order — callers ranking statuses must sort, as the policies do).
+        """
+        self.prune_stale()
+        out: List[NodeStatus] = []
+        for shard in self.shards:
+            machine = shard.serving_machine()
+            if machine is not None:
+                out.extend(machine.registry.values())
+        return out
+
+    def known_node_ids(self) -> List[str]:
+        out: List[str] = []
+        for shard in self.shards:
+            machine = shard.serving_machine() or shard.machines[shard.primary]
+            out.extend(machine.registry)
+        return out
+
+    # ------------------------------------------------------------------
+    # Edge discovery (routed)
+    # ------------------------------------------------------------------
+    def discover(self, query: DiscoveryQuery) -> CandidateList:
+        """Answer discovery via shard fan-out + cross-shard TopN merge.
+
+        Raises:
+            ControlPlaneUnavailable: a covering shard has no serving
+                primary — the caller must treat this as "manager
+                unreachable" (degraded fallback), never as an empty
+                candidate list.
+        """
+        self.queries_served += 1
+        now = self.system.sim.now
+
+        def fetch(shard_index: int, radius_km: float) -> PartialSelection:
+            machine = self.shards[shard_index].serving_machine()
+            if machine is None:
+                raise ControlPlaneUnavailable(shard_index)
+            reply = self._run_effects(
+                machine.handle(
+                    PartialDiscoveryRequested(
+                        now=now, stamp=now, query=query, radius_km=radius_km
+                    )
+                )
+            )
+            assert isinstance(reply, ReplyPartialCandidates)
+            return PartialSelection(
+                shard=shard_index, count=reply.count, statuses=reply.statuses
+            )
+
+        routed = self.router.select(query, fetch)
+        trace = self.system.trace
+        if trace.enabled:
+            trace.emit(
+                ShardRoute(
+                    now,
+                    user_id=query.user_id,
+                    shards=routed.shards_queried,
+                    epoch=self.shard_map.epoch,
+                    cross_shard=routed.cross_shard,
+                )
+            )
+            if routed.cross_shard:
+                trace.emit(
+                    ShardMerge(
+                        now,
+                        user_id=query.user_id,
+                        shards=len(routed.shards_queried),
+                        pool=routed.pool,
+                        widened=routed.widened,
+                    )
+                )
+        return CandidateList(
+            user_id=query.user_id,
+            node_ids=routed.node_ids,
+            generated_at_ms=now,
+            widened=routed.widened,
+        )
+
+    # ------------------------------------------------------------------
+    # Resource-aware weighted round robin (baseline support)
+    # ------------------------------------------------------------------
+    def wrr_assign(self, query: DiscoveryQuery) -> Optional[str]:
+        """Smooth WRR over the merged alive population.
+
+        Same algorithm as the single manager's machine, hosted in the
+        driver because the round-robin ledger is global across shards.
+        """
+        statuses = [
+            s for s in self.alive_statuses() if s.node_id not in query.exclude
+        ]
+        if self._policy.node_predicate is not None:
+            predicate = self._policy.node_predicate
+            statuses = [s for s in statuses if predicate(s)]
+        if not statuses:
+            return None
+        total = 0.0
+        weights: Dict[str, float] = {}
+        for status in statuses:
+            weight = max(status.availability_score, 0.01)
+            weights[status.node_id] = weight
+            total += weight
+        best_id: Optional[str] = None
+        best_value = float("-inf")
+        for node_id, weight in weights.items():
+            current = self._wrr_current.get(node_id, 0.0) + weight
+            self._wrr_current[node_id] = current
+            if current > best_value:
+                best_value = current
+                best_id = node_id
+        assert best_id is not None
+        self._wrr_current[best_id] -= total
+        return best_id
+
+    # ------------------------------------------------------------------
+    # Failover (wired from shard-targeted fault actions)
+    # ------------------------------------------------------------------
+    def on_shard_outage_start(self, shard_index: int, rule_id: str = "") -> None:
+        """A shard-targeted outage began: its primary goes dark.
+
+        Promotion is scheduled after the detection window; until then
+        the shard is unavailable and clients degrade gracefully.
+        """
+        shard = self.shards[shard_index]
+        if shard_index in self._outage_victim:
+            return  # overlapping outage rules: first victim stands
+        victim = shard.primary
+        shard.mark_down(victim)
+        self._outage_victim[shard_index] = victim
+        if len(shard.alive_replicas()) > 0:
+            self.system.sim.schedule(
+                self.promotion_delay_ms,
+                lambda: self._promote(shard_index),
+                label=f"controlplane.promote.s{shard_index}",
+            )
+
+    def _promote(self, shard_index: int) -> None:
+        shard = self.shards[shard_index]
+        if shard.serving_index() is not None:
+            return  # primary came back inside the detection window
+        new_primary = shard.promote()
+        if new_primary is None:
+            return  # every replica down; stay unavailable
+        self.promotions += 1
+        self.system.trace.emit(
+            ManagerPromote(
+                self.system.sim.now,
+                shard=shard_index,
+                replica=new_primary,
+                reason="outage",
+            )
+        )
+
+    def on_shard_outage_end(self, shard_index: int, rule_id: str = "") -> None:
+        """The outage lifted: the victim replica comes back.
+
+        If a standby was promoted meanwhile the returnee rejoins as a
+        standby, re-seeded from the new primary's deduped snapshot (a
+        ``registry_handoff``); with no promotion (replicas=1) the old
+        primary simply resumes with its registry intact.
+        """
+        victim = self._outage_victim.pop(shard_index, None)
+        if victim is None:
+            return
+        shard = self.shards[shard_index]
+        shard.mark_up(victim)
+        if shard.primary == victim:
+            return  # no promotion happened; the old primary resumes
+        entries = shard.sync_standby(victim)
+        self.system.trace.emit(
+            RegistryHandoff(
+                self.system.sim.now,
+                source=f"shard{shard_index}/r{shard.primary}",
+                target=f"shard{shard_index}/r{victim}",
+                entries=entries,
+                epoch=self.shard_map.epoch,
+                reason="rejoin",
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Shard-map epoch change (registry handoff)
+    # ------------------------------------------------------------------
+    def apply_shard_map(self, new_map: ShardMap) -> None:
+        """Install a successor shard map, redistributing the registry.
+
+        Every entry travels via a deduplicated snapshot and is re-applied
+        as a heartbeat at its original stamp, so expiry semantics carry
+        over and no tombstone can resurrect an expired node.
+        """
+        if new_map.epoch <= self.shard_map.epoch:
+            raise ValueError(
+                f"new map epoch {new_map.epoch} must exceed "
+                f"current {self.shard_map.epoch}"
+            )
+        timeout = self.system.config.heartbeat_timeout_ms
+        replicas = self.shards[0].replicas
+        new_shards = [
+            ReplicatedShard(
+                index,
+                [
+                    GlobalSelectionMachine(self._policy, heartbeat_timeout=timeout)
+                    for _ in range(replicas)
+                ],
+            )
+            for index in range(new_map.count)
+        ]
+        now = self.system.sim.now
+        moved: Dict[Tuple[int, int], int] = {}
+        for old_shard in self.shards:
+            machine = old_shard.serving_machine() or old_shard.machines[old_shard.primary]
+            snapshot = machine.snapshot_state()
+            for status in snapshot.statuses:
+                target = new_map.owner_of_geohash(status.geohash)
+                stamp = snapshot.stamps[status.node_id]
+                for replica_machine in new_shards[target].machines:
+                    replica_machine.handle(HeartbeatReceived(stamp=stamp, status=status))
+                key = (old_shard.shard_index, target)
+                moved[key] = moved.get(key, 0) + 1
+        for (source, target), entries in sorted(moved.items()):
+            self.system.trace.emit(
+                RegistryHandoff(
+                    now,
+                    source=f"shard{source}",
+                    target=f"shard{target}",
+                    entries=entries,
+                    epoch=new_map.epoch,
+                    reason="epoch",
+                )
+            )
+        self.shards = new_shards
+        self.shard_map = new_map
+        self.router = ShardRouter(new_map, self._policy)
+        self._outage_victim.clear()
+
+    # ------------------------------------------------------------------
+    def _maybe_snapshot_sync(self) -> None:
+        """Periodic standby snapshot sync, amortized against heartbeat
+        traffic (no standing kernel timer: a self-rescheduling event
+        would keep drain-style ``sim.run()`` calls from terminating)."""
+        now = self.system.sim.now
+        if now - self._last_snapshot_sync < SNAPSHOT_SYNC_PERIOD_MS:
+            return
+        self._last_snapshot_sync = now
+        for shard in self.shards:
+            if shard.replicas > 1 and shard.serving_index() is not None:
+                shard.sync_all_standbys()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedCentralManager(shards={len(self.shards)}, "
+            f"replicas={self.shards[0].replicas}, "
+            f"nodes={len(self._registry)}, queries={self.queries_served})"
+        )

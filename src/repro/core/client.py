@@ -40,6 +40,7 @@ from typing import (
     runtime_checkable,
 )
 
+from repro.controlplane.errors import ControlPlaneUnavailable
 from repro.core.config import SystemConfig
 from repro.core.messages import CandidateList, DiscoveryQuery
 from repro.core.policies.local_policies import LocalSelectionPolicy
@@ -450,9 +451,31 @@ class EdgeClient:
             rtt += verdict.extra_delay_ms
         self.system.sim.schedule(
             rtt,
-            lambda: self._deliver_candidates(self.system.manager.discover(query)),
+            lambda: self._discover_at_manager(query),
             label=self._lbl_discover,
         )
+
+    def _discover_at_manager(self, query: DiscoveryQuery) -> None:
+        """The query reached the manager: answer, or shard unavailable.
+
+        A control-plane shard with no serving replica (primary killed,
+        standby not yet promoted) behaves exactly like an unreachable
+        manager: the client only learns via its discovery timeout and
+        then rides the degraded-fallback path — never an empty
+        candidate list.
+        """
+        try:
+            candidates = self.system.manager.discover(query)
+        except ControlPlaneUnavailable as exc:
+            self.system.sim.schedule(
+                self.DISCOVERY_TIMEOUT_MS,
+                lambda: self._feed(
+                    DiscoveryFailed(self.system.sim.now, reason=exc.reason)
+                ),
+                label=self._lbl_discover_timeout,
+            )
+            return
+        self._deliver_candidates(candidates)
 
     def _deliver_candidates(self, candidates: CandidateList) -> None:
         self._feed(

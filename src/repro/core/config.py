@@ -104,6 +104,13 @@ class SystemConfig:
         boundary_epoch_ms: period of the cross-shard boundary channel
             (ghost-load refresh + user handoffs). Must be a whole
             multiple of ``cohort_tick_ms``.
+        control_plane_shards: number of Central Manager registry shards
+            (geohash-range partitioned; ``repro.controlplane``). With
+            the default 1 (and 1 replica) the system runs the plain
+            single manager, bit-identical to the seed.
+        control_plane_replicas: manager replicas per shard (primary +
+            standbys). Standbys track the primary via heartbeat deltas
+            and are promoted on primary loss.
     """
 
     top_n: int = 3
@@ -135,6 +142,9 @@ class SystemConfig:
     metro_shards: int = field(default=1, kw_only=True)
     shard_workers: int = field(default=1, kw_only=True)
     boundary_epoch_ms: float = field(default=1_000.0, kw_only=True)
+    # Control-plane knobs (sharded/replicated Central Manager).
+    control_plane_shards: int = field(default=1, kw_only=True)
+    control_plane_replicas: int = field(default=1, kw_only=True)
 
     def __post_init__(self) -> None:
         if self.use_global_overhead is not None:
@@ -192,6 +202,14 @@ class SystemConfig:
         if self.boundary_epoch_ms <= 0:
             raise ValueError(
                 f"boundary_epoch_ms must be positive: {self.boundary_epoch_ms}"
+            )
+        if self.control_plane_shards < 1:
+            raise ValueError(
+                f"control_plane_shards must be >= 1: {self.control_plane_shards}"
+            )
+        if self.control_plane_replicas < 1:
+            raise ValueError(
+                f"control_plane_replicas must be >= 1: {self.control_plane_replicas}"
             )
         ticks_per_epoch = self.boundary_epoch_ms / self.cohort_tick_ms
         if abs(ticks_per_epoch - round(ticks_per_epoch)) > 1e-9 or ticks_per_epoch < 1:

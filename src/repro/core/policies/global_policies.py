@@ -98,6 +98,23 @@ class GeoProximityFilter:
             return wide, True
         return local, False
 
+    def within_indexed(
+        self,
+        user_point: GeoPoint,
+        index: GeohashSpatialIndex,
+        radius_km: float,
+        *,
+        exclude: Sequence[str] = (),
+        predicate: Optional[Callable[[NodeStatus], bool]] = None,
+    ) -> List[NodeStatus]:
+        """One fixed-radius phase of :meth:`apply_indexed` (no widening).
+
+        The control-plane router composes this shard-locally: each shard
+        evaluates one radius against its own index and the router makes
+        the widening decision from the summed counts.
+        """
+        return self._within_indexed(user_point, index, radius_km, exclude, predicate)
+
     def _within(
         self, user_point: GeoPoint, nodes: Sequence[NodeStatus], radius_km: float
     ) -> List[NodeStatus]:
@@ -241,3 +258,32 @@ class GlobalSelectionPolicy:
             query.top_n, candidates, key=self.sort_key_factory(query)
         )
         return [n.node_id for n in best], widened
+
+    def select_partial(
+        self,
+        query: DiscoveryQuery,
+        *,
+        index: GeohashSpatialIndex,
+        radius_km: float,
+    ) -> Tuple[int, List[NodeStatus]]:
+        """One shard's answer to one fixed-radius discovery phase.
+
+        Returns ``(count, local TopN statuses)`` where ``count`` is the
+        exact number of in-radius candidates. The cross-shard merge in
+        ``repro.controlplane.router`` is bit-identical to :meth:`select`
+        because (a) summed counts replay the widening comparisons
+        exactly, and (b) any member of the global TopN is beaten by
+        fewer than TopN candidates globally — hence by fewer than TopN
+        within its own shard — so it appears in its shard's local TopN.
+        """
+        candidates = self.geo_filter.within_indexed(
+            query.point,
+            index,
+            radius_km,
+            exclude=query.exclude,
+            predicate=self.node_predicate,
+        )
+        best = heapq.nsmallest(
+            query.top_n, candidates, key=self.sort_key_factory(query)
+        )
+        return len(candidates), best

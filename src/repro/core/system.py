@@ -40,7 +40,12 @@ from repro.sim.random import RandomStreams
 from repro.workload.ar import ARApplication, DEFAULT_AR_APP
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from typing import Union
+
+    from repro.controlplane.sim_driver import ShardedCentralManager
     from repro.faults.injector import FaultInjector
+
+    ManagerLike = Union[CentralManager, ShardedCentralManager]
 
 #: Reserved endpoint id of the Central Manager.
 MANAGER_ID = "central-manager"
@@ -116,7 +121,25 @@ class EdgeSystem:
                 wide_radius_km=self.config.wide_radius_km,
             )
         )
-        self.manager = CentralManager(self, policy)
+        self.manager: ManagerLike
+        if (
+            self.config.control_plane_shards > 1
+            or self.config.control_plane_replicas > 1
+        ):
+            # Deferred import: the control plane layers on core, not
+            # under it. With shards=1, replicas=1 (the default) the
+            # plain single manager runs — structurally bit-identical to
+            # the seed, not merely behaviourally.
+            from repro.controlplane.sim_driver import ShardedCentralManager
+
+            self.manager = ShardedCentralManager(
+                self,
+                policy,
+                shards=self.config.control_plane_shards,
+                replicas=self.config.control_plane_replicas,
+            )
+        else:
+            self.manager = CentralManager(self, policy)
 
         self.nodes: Dict[str, EdgeServer] = {}
         self.clients: Dict[str, ClientLike] = {}
@@ -365,12 +388,31 @@ class EdgeSystem:
                 # Back to whatever the host-workload schedule dictates.
                 node._apply_host_slowdown()
         elif action.kind in ("outage_start", "outage_end"):
-            # The outage itself is enforced per message in decide();
-            # the scheduled action only marks the transition in the
-            # trace so recovery analysis can bracket the window.
+            # A global outage (shard is None) is enforced per message in
+            # decide(); the scheduled action only marks the transition
+            # in the trace so recovery analysis can bracket the window.
+            # A shard-targeted outage instead drives the sharded
+            # manager's primary-loss/recovery state machine directly.
             self.trace.emit(
-                FaultInjected(self.sim.now, action.rule_id, action.kind)
+                FaultInjected(
+                    self.sim.now,
+                    action.rule_id,
+                    action.kind,
+                    dst=f"shard:{action.shard}" if action.shard is not None else "",
+                )
             )
+            if action.shard is not None:
+                if self.faults is not None:
+                    self.faults.injected[action.kind] += 1
+                manager = self.manager
+                if action.kind == "outage_start" and hasattr(
+                    manager, "on_shard_outage_start"
+                ):
+                    manager.on_shard_outage_start(action.shard, action.rule_id)
+                elif action.kind == "outage_end" and hasattr(
+                    manager, "on_shard_outage_end"
+                ):
+                    manager.on_shard_outage_end(action.shard, action.rule_id)
 
     def alive_node_ids(self) -> List[str]:
         return [node_id for node_id, node in self.nodes.items() if node.alive]

@@ -67,7 +67,9 @@ class NodeAction:
 
     ``kind`` is ``crash`` / ``restart`` / ``gray_start`` / ``gray_end``
     / ``outage_start`` / ``outage_end``; ``node_id`` is empty for
-    manager-outage actions. ``factor`` carries the gray slowdown.
+    manager-outage actions. ``factor`` carries the gray slowdown;
+    ``shard`` carries the target of a shard-scoped manager outage
+    (None for the seed's whole-manager outage).
     """
 
     t_ms: float
@@ -75,6 +77,7 @@ class NodeAction:
     rule_id: str
     node_id: str = ""
     factor: float = 1.0
+    shard: Optional[int] = None
 
 
 class FaultInjector:
@@ -130,7 +133,11 @@ class FaultInjector:
         rules compose.
         """
         if self.manager_down(now_ms) and (src == MANAGER_ID or dst == MANAGER_ID):
-            outage = next(o for o in self.plan.outages if o.active(now_ms))
+            outage = next(
+                o
+                for o in self.plan.outages
+                if o.shard is None and o.active(now_ms)
+            )
             self._emit(outage.rule_id, "outage", src, dst, now_ms)
             return MessageDecision(
                 deliver=False, rule_id=outage.rule_id, kind="outage"
@@ -185,7 +192,18 @@ class FaultInjector:
     # Node-level fault state
     # ------------------------------------------------------------------
     def manager_down(self, now_ms: float) -> bool:
-        return any(o.active(now_ms) for o in self.plan.outages)
+        """Whole-manager outage in effect? Shard-targeted outages do not
+        black-hole messages — they drive the sharded manager's replica
+        state instead (see :meth:`shard_down`)."""
+        return any(
+            o.shard is None and o.active(now_ms) for o in self.plan.outages
+        )
+
+    def shard_down(self, shard: int, now_ms: float) -> bool:
+        """A shard-targeted outage covering ``shard`` in effect?"""
+        return any(
+            o.shard == shard and o.active(now_ms) for o in self.plan.outages
+        )
 
     def gray_factor(self, node_id: str, now_ms: float) -> float:
         """The frame-service slowdown in effect for ``node_id`` (1.0 =
@@ -234,11 +252,21 @@ class FaultInjector:
                 )
         for outage in self.plan.outages:
             actions.append(
-                NodeAction(outage.window.start_ms, "outage_start", outage.rule_id)
+                NodeAction(
+                    outage.window.start_ms,
+                    "outage_start",
+                    outage.rule_id,
+                    shard=outage.shard,
+                )
             )
             if outage.window.end_ms != float("inf"):
                 actions.append(
-                    NodeAction(outage.window.end_ms, "outage_end", outage.rule_id)
+                    NodeAction(
+                        outage.window.end_ms,
+                        "outage_end",
+                        outage.rule_id,
+                        shard=outage.shard,
+                    )
                 )
         actions.sort(key=lambda a: (a.t_ms, a.rule_id, a.kind))
         return actions

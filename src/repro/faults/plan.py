@@ -164,10 +164,23 @@ class NodeCrash:
 
 @dataclass(frozen=True)
 class ManagerOutage:
-    """The Central Manager is unreachable while the window is active."""
+    """The Central Manager is unreachable while the window is active.
+
+    With the default ``shard=None`` the whole manager goes dark (the
+    seed behaviour: discovery and heartbeats black-hole). A shard index
+    instead targets one control-plane shard: its primary replica goes
+    down for the window, exercising standby promotion and, for the
+    unlucky queries, the degraded-fallback path — the rest of the
+    control plane keeps serving.
+    """
 
     rule_id: str
     window: Window
+    shard: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.shard is not None and self.shard < 0:
+            raise ValueError(f"{self.rule_id}: shard must be >= 0: {self.shard}")
 
     def active(self, now_ms: float) -> bool:
         return self.window.contains(now_ms)
@@ -256,8 +269,9 @@ class FaultPlan:
             )
             lines.append(f"{c.rule_id}: crash {c.node_id} @{c.at_ms:.0f}{restart}")
         for o in self.outages:
+            target = "manager outage" if o.shard is None else f"shard {o.shard} outage"
             lines.append(
-                f"{o.rule_id}: manager outage "
+                f"{o.rule_id}: {target} "
                 f"@{o.window.start_ms:.0f}..{o.window.end_ms:.0f}"
             )
         for g in self.gray_nodes:

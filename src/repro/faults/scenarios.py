@@ -43,7 +43,9 @@ __all__ = [
     "ChaosReport",
     "ChaosController",
     "chaos_plan",
+    "controlplane_chaos_plan",
     "run_sim_chaos",
+    "run_sim_controlplane_chaos",
     "run_live_chaos",
 ]
 
@@ -252,6 +254,202 @@ def _check_sim_invariants(system: object) -> List[str]:
                 problems.append(
                     f"stranded admission state: {user_id} still on {node_id}"
                 )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Control-plane chaos (shard-targeted manager faults)
+# ----------------------------------------------------------------------
+def controlplane_chaos_plan(
+    shard_targets: Sequence[int],
+    edge_ids: Sequence[str],
+    horizon_ms: float = 20_000.0,
+) -> FaultPlan:
+    """Shard-targeted control-plane chaos over ``horizon_ms``.
+
+    One staggered primary outage per distinct targeted shard — long
+    enough to outlast the failure-detection window, so each exercises
+    standby promotion rather than a silent primary resume — layered
+    over the usual node-level families (an edge crash with restart, a
+    user<->edge partition, frame loss). The final 20% of the horizon is
+    fault-free: the settle window the recovery invariants are checked
+    against.
+    """
+    if not shard_targets:
+        raise ValueError("controlplane_chaos_plan needs at least one target shard")
+    if len(edge_ids) < 2:
+        raise ValueError("controlplane_chaos_plan needs at least two edge ids")
+    h = horizon_ms
+    targets = sorted(set(shard_targets))
+    # Outages live inside [0.25h, 0.80h): staggered, one slot per shard,
+    # active for 80% of the slot so consecutive outages never overlap.
+    span = 0.55 * h
+    slot = span / len(targets)
+    outages = tuple(
+        ManagerOutage(
+            f"shard-{shard}-down",
+            Window(0.25 * h + i * slot, 0.25 * h + (i + 0.8) * slot),
+            shard=shard,
+        )
+        for i, shard in enumerate(targets)
+    )
+    return FaultPlan(
+        message_faults=(
+            MessageFault(
+                "cp-frame-loss",
+                Window(0.10 * h, 0.60 * h),
+                src="user-*",
+                ops=("frame",),
+                drop_p=0.10,
+            ),
+        ),
+        partitions=(
+            Partition(
+                "cp-edge-cut", "user-*", edge_ids[1], Window(0.12 * h, 0.28 * h)
+            ),
+        ),
+        crashes=(
+            NodeCrash("cp-crash", edge_ids[0], 0.35 * h, restart_at_ms=0.65 * h),
+        ),
+        outages=outages,
+    )
+
+
+def run_sim_controlplane_chaos(
+    seed: int = 0,
+    *,
+    shards: int = 2,
+    replicas: int = 2,
+    horizon_ms: float = 20_000.0,
+    n_clients: int = 3,
+    top_n: int = 3,
+) -> Tuple[ChaosReport, List[object]]:
+    """Kill control-plane shard primaries mid-churn and check recovery.
+
+    Spreads edge nodes across a metro region, computes which shards
+    actually own them (shard ownership is a pure function of the node
+    geohash and the shard map, so the targets are derivable before the
+    system exists), then runs a :func:`controlplane_chaos_plan` that
+    takes each owning shard's primary down in turn. On top of the
+    standard recovery invariants the report checks the control-plane
+    ones: every targeted shard promoted a standby within the
+    failure-detection budget, and no attached client was stalled beyond
+    the degraded-fallback window (every client re-attached and
+    streaming by the end of the fault-free tail).
+    """
+    from repro.controlplane.sharding import DEFAULT_SHARD_PRECISION, ShardMap
+    from repro.core.client import EdgeClient
+    from repro.core.config import SystemConfig
+    from repro.core.system import EdgeSystem
+    from repro.geo.geohash import encode_point
+    from repro.geo.point import GeoPoint
+    from repro.net.topology import EndpointSpec
+    from repro.nodes.hardware import VOLUNTEER_PROFILES
+    from repro.obs.tracer import Tracer
+
+    center = GeoPoint(44.97, -93.25)
+    # A metro-scale spread (tens of km) so the population can straddle
+    # precision-4 shard cells; whether it does is seed-independent.
+    node_offsets = [(-24.0, -18.0), (-10.0, 6.0), (0.0, 0.0), (12.0, -8.0), (24.0, 16.0)]
+    edge_ids = [f"edge-{chr(ord('a') + i)}" for i in range(len(node_offsets))]
+    points = [center.offset_km(dy, dx) for dy, dx in node_offsets]
+    shard_map = ShardMap(count=shards, precision=DEFAULT_SHARD_PRECISION)
+    targets = sorted(
+        {
+            shard_map.owner_of_geohash(
+                encode_point(p, precision=DEFAULT_SHARD_PRECISION)
+            )
+            for p in points
+        }
+    )
+    plan = controlplane_chaos_plan(targets, edge_ids, horizon_ms)
+    injector = FaultInjector(plan, seed=seed)
+    tracer = Tracer()
+    system = EdgeSystem(
+        SystemConfig(
+            seed=seed,
+            top_n=top_n,
+            probing_period_ms=3_000.0,
+            attachment_lease_ms=6_000.0,
+            control_plane_shards=shards,
+            control_plane_replicas=replicas,
+        ),
+        trace=tracer,
+        faults=injector,
+    )
+    for edge_id, point, profile_index in zip(
+        edge_ids, points, range(len(edge_ids))
+    ):
+        system.add_node(
+            edge_id,
+            VOLUNTEER_PROFILES[profile_index % len(VOLUNTEER_PROFILES)],
+            EndpointSpec(point),
+        )
+    clients: List[EdgeClient] = []
+    for i in range(n_clients):
+        user_id = f"user-{i + 1:02d}"
+        system.add_client_endpoint(
+            user_id, EndpointSpec(center.offset_km(-0.5 * i, 0.5 * i))
+        )
+        client = EdgeClient(system, user_id)
+        system.add_client(client)
+        clients.append(client)
+
+    system.run_for(horizon_ms)
+
+    report = ChaosReport(backend="sim-controlplane", seed=seed)
+    report.injected = dict(injector.injected)
+    events = list(tracer.events())
+    report.event_counts = _count_events(events)
+    report.frames_completed = sum(c.stats.frames_completed for c in clients)
+    report.frames_lost = sum(c.stats.frames_lost for c in clients)
+    report.problems = _check_sim_invariants(system)
+    report.problems += _check_controlplane_invariants(system, events, targets)
+    if report.frames_completed == 0:
+        report.problems.append("no client completed a single frame")
+    return report, events
+
+
+def _check_controlplane_invariants(
+    system: object, events: Sequence[object], targets: Sequence[int]
+) -> List[str]:
+    """Promotion happened, per targeted shard, inside the budget."""
+    problems: List[str] = []
+    manager = system.manager  # type: ignore[attr-defined]
+    budget_ms = getattr(manager, "promotion_delay_ms", None)
+    if budget_ms is None:
+        return ["manager is not a sharded control plane"]
+    replicas = manager.shards[0].replicas if manager.shards else 1
+    starts: Dict[int, float] = {}
+    promotes: Dict[int, float] = {}
+    for event in events:
+        kind = getattr(event, "type", "")
+        if (
+            kind == "fault_injected"
+            and getattr(event, "kind", "") == "outage_start"
+            and str(getattr(event, "dst", "")).startswith("shard:")
+        ):
+            shard = int(str(event.dst).split(":", 1)[1])  # type: ignore[attr-defined]
+            starts.setdefault(shard, event.t_ms)  # type: ignore[attr-defined]
+        elif kind == "manager_promote":
+            promotes.setdefault(event.shard, event.t_ms)  # type: ignore[attr-defined]
+    for shard in targets:
+        t0 = starts.get(shard)
+        if t0 is None:
+            problems.append(f"no outage_start recorded for shard {shard}")
+            continue
+        if replicas < 2:
+            continue  # nothing to promote to
+        t_promote = promotes.get(shard)
+        if t_promote is None:
+            problems.append(
+                f"shard {shard}: primary lost but no standby promoted"
+            )
+        elif t_promote - t0 > budget_ms + 1.0:
+            problems.append(
+                f"shard {shard}: promotion took {t_promote - t0:.0f}ms "
+                f"(budget {budget_ms:.0f}ms)"
+            )
     return problems
 
 

@@ -18,6 +18,7 @@ from repro.fsutil import atomic_write_text
 #: Registered perf benchmarks: CLI name -> script under ``benchmarks/perf``.
 PERF_BENCHMARKS: Dict[str, str] = {
     "discovery": "bench_discovery.py",
+    "discovery_sharded": "bench_discovery_sharded.py",
     "steady_state": "bench_steady_state.py",
     "sweep": "bench_sweep.py",
     "trace_overhead": "bench_trace_overhead.py",

@@ -53,6 +53,10 @@ __all__ = [
     "SweepRunRetried",
     "SweepRunSkipped",
     "ShardHandoff",
+    "ShardRoute",
+    "ShardMerge",
+    "ManagerPromote",
+    "RegistryHandoff",
     "EVENT_TYPES",
     "GOLDEN_LIFECYCLE_TYPES",
     "PHASES",
@@ -460,6 +464,66 @@ class ShardHandoff(TraceEvent):
 
 
 # ----------------------------------------------------------------------
+# Control plane (sharded, replicated Central Manager)
+# ----------------------------------------------------------------------
+@dataclass
+class ShardRoute(TraceEvent):
+    """The control-plane router resolved a discovery query's fan-out.
+
+    ``shards`` are the control-plane shard indices queried (after the
+    widening decision); ``cross_shard`` marks queries whose covering
+    cells straddled a shard boundary. Distinct from the metro kernel's
+    ``shard_handoff`` (user migration between sim shards) — these shards
+    partition the *node registry*, not the client population.
+    """
+
+    type: ClassVar[str] = "shard_route"
+    user_id: str
+    shards: Tuple[int, ...]
+    epoch: int
+    cross_shard: bool
+
+
+@dataclass
+class ShardMerge(TraceEvent):
+    """A cross-shard discovery merged per-shard TopN partials.
+
+    ``pool`` is the merged candidate-pool size (sum of per-shard TopN
+    lengths) the global TopN was cut from.
+    """
+
+    type: ClassVar[str] = "shard_merge"
+    user_id: str
+    shards: int
+    pool: int
+    widened: bool
+
+
+@dataclass
+class ManagerPromote(TraceEvent):
+    """A standby replica became primary for a control-plane shard."""
+
+    type: ClassVar[str] = "manager_promote"
+    shard: int
+    replica: int
+    reason: str
+
+
+@dataclass
+class RegistryHandoff(TraceEvent):
+    """Registry entries moved between control-plane machines (a standby
+    rejoin/warm-up, or redistribution on a shard-map epoch change).
+    Always from a deduplicated snapshot — never the raw expiry heap."""
+
+    type: ClassVar[str] = "registry_handoff"
+    source: str
+    target: str
+    entries: int
+    epoch: int
+    reason: str
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
@@ -496,6 +560,10 @@ EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
         SweepRunRetried,
         SweepRunSkipped,
         ShardHandoff,
+        ShardRoute,
+        ShardMerge,
+        ManagerPromote,
+        RegistryHandoff,
     )
 }
 
@@ -544,4 +612,6 @@ def event_from_dict(data: Dict[str, Any]) -> TraceEvent:
         for key in ("ranked", "scores"):
             if isinstance(payload.get(key), list):
                 payload[key] = tuple(payload[key])
+    if cls is ShardRoute and isinstance(payload.get("shards"), list):
+        payload["shards"] = tuple(payload["shards"])
     return cls(**payload)

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Optional, Tuple
 from repro.obs.events import TraceEvent
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.core.messages import NodeStatus
     from repro.core.probing import ProbeOutcome
 
 __all__ = [
@@ -42,6 +43,7 @@ __all__ = [
     "ScheduleTestWorkload",
     # global selection (Central Manager role)
     "ReplyCandidates",
+    "ReplyPartialCandidates",
     "ReplyAssignment",
     "NodeOnline",
     "NodeExpired",
@@ -195,6 +197,23 @@ class ReplyCandidates(Effect):
 
     node_ids: Tuple[str, ...]
     widened: bool
+    generated_at_ms: float
+
+
+@dataclass(slots=True)
+class ReplyPartialCandidates(Effect):
+    """Answer a shard-scoped fixed-radius discovery phase.
+
+    ``count`` is the shard's *exact* in-radius candidate count (the
+    router sums counts across shards to replay the single-manager
+    widening decision bit-identically); ``statuses`` is the shard's
+    local TopN under the policy's total-order sort key — a superset of
+    this shard's contribution to the global TopN.
+    """
+
+    count: int
+    statuses: Tuple["NodeStatus", ...]
+    radius_km: float
     generated_at_ms: float
 
 

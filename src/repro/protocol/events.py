@@ -45,6 +45,7 @@ __all__ = [
     # global selection (Central Manager role)
     "HeartbeatReceived",
     "DiscoveryRequested",
+    "PartialDiscoveryRequested",
     "WrrAssignRequested",
     "PruneTick",
     "NodeForgotten",
@@ -227,6 +228,23 @@ class DiscoveryRequested(ProtocolEvent):
     now: float
     stamp: float
     query: "DiscoveryQuery"
+
+
+@dataclass(slots=True)
+class PartialDiscoveryRequested(ProtocolEvent):
+    """A shard-scoped discovery sub-query from the control-plane router.
+
+    Unlike :class:`DiscoveryRequested`, the radius is pinned by the
+    caller: the router owns the two-phase widening decision *globally*
+    (it needs exact in-radius counts summed across shards before it can
+    decide), so each shard machine answers one fixed-radius phase with
+    its local count plus its local TopN.
+    """
+
+    now: float
+    stamp: float
+    query: "DiscoveryQuery"
+    radius_km: float
 
 
 @dataclass(slots=True)

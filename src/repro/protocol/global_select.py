@@ -18,6 +18,7 @@ difference.
 from __future__ import annotations
 
 import heapq
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.geo.spatial_index import GeohashSpatialIndex
@@ -27,11 +28,13 @@ from repro.protocol.effects import (
     NodeOnline,
     ReplyAssignment,
     ReplyCandidates,
+    ReplyPartialCandidates,
 )
 from repro.protocol.events import (
     DiscoveryRequested,
     HeartbeatReceived,
     NodeForgotten,
+    PartialDiscoveryRequested,
     ProtocolEvent,
     PruneTick,
     WrrAssignRequested,
@@ -41,7 +44,35 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.core.messages import NodeStatus
     from repro.core.policies.global_policies import GlobalSelectionPolicy
 
-__all__ = ["GlobalSelectionMachine"]
+__all__ = ["GlobalSelectionMachine", "RegistrySnapshot"]
+
+
+@dataclass(frozen=True)
+class RegistrySnapshot:
+    """A deduplicated serialization of one machine's registry state.
+
+    Exactly one ``(status, stamp)`` pair per live node — never the raw
+    expiry heap. The heap retains lazily-deleted tombstones for node
+    ids that re-registered (every heartbeat pushes a new entry and the
+    superseded ones are only discarded when popped), so serializing it
+    verbatim would let a registry handoff carry stale ``(stamp, id)``
+    entries to a machine whose ``_stamps`` dict was rebuilt from the
+    same dump — the tombstone would then match the live stamp and a
+    later heartbeat's reuse of the node id could expire (or worse,
+    resurrect) the wrong incarnation. Restores rebuild a minimal heap
+    from ``stamps`` instead.
+    """
+
+    statuses: Tuple["NodeStatus", ...]
+    stamps: Dict[str, float]
+    wrr_current: Dict[str, float]
+
+    def __post_init__(self) -> None:
+        ids = {s.node_id for s in self.statuses}
+        if len(ids) != len(self.statuses) or ids != set(self.stamps):
+            raise ValueError(
+                "snapshot must carry exactly one status+stamp per node id"
+            )
 
 
 class GlobalSelectionMachine:
@@ -82,6 +113,8 @@ class GlobalSelectionMachine:
             return self._on_heartbeat(event)
         if isinstance(event, DiscoveryRequested):
             return self._on_discovery(event)
+        if isinstance(event, PartialDiscoveryRequested):
+            return self._on_partial_discovery(event)
         if isinstance(event, PruneTick):
             return self._prune(event.stamp)
         if isinstance(event, WrrAssignRequested):
@@ -158,6 +191,67 @@ class GlobalSelectionMachine:
             )
         )
         return effects
+
+    def _on_partial_discovery(
+        self, event: PartialDiscoveryRequested
+    ) -> List[Effect]:
+        """Answer one fixed-radius phase of a cross-shard discovery.
+
+        The control-plane router pins the radius and merges the per-shard
+        counts/TopNs; this machine only ever sees its own shard's slice
+        of the registry.
+        """
+        effects = self._prune(event.stamp)
+        count, best = self.policy.select_partial(
+            event.query, index=self.spatial_index, radius_km=event.radius_km
+        )
+        effects.append(
+            ReplyPartialCandidates(
+                count=count,
+                statuses=tuple(best),
+                radius_km=event.radius_km,
+                generated_at_ms=event.now,
+            )
+        )
+        return effects
+
+    # ------------------------------------------------------------------
+    # Replication / handoff support (control plane)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> RegistrySnapshot:
+        """Serialize the registry for replication or shard handoff.
+
+        Deduplicated by construction: one status and one newest stamp
+        per node id (see :class:`RegistrySnapshot` for why the raw
+        expiry heap — tombstones and all — must never travel).
+        """
+        return RegistrySnapshot(
+            statuses=tuple(self.registry.values()),
+            stamps=dict(self._stamps),
+            wrr_current=dict(self._wrr_current),
+        )
+
+    def restore_state(self, snapshot: RegistrySnapshot) -> None:
+        """Replace this machine's registry with a snapshot's contents.
+
+        The expiry heap is rebuilt with exactly one entry per node, so a
+        restored standby (or handoff target) can never expire a node off
+        a tombstone left by an earlier incarnation of the same id.
+        """
+        self.registry.clear()
+        self.spatial_index.clear()
+        self._stamps.clear()
+        self._wrr_current.clear()
+        self._expiry_heap.clear()
+        for status in snapshot.statuses:
+            self.registry[status.node_id] = status
+            self.spatial_index.insert(status)
+        self._stamps.update(snapshot.stamps)
+        self._wrr_current.update(snapshot.wrr_current)
+        self._expiry_heap.extend(
+            (stamp, node_id) for node_id, stamp in snapshot.stamps.items()
+        )
+        heapq.heapify(self._expiry_heap)
 
     # ------------------------------------------------------------------
     # Resource-aware weighted round robin (baseline support)

@@ -26,9 +26,15 @@ from repro.protocol.effects import (
     NodeExpired,
     NodeOnline,
     ReplyCandidates,
+    ReplyPartialCandidates,
 )
-from repro.protocol.events import DiscoveryRequested, HeartbeatReceived, PruneTick
-from repro.protocol.global_select import GlobalSelectionMachine
+from repro.protocol.events import (
+    DiscoveryRequested,
+    HeartbeatReceived,
+    PartialDiscoveryRequested,
+    PruneTick,
+)
+from repro.protocol.global_select import GlobalSelectionMachine, RegistrySnapshot
 from repro.runtime import protocol
 
 
@@ -41,6 +47,16 @@ class ManagerServer:
         - ``discover`` — payload: wire-encoded :class:`DiscoveryQuery`;
           replies with a :class:`CandidateList` and an address book for
           the candidates.
+        - ``discover_partial`` — one fixed-radius phase of a routed
+          discovery (the sharded control plane's RouterServer owns the
+          widening decision globally; this shard just answers its
+          slice): replies with the exact in-radius count plus the
+          per-shard TopN statuses.
+        - ``snapshot`` / ``restore`` — serialize / install the
+          deduplicated registry snapshot (replication and standby
+          re-seeding; stamps are host-monotonic seconds, so snapshots
+          only transfer between processes sharing a clock — the
+          loopback cluster's case).
         - ``status`` — introspection for tests/operators.
     """
 
@@ -112,7 +128,7 @@ class ManagerServer:
             elif isinstance(effect, NodeExpired):
                 self._addresses.pop(effect.node_id, None)
                 population_changed = True
-            elif isinstance(effect, ReplyCandidates):
+            elif isinstance(effect, (ReplyCandidates, ReplyPartialCandidates)):
                 reply = effect
             else:  # pragma: no cover - forward-compatibility guard
                 raise TypeError(f"unhandled effect {type(effect).__name__}")
@@ -148,7 +164,13 @@ class ManagerServer:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            except (  # pragma: no cover - teardown races
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+            ):
+                # CancelledError: server teardown raced the hang-up —
+                # the socket is gone either way, so end the task clean.
                 pass
 
     def _dispatch(self, frame: dict) -> dict:
@@ -189,6 +211,57 @@ class ManagerServer:
                     if node_id in self._addresses
                 },
             }
+        if op == "discover_partial":
+            query = from_wire(payload["query"])
+            assert isinstance(query, DiscoveryQuery)
+            self.queries_served += 1
+            reply = self._run_effects(
+                self._machine.handle(
+                    PartialDiscoveryRequested(
+                        now=self.tracer.now(),
+                        stamp=time.monotonic(),
+                        query=query,
+                        radius_km=float(payload["radius_km"]),
+                    )
+                )
+            )
+            assert isinstance(reply, ReplyPartialCandidates)
+            return {
+                "ok": True,
+                "count": reply.count,
+                "statuses": [to_wire(s) for s in reply.statuses],
+                "addresses": {
+                    s.node_id: list(self._addresses[s.node_id])
+                    for s in reply.statuses
+                    if s.node_id in self._addresses
+                },
+            }
+        if op == "snapshot":
+            snapshot = self._machine.snapshot_state()
+            return {
+                "ok": True,
+                "statuses": [to_wire(s) for s in snapshot.statuses],
+                "stamps": snapshot.stamps,
+                "wrr": snapshot.wrr_current,
+                "addresses": {
+                    node_id: list(addr)
+                    for node_id, addr in self._addresses.items()
+                },
+            }
+        if op == "restore":
+            statuses = tuple(from_wire(s) for s in payload["statuses"])
+            self._machine.restore_state(
+                RegistrySnapshot(
+                    statuses=statuses,
+                    stamps={k: float(v) for k, v in payload["stamps"].items()},
+                    wrr_current={k: float(v) for k, v in payload["wrr"].items()},
+                )
+            )
+            self._addresses = {
+                node_id: tuple(addr)
+                for node_id, addr in payload.get("addresses", {}).items()
+            }
+            return {"ok": True, "entries": len(statuses)}
         if op == "status":
             return {
                 "ok": True,

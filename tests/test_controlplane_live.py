@@ -1,0 +1,191 @@
+"""Live-runtime tests for the sharded control plane.
+
+A :class:`RouterServer` speaks the single manager's wire protocol, so
+these tests drive it with plain ``protocol.request`` calls exactly as a
+``LiveClient``/``LiveEdgeServer`` would: heartbeat a spread of nodes,
+discover, kill a shard's primary :class:`ManagerServer` mid-flight, and
+check that the standby answer is bit-identical and the failover events
+(``manager_promote``, ``registry_handoff``) fire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.controlplane.live_driver import ControlPlaneCluster
+from repro.core.messages import DiscoveryQuery, NodeStatus, to_wire
+from repro.geo.geohash import encode
+from repro.geo.point import GeoPoint
+from repro.obs.tracer import Tracer
+from repro.runtime import ManagerServer, protocol
+
+CENTER = GeoPoint(44.97, -93.25)
+NODE_OFFSETS = [(-24.0, -18.0), (-10.0, 6.0), (0.0, 0.0), (12.0, -8.0), (24.0, 16.0)]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def node_status(index: int) -> NodeStatus:
+    point = CENTER.offset_km(*NODE_OFFSETS[index])
+    return NodeStatus(
+        node_id=f"edge-{index}",
+        lat=point.lat,
+        lon=point.lon,
+        geohash=encode(point.lat, point.lon, precision=9),
+        cores=4,
+        capacity_fps=30.0,
+        attached_users=0,
+        utilization=0.1 * index,
+    )
+
+
+async def heartbeat_all(host: str, port: int) -> None:
+    for index in range(len(NODE_OFFSETS)):
+        await protocol.request(
+            host,
+            port,
+            "heartbeat",
+            {
+                "status": to_wire(node_status(index)),
+                "host": "127.0.0.1",
+                "port": 9000 + index,
+            },
+        )
+
+
+async def discover(host: str, port: int, user_id: str = "u"):
+    query = DiscoveryQuery(user_id=user_id, lat=CENTER.lat, lon=CENTER.lon, top_n=3)
+    return await protocol.request(host, port, "discover", {"query": to_wire(query)})
+
+
+def test_router_answers_like_a_single_manager():
+    """Wire-level golden parity: same heartbeats, same discover reply."""
+
+    async def scenario():
+        single = ManagerServer(tracer=Tracer.disabled())
+        await single.start()
+        cluster = ControlPlaneCluster(shards=2, replicas=2)
+        await cluster.start()
+        try:
+            await heartbeat_all(single.host, single.port)
+            await heartbeat_all(*cluster.address)
+            want = await discover(single.host, single.port)
+            got = await discover(*cluster.address)
+            return want, got
+        finally:
+            await cluster.stop()
+            await single.stop()
+
+    want, got = run(scenario())
+    assert want["ok"] and got["ok"]
+    assert got["candidates"]["payload"]["node_ids"] == want["candidates"]["payload"]["node_ids"]
+    assert got["candidates"]["payload"]["widened"] == want["candidates"]["payload"]["widened"]
+    assert got["addresses"] == want["addresses"]
+
+
+def test_kill_primary_promotes_standby_and_answers_identically():
+    async def scenario():
+        tracer = Tracer()
+        cluster = ControlPlaneCluster(shards=2, replicas=2, tracer=tracer)
+        await cluster.start()
+        try:
+            await heartbeat_all(*cluster.address)
+            before = await discover(*cluster.address, user_id="u-before")
+            await cluster.kill_primary(0)
+            # The very next query rides the failed-RPC detection path:
+            # mark down, promote, retry — one request, same answer.
+            after = await discover(*cluster.address, user_id="u-after")
+            status = await protocol.request(*cluster.address, "status")
+            return before, after, status, [e.to_dict() for e in tracer.events()]
+        finally:
+            await cluster.stop()
+
+    before, after, status, events = run(scenario())
+    assert after["candidates"]["payload"]["node_ids"] == before["candidates"]["payload"]["node_ids"]
+    assert status["promotions"] == 1
+    assert status["primaries"][0] == 1
+    assert status["down"][0] == [0]
+    promotes = [e for e in events if e["type"] == "manager_promote"]
+    assert len(promotes) == 1
+    assert promotes[0]["shard"] == 0
+    assert promotes[0]["reason"] == "unreachable"
+
+
+def test_restart_replica_rejoins_with_registry_handoff():
+    async def scenario():
+        tracer = Tracer()
+        cluster = ControlPlaneCluster(shards=2, replicas=2, tracer=tracer)
+        await cluster.start()
+        try:
+            await heartbeat_all(*cluster.address)
+            victim = await cluster.kill_primary(0)
+            await discover(*cluster.address)  # trigger detection + promotion
+            await cluster.restart_replica(0, victim)
+            status = await protocol.request(*cluster.address, "status")
+            # The returnee was re-seeded: its own registry holds the
+            # shard's nodes even though it missed their heartbeats.
+            rejoined = cluster.managers[0][victim]
+            assert rejoined is not None
+            replica_status = await protocol.request(
+                "127.0.0.1", rejoined.port, "status"
+            )
+            return status, replica_status, [e.to_dict() for e in tracer.events()]
+        finally:
+            await cluster.stop()
+
+    status, replica_status, events = run(scenario())
+    assert status["down"] == [[], []]
+    handoffs = [e for e in events if e["type"] == "registry_handoff"]
+    assert len(handoffs) == 1
+    assert handoffs[0]["reason"] == "rejoin"
+    # The registry travelled by snapshot, not by replayed heartbeats.
+    assert handoffs[0]["entries"] == len(replica_status["nodes"])
+    assert replica_status["nodes"]  # non-empty: the snapshot travelled
+    assert replica_status["heartbeats_received"] == 0
+
+
+def test_unavailable_shard_hangs_up_instead_of_replying():
+    """Every replica down: the router closes the connection without a
+    reply, so the client errors into its DiscoveryFailed path rather
+    than mistaking an outage for an empty candidate list."""
+
+    async def scenario():
+        cluster = ControlPlaneCluster(shards=1, replicas=1)
+        await cluster.start()
+        try:
+            await heartbeat_all(*cluster.address)
+            await cluster.kill_primary(0)
+            with pytest.raises((protocol.ProtocolError, OSError)):
+                await discover(*cluster.address)
+            status = await protocol.request(*cluster.address, "status")
+            return status
+        finally:
+            await cluster.stop()
+
+    status = run(scenario())
+    assert status["promotions"] == 0
+    assert status["down"] == [[0]]
+
+
+def test_heartbeats_replicate_to_standbys():
+    async def scenario():
+        cluster = ControlPlaneCluster(shards=1, replicas=3)
+        await cluster.start()
+        try:
+            await heartbeat_all(*cluster.address)
+            counts = []
+            for server in cluster.managers[0]:
+                assert server is not None
+                reply = await protocol.request(
+                    "127.0.0.1", server.port, "status"
+                )
+                counts.append(len(reply["nodes"]))
+            return counts
+        finally:
+            await cluster.stop()
+
+    assert run(scenario()) == [len(NODE_OFFSETS)] * 3

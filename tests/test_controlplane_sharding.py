@@ -1,0 +1,86 @@
+"""Unit tests for the control plane's geohash-range shard map."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.controlplane.sharding import DEFAULT_SHARD_PRECISION, ShardMap
+from repro.geo import geohash as gh
+
+
+class TestShardMap:
+    def test_single_shard_owns_everything(self):
+        shard_map = ShardMap(count=1)
+        assert shard_map.owner_of_cell(0) == 0
+        assert shard_map.owner_of_cell(shard_map.cell_space - 1) == 0
+
+    def test_ranges_partition_the_cell_space(self):
+        shard_map = ShardMap(count=7, precision=3)
+        covered = 0
+        previous_end = 0
+        for shard in range(7):
+            start, end = shard_map.shard_range(shard)
+            assert start == previous_end
+            covered += end - start
+            previous_end = end
+        assert covered == shard_map.cell_space
+        assert previous_end == shard_map.cell_space
+
+    def test_owner_respects_range_boundaries(self):
+        shard_map = ShardMap(count=4, precision=3)
+        for shard in range(4):
+            start, end = shard_map.shard_range(shard)
+            assert shard_map.owner_of_cell(start) == shard
+            assert shard_map.owner_of_cell(end - 1) == shard
+
+    def test_owner_of_geohash_matches_cell_codec(self):
+        shard_map = ShardMap(count=5)
+        for geohash in ("9zvx", "9zvxk", "dp0qrs", "c2b2qhw9e"):
+            cell = gh.geohash_to_cell(geohash[:DEFAULT_SHARD_PRECISION])
+            assert shard_map.owner_of_geohash(geohash) == shard_map.owner_of_cell(cell)
+
+    def test_owner_of_geohash_requires_shard_precision(self):
+        shard_map = ShardMap(count=2, precision=4)
+        with pytest.raises(ValueError):
+            shard_map.owner_of_geohash("9zv")
+
+    def test_short_cell_expands_to_owner_range(self):
+        """A covering cell coarser than the shard precision can straddle
+        shards: its owners are the owners of its child-cell range."""
+        shard_map = ShardMap(count=8, precision=4)
+        parent = "9zv"  # precision 3 < shard precision 4
+        owners = shard_map.owners_of_cell_str(parent)
+        children = {
+            shard_map.owner_of_geohash(parent + suffix)
+            for suffix in "0123456789bcdefghjkmnpqrstuvwxyz"
+        }
+        assert set(owners) == children
+        # Geohash integer ranges are contiguous, so the owners are too.
+        assert list(owners) == list(range(owners[0], owners[-1] + 1))
+
+    def test_owners_for_cells_sorted_and_deduped(self):
+        shard_map = ShardMap(count=8, precision=4)
+        cells = ["9zvx", "9zvy", "9zvx", "dp0q"]
+        owners = shard_map.owners_for_cells(cells)
+        assert list(owners) == sorted(set(owners))
+
+    def test_derive_bumps_epoch(self):
+        shard_map = ShardMap(count=2)
+        successor = shard_map.derive(count=4)
+        assert successor.epoch == shard_map.epoch + 1
+        assert successor.count == 4
+        assert successor.precision == shard_map.precision
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            ShardMap(count=0)
+        with pytest.raises(ValueError):
+            ShardMap(count=1, precision=0)
+        with pytest.raises(ValueError):
+            ShardMap(count=1, epoch=-1)
+        with pytest.raises(ValueError):
+            ShardMap(count=1 << 20, precision=1)  # more shards than cells
+
+    def test_describe_mentions_count_and_epoch(self):
+        text = ShardMap(count=3, epoch=2).describe()
+        assert "3" in text and "2" in text

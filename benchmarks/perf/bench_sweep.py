@@ -1,16 +1,20 @@
-"""Sweep-engine throughput: serial loop vs process-pool execution.
+"""Sweep-engine throughput: per-platform wall-clock and bit-identity.
 
 Runs the ``fig9_topn`` sweep (TopN 1-5 x 5 seeds = 25 independent
-simulation runs by default) twice through ``repro.sweep.run_sweep``:
+simulation runs by default) once per execution platform through
+``repro.sweep.run_sweep``:
 
-- **serial**   — the plain in-process loop (``serial=True``).
-- **parallel** — a ``ProcessPoolExecutor`` with ``--workers`` processes.
+- **inline**     — the serial in-process reference loop.
+- **pool**       — a ``ProcessPoolExecutor`` with ``--workers`` processes.
+- **subprocess** — ``--workers`` long-lived worker subprocesses speaking
+  the JSON-lines protocol of ``repro.sweep.worker``.
 
-Determinism first, speed second: before timing is reported, the two
-executions' cross-seed aggregates must be **bit-identical**
-(``aggregates_digest`` over every cell and metric), and a resume pass
-over the parallel store must re-execute **zero** runs. Both checks and
-the measured wall-clock go into ``BENCH_perf.json``.
+Determinism first, speed second: before timing is reported, every
+platform's cross-seed aggregates must be **bit-identical** to the
+inline reference (``aggregates_digest`` over every cell and metric),
+and a resume pass over the pool store must re-execute **zero** runs.
+The checks, per-platform wall-clock, and per-platform throughput
+(runs/s) all go into the ``sweep`` section of ``BENCH_perf.json``.
 
 The >=3x acceptance target assumes >=4 usable cores (the CI runners
 have 4). On smaller machines the speedup is recorded honestly along
@@ -29,10 +33,13 @@ import sys
 import tempfile
 import time
 from pathlib import Path
-from typing import List
+from typing import Dict, List
 
 from repro.metrics.bench import record_bench_section
 from repro.sweep import RunStore, SweepSpec, aggregates_digest, run_sweep
+
+#: Platforms measured, inline (the bit-identity reference) first.
+BENCH_PLATFORMS = ["inline", "pool", "subprocess"]
 
 
 def usable_cpus() -> int:
@@ -65,46 +72,53 @@ def main(argv: List[str] | None = None) -> int:
         args.experiment, {"top_n": top_ns},
         n_seeds=args.seeds, base_seed=args.base_seed,
     )
+    total_runs = spec.total_runs()
     cpus = usable_cpus()
-    print(f"sweep: {spec.total_runs()} runs "
+    print(f"sweep: {total_runs} runs "
           f"({len(top_ns)} cells x {args.seeds} seeds), "
           f"{args.workers} workers on {cpus} usable cpus")
 
+    wall: Dict[str, float] = {}
+    digests: Dict[str, str] = {}
     with tempfile.TemporaryDirectory(prefix="bench_sweep.") as tmp:
         tmp_path = Path(tmp)
+        stores = {name: RunStore(tmp_path / name) for name in BENCH_PLATFORMS}
 
-        t0 = time.perf_counter()
-        serial = run_sweep(spec, RunStore(tmp_path / "serial"), serial=True)
-        serial_s = time.perf_counter() - t0
+        for name in BENCH_PLATFORMS:
+            t0 = time.perf_counter()
+            result = run_sweep(
+                spec, stores[name], platform=name, workers=args.workers
+            )
+            wall[name] = time.perf_counter() - t0
+            digests[name] = aggregates_digest(result.aggregates())
+            if result.failed:
+                print(f"FAILED: {result.failed} {name} runs did not complete")
+                return 1
 
-        parallel_store = RunStore(tmp_path / "parallel")
-        t0 = time.perf_counter()
-        parallel = run_sweep(spec, parallel_store, workers=args.workers)
-        parallel_s = time.perf_counter() - t0
+        # Determinism: every platform bit-identical to the inline
+        # reference, cell by cell, metric by metric.
+        reference = digests["inline"]
+        for name, digest in digests.items():
+            if digest != reference:
+                print(f"FAILED: {name} aggregates differ from inline")
+                return 1
 
-        # Determinism: parallel aggregates bit-identical to serial's.
-        serial_digest = aggregates_digest(serial.aggregates())
-        parallel_digest = aggregates_digest(parallel.aggregates())
-        if serial_digest != parallel_digest:
-            print("FAILED: parallel aggregates differ from serial")
-            return 1
-        if serial.failed or parallel.failed:
-            print(f"FAILED: {serial.failed} serial / {parallel.failed} "
-                  "parallel runs did not complete")
-            return 1
-
-        # Resume: a second pass over the same store executes nothing.
-        resumed = run_sweep(spec, parallel_store, workers=args.workers)
+        # Resume: a second pass over the pool store executes nothing.
+        resumed = run_sweep(
+            spec, stores["pool"], platform="pool", workers=args.workers
+        )
         if resumed.executed != 0:
             print(f"FAILED: resume re-executed {resumed.executed} runs")
             return 1
 
+    serial_s = wall["inline"]
+    parallel_s = wall["pool"]
     speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
     target_met = speedup >= args.speedup_target
 
     result = {
         "experiment": args.experiment,
-        "runs": spec.total_runs(),
+        "runs": total_runs,
         "seeds": args.seeds,
         "top_ns": top_ns,
         "workers": args.workers,
@@ -114,15 +128,26 @@ def main(argv: List[str] | None = None) -> int:
         "speedup": round(speedup, 2),
         "speedup_target": args.speedup_target,
         "speedup_target_met": target_met,
+        "platforms": {
+            name: {
+                "wall_s": round(wall[name], 3),
+                "runs_per_s": round(total_runs / wall[name], 2)
+                if wall[name] > 0 else 0.0,
+            }
+            for name in BENCH_PLATFORMS
+        },
         "aggregates": "identical",
         "resume_reexecuted": 0,
     }
     record_bench_section(args.output, "sweep", result)
 
-    print(f"  serial   : {serial_s:8.2f} s")
-    print(f"  parallel : {parallel_s:8.2f} s   ({args.workers} workers)")
-    print(f"  speedup  : {speedup:8.2f}x   (aggregates: identical, "
-          f"resume re-executed: 0)")
+    for name in BENCH_PLATFORMS:
+        rate = total_runs / wall[name] if wall[name] > 0 else 0.0
+        suffix = "" if name == "inline" else f"   ({args.workers} workers)"
+        print(f"  {name:<10} : {wall[name]:8.2f} s  "
+              f"{rate:8.2f} runs/s{suffix}")
+    print(f"  speedup    : {speedup:8.2f}x pool vs inline  "
+          f"(aggregates: identical, resume re-executed: 0)")
     print(f"wrote {args.output}")
 
     if args.require_speedup or cpus >= 4:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import SystemConfig
 from repro.metrics.report import format_cdf, format_table
@@ -459,15 +459,22 @@ def cmd_sweep_run(args: argparse.Namespace) -> None:
     )
     store = _sweep_store(args, experiment.name)
     tracer = Tracer(sink=args.trace_out) if args.trace_out else None
+    platform = getattr(args, "platform", None)
+    if platform is not None:
+        where = f"platform={platform}, {args.workers} workers"
+    elif args.serial or args.workers == 1:
+        where = "serial"
+    else:
+        where = f"{args.workers} workers"
     print(
         f"sweep {experiment.name}: {spec.total_runs()} runs "
-        f"({'serial' if args.serial or args.workers == 1 else f'{args.workers} workers'}) "
-        f"-> {store.root}"
+        f"({where}) -> {store.root}"
     )
     try:
         result = run_sweep(
             spec,
             store,
+            platform=platform,
             workers=args.workers,
             serial=args.serial,
             timeout_s=args.timeout_s,
@@ -510,6 +517,17 @@ def cmd_sweep_status(args: argparse.Namespace) -> None:
     print(f"completed: {done}/{len(runs)}")
     print(f"failed: {len(failed)}")
     print(f"pending: {len(runs) - done - len(failed)}")
+    present = [records[r.run_key] for r in runs if r.run_key in records]
+    by_status: Dict[str, int] = {}
+    for record in present:
+        by_status[record.status] = by_status.get(record.status, 0) + 1
+    counts = " ".join(f"{s}={n}" for s, n in sorted(by_status.items()))
+    wall = sum(r.duration_s for r in present)
+    attempts = sum(r.attempts for r in present)
+    print(
+        f"summary: {counts or 'no records'} | attempts={attempts} "
+        f"run-wall={wall:.2f}s"
+    )
     if failed:
         print(
             format_table(
@@ -539,10 +557,32 @@ def _print_sweep_report(store, metric: Optional[str]) -> None:
 
 
 def cmd_sweep_report(args: argparse.Namespace) -> None:
-    from repro.sweep import RunStore
+    from repro.sweep import (
+        RunStore,
+        SectionCheckFailed,
+        render_store_markdown,
+        update_tagged_section,
+    )
 
     store = RunStore(args.store)
-    _print_sweep_report(store, metric=args.metric)
+    if args.update:
+        body = render_store_markdown(store)
+        try:
+            changed = update_tagged_section(
+                args.update, args.tag, body, check=args.check
+            )
+        except SectionCheckFailed as stale:
+            raise SystemExit(f"report check failed: {stale}") from None
+        if args.check:
+            print(f"report section {args.tag!r} in {args.update} is current")
+        elif changed:
+            print(f"updated section {args.tag!r} in {args.update}")
+        else:
+            print(f"section {args.tag!r} in {args.update} already current")
+    elif args.markdown:
+        print(render_store_markdown(store), end="")
+    else:
+        _print_sweep_report(store, metric=args.metric)
     if args.jsonl:
         count = store.export_jsonl(args.jsonl)
         print(f"exported {count} run records -> {args.jsonl}")
@@ -565,6 +605,16 @@ def cmd_sweep_list(args: argparse.Namespace) -> None:
             title="sweepable experiments",
         )
     )
+    print("\nparameters (pass as --param NAME=V1,V2,...):")
+    for name in experiment_names():
+        exp = get_experiment(name)
+        print(f"  {name}:")
+        if not exp.param_help:
+            print("    (no documented parameters)")
+            continue
+        width = max(len(p) for p in exp.param_help)
+        for param in sorted(exp.param_help):
+            print(f"    {param.ljust(width)}  {exp.param_help[param]}")
 
 
 _SWEEP_SUBCOMMANDS = {
@@ -720,6 +770,14 @@ def _add_sweep_subparsers(parser: argparse.ArgumentParser) -> None:
                      help="run-store directory (default .sweeps/<experiment>)")
     run.add_argument("--workers", type=int, default=1,
                      help="process-pool size (1 = in-process)")
+    run.add_argument(
+        "--platform", default=None,
+        choices=["local", "inline", "pool", "subprocess"],
+        help="execution platform: local/inline (serial, in-process), "
+             "pool (process pool), subprocess (long-lived worker "
+             "subprocesses with heartbeats). Default: local when "
+             "--workers 1, else pool",
+    )
     run.add_argument("--serial", action="store_true",
                      help="force the serial reference executor")
     run.add_argument("--timeout-s", type=float, default=None,
@@ -740,6 +798,25 @@ def _add_sweep_subparsers(parser: argparse.ArgumentParser) -> None:
                         help="report one metric (default: all)")
     report.add_argument("--jsonl", default=None, metavar="PATH",
                         help="also export merged run records as JSONL")
+    report.add_argument(
+        "--markdown", action="store_true",
+        help="emit Markdown tables (mean ± ci95 per cell) instead of "
+             "the ASCII report",
+    )
+    report.add_argument(
+        "--update", default=None, metavar="DOC",
+        help="splice the Markdown report into DOC between "
+             "<!-- sweep-report:TAG --> markers (atomic write)",
+    )
+    report.add_argument(
+        "--tag", default="all", metavar="TAG",
+        help="tagged-section name used with --update (default: all)",
+    )
+    report.add_argument(
+        "--check", action="store_true",
+        help="with --update: verify the section is already "
+             "byte-identical; exit non-zero if stale (CI gate)",
+    )
 
     sub.add_parser("list", help="list sweepable experiments")
 

@@ -1,9 +1,12 @@
 """BENCH_perf.json bookkeeping for the perf-benchmark harness.
 
 ``benchmarks/perf/*`` scripts each measure one axis (discovery-query
-throughput, steady-state event throughput) and record their section into
-a single merged report at the repo root, so the performance trajectory
-of the fast path is tracked as one file across revisions.
+throughput, steady-state event throughput, per-platform sweep
+throughput) and record their section into a single merged report at
+the repo root, so the performance trajectory of the fast path is
+tracked as one file across revisions. The ``sweep`` section carries a
+``platforms`` sub-table — wall-clock and runs/s for each registered
+execution platform (inline/pool/subprocess) at the benchmark grid.
 """
 
 from __future__ import annotations

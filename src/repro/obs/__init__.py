@@ -55,11 +55,14 @@ from repro.obs.events import (
     ProbeAnswered,
     ProbeSent,
     RetryScheduled,
+    RunRequeued,
     SweepRunFinished,
     SweepRunRetried,
     SweepRunSkipped,
     SweepRunStarted,
     Switch,
+    WorkerDead,
+    WorkerSpawn,
     TestWorkloadInvoked,
     TraceEvent,
     UncoveredFailure,
@@ -111,4 +114,7 @@ __all__ = [
     "SweepRunFinished",
     "SweepRunRetried",
     "SweepRunSkipped",
+    "WorkerSpawn",
+    "WorkerDead",
+    "RunRequeued",
 ]

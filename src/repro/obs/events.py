@@ -52,6 +52,9 @@ __all__ = [
     "SweepRunFinished",
     "SweepRunRetried",
     "SweepRunSkipped",
+    "WorkerSpawn",
+    "WorkerDead",
+    "RunRequeued",
     "ShardHandoff",
     "ShardRoute",
     "ShardMerge",
@@ -444,6 +447,46 @@ class SweepRunSkipped(TraceEvent):
     experiment: str
 
 
+@dataclass
+class WorkerSpawn(TraceEvent):
+    """An execution platform started a worker (process or subprocess).
+
+    ``worker`` is the platform-local slot label (stable across
+    respawns); ``pid`` the OS process id of this incarnation."""
+
+    type: ClassVar[str] = "worker_spawn"
+    worker: str
+    pid: int
+    platform: str
+
+
+@dataclass
+class WorkerDead(TraceEvent):
+    """A platform worker was declared dead (exit, EOF, stale heartbeat,
+    or per-run timeout). ``run_key`` names the in-flight run it took
+    down, if any — that run is handed back to the scheduler."""
+
+    type: ClassVar[str] = "worker_dead"
+    worker: str
+    pid: int
+    reason: str
+    run_key: Optional[str] = None
+
+
+@dataclass
+class RunRequeued(TraceEvent):
+    """A dead/hung worker's in-flight run was handed back for requeue.
+
+    Emitted by the platform at handback time; whether the run actually
+    re-executes is the scheduler's retry-budget decision (a re-submit
+    shows up as ``sweep_run_retried``)."""
+
+    type: ClassVar[str] = "run_requeued"
+    run_key: str
+    experiment: str
+    reason: str
+
+
 # ----------------------------------------------------------------------
 # Metro kernel / sharding
 # ----------------------------------------------------------------------
@@ -559,6 +602,9 @@ EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
         SweepRunFinished,
         SweepRunRetried,
         SweepRunSkipped,
+        WorkerSpawn,
+        WorkerDead,
+        RunRequeued,
         ShardHandoff,
         ShardRoute,
         ShardMerge,

@@ -1,28 +1,43 @@
-"""``repro.sweep`` — parallel, resumable experiment execution.
+"""``repro.sweep`` — a platform-pluggable, resumable experiment engine.
 
 The paper's evaluation is a grid: parameter axes x seeds x strategies.
 This subsystem turns any registered experiment into a sweepable unit
 and executes the grid with the job-runner shape production stacks use —
-sharding across workers, content-addressed result caching, bounded
-retry, deterministic aggregation:
+pluggable execution platforms, content-addressed result caching,
+bounded retry, deterministic aggregation, automated reporting:
 
 - :mod:`repro.sweep.spec` — :class:`SweepSpec` (declarative grid) and
   :class:`RunSpec` (one run, with a content-hashed ``run_key`` and an
   order-independent ``root_seed``).
 - :mod:`repro.sweep.registry` — named sweepable experiments
-  (``fig9_topn``, ``churn_trace``, ``network_study``, ``qos_admission``).
+  (``fig9_topn``, ``chaos_matrix``, ``policy_matrix``,
+  ``controlplane_chaos``, ...), each with a parameter schema shown by
+  ``repro sweep list``.
 - :mod:`repro.sweep.store` — crash-safe on-disk run store (atomic
   JSONL records keyed by ``run_key``); interrupted sweeps resume by
   skipping completed runs.
-- :mod:`repro.sweep.executor` — :func:`run_sweep`: process-pool
-  execution with per-run timeout and crash retry, plus a bit-identical
-  serial reference mode.
+- :mod:`repro.sweep.executor` — :func:`run_sweep`, the sans-execution
+  scheduler: ordering, resume-skip, retry budgets, Ctrl-C-safe
+  persistence. Never touches a pool.
+- :mod:`repro.sweep.platform` — the :class:`ExecutionPlatform` seam and
+  its implementations: inline (serial reference), process pool, and
+  long-lived worker subprocesses (:mod:`repro.sweep.worker`) speaking a
+  host-agnostic JSON-lines protocol with heartbeats and dead-worker
+  requeue.
 - :mod:`repro.sweep.aggregate` — cross-seed mean/p50/p95/CI reduction
   and comparison tables.
+- :mod:`repro.sweep.report` — store -> Markdown tables and tagged-
+  section refresh of EXPERIMENTS.md (byte-reproducible; CI diffs it).
 
-CLI: ``repro sweep run|status|report``. Lifecycle trace events
-(``sweep_run_started``/``finished``/``retried``/``skipped``) flow
-through :mod:`repro.obs` like every other subsystem's.
+Results are bit-identical across platforms: a run's metrics are a pure
+function of its content-derived ``root_seed``, so serial, pooled,
+subprocess, interrupted-and-resumed executions all converge to the same
+``aggregates_digest``.
+
+CLI: ``repro sweep run|status|list|report``. Lifecycle trace events
+(``sweep_run_started``/``finished``/``retried``/``skipped``,
+``worker_spawn``/``worker_dead``/``run_requeued``) flow through
+:mod:`repro.obs` like every other subsystem's.
 """
 
 from repro.sweep.aggregate import (
@@ -34,11 +49,28 @@ from repro.sweep.aggregate import (
     metric_names,
 )
 from repro.sweep.executor import SweepInterrupted, SweepResult, run_sweep
+from repro.sweep.platform import (
+    ExecutionPlatform,
+    InlinePlatform,
+    ProcessPoolPlatform,
+    RunOutcome,
+    SubprocessPlatform,
+    make_platform,
+    platform_names,
+)
 from repro.sweep.registry import (
     SweepableExperiment,
     experiment_names,
     get_experiment,
     register,
+)
+from repro.sweep.report import (
+    SectionCheckFailed,
+    render_markdown,
+    render_store_markdown,
+    store_digest,
+    tagged_section,
+    update_tagged_section,
 )
 from repro.sweep.spec import RunSpec, SweepSpec
 from repro.sweep.store import RunRecord, RunStore
@@ -51,6 +83,13 @@ __all__ = [
     "run_sweep",
     "SweepResult",
     "SweepInterrupted",
+    "ExecutionPlatform",
+    "RunOutcome",
+    "InlinePlatform",
+    "ProcessPoolPlatform",
+    "SubprocessPlatform",
+    "make_platform",
+    "platform_names",
     "SweepableExperiment",
     "register",
     "get_experiment",
@@ -61,4 +100,10 @@ __all__ = [
     "metric_names",
     "CellAggregate",
     "MetricAggregate",
+    "render_markdown",
+    "render_store_markdown",
+    "store_digest",
+    "tagged_section",
+    "update_tagged_section",
+    "SectionCheckFailed",
 ]

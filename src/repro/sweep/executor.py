@@ -1,44 +1,40 @@
-"""Parallel, resumable sweep execution.
+"""The sans-execution sweep scheduler.
 
 :func:`run_sweep` drives a :class:`~repro.sweep.spec.SweepSpec` to
-completion over an optional :class:`~repro.sweep.store.RunStore`:
+completion over an optional :class:`~repro.sweep.store.RunStore` — but
+it never touches a pool, a pipe, or a process itself. Execution is
+delegated to a pluggable :class:`~repro.sweep.platform.ExecutionPlatform`
+(inline / process pool / worker subprocesses; see
+:mod:`repro.sweep.platform`), and the scheduler owns everything that is
+*policy*, identically on every platform:
 
 - **Resume.** Runs whose ``run_key`` already has a successful record in
   the store are skipped (a ``sweep_run_skipped`` trace event each); an
   interrupted sweep re-executes exactly the missing runs.
-- **Parallelism.** A ``ProcessPoolExecutor`` with a configurable worker
-  count. Workers resolve experiments *by name* from
-  :mod:`repro.sweep.registry`, so only scalars cross the pickle
-  boundary. The pool uses the ``fork`` start method where available
-  (runtime-registered experiments keep working); built-ins re-register
-  at import so ``spawn`` platforms work too.
-- **Failure containment.** An exception raised *by the experiment* is
-  recorded as a failed run (status ``failed``) and the sweep continues —
-  deterministic failures would fail again, so they are not retried
-  within a sweep, but a later sweep over the same store retries them.
-  Infrastructure failures — a crashed worker (``BrokenProcessPool``) or
-  a per-run timeout — are retried up to ``retries`` times in a fresh
-  pool, then recorded (``failed``/``timeout``).
-- **Determinism.** Results are reported in the spec's expansion order
+- **Ordering.** Results are reported in the spec's expansion order
   regardless of completion order, and every run's randomness is rooted
-  in its content-derived ``root_seed`` — so the serial executor
-  (``serial=True``) and any parallel execution produce bit-identical
-  per-run metrics, hence bit-identical aggregates.
-
-``KeyboardInterrupt``/``SystemExit`` propagate after already-completed
-runs have been persisted — which is what makes Ctrl-C + re-run a
-correct resume, not a corruption.
+  in its content-derived ``root_seed`` — so any platform produces
+  bit-identical per-run metrics, hence bit-identical aggregates.
+- **Failure containment & retry.** An exception raised *by the
+  experiment* is recorded as a failed run (status ``failed``) and the
+  sweep continues — deterministic failures would fail again, so they
+  are not retried within a sweep, but a later sweep over the same store
+  retries them. Infrastructure losses surfaced by the platform (a
+  crashed worker, a per-run timeout) are re-submitted up to ``retries``
+  times, then recorded (``failed``/``timeout``); losses the platform
+  marks *collateral* (bystanders of someone else's failure) are
+  re-submitted without charging their budget.
+- **Crash safety.** Every record is persisted the moment its outcome
+  arrives; ``KeyboardInterrupt``/``SystemExit`` propagate only after
+  completed runs are on disk — which is what makes Ctrl-C + re-run a
+  correct resume, not a corruption.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FuturesTimeout
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.obs.events import (
     SweepRunFinished,
@@ -48,7 +44,11 @@ from repro.obs.events import (
 )
 from repro.obs.tracer import Tracer
 from repro.sweep.aggregate import CellAggregate, aggregate_records
-from repro.sweep.registry import get_experiment
+from repro.sweep.platform import (
+    ExecutionPlatform,
+    RunOutcome,
+    make_platform,
+)
 from repro.sweep.spec import RunSpec, SweepSpec
 from repro.sweep.store import (
     STATUS_FAILED,
@@ -82,7 +82,8 @@ class SweepResult:
 
     ``records`` follows the spec's expansion order. Counters partition
     the spec's runs: ``executed + skipped == total`` when the sweep ran
-    to completion (``interrupted`` False).
+    to completion (``interrupted`` False). ``platform`` names the
+    execution platform that ran the pending runs.
     """
 
     spec: SweepSpec
@@ -93,6 +94,7 @@ class SweepResult:
     retried: int = 0
     interrupted: bool = False
     wall_s: float = 0.0
+    platform: str = "inline"
 
     def ok_records(self) -> List[RunRecord]:
         return [r for r in self.records if r.ok]
@@ -102,23 +104,13 @@ class SweepResult:
         return aggregate_records(self.ok_records())
 
 
-def _invoke(experiment: str, params: Dict[str, Any], root_seed: int):
-    """Worker entry point: resolve by name, run, return (metrics, secs)."""
-    fn = get_experiment(experiment).fn
-    start = time.perf_counter()
-    metrics = fn(dict(params), root_seed)
-    return metrics, time.perf_counter() - start
-
-
-def _record_for(
-    run: RunSpec,
-    status: str,
-    *,
-    metrics: Optional[Dict[str, float]] = None,
-    error: Optional[str] = None,
-    attempts: int = 1,
-    duration_s: float = 0.0,
+def _record_from_outcome(
+    run: RunSpec, outcome: RunOutcome, *, attempts: int
 ) -> RunRecord:
+    """A persistable record for a terminal outcome (ok/failed/timeout)."""
+    status = outcome.status
+    if status not in (STATUS_OK, STATUS_FAILED, STATUS_TIMEOUT):
+        status = STATUS_FAILED  # a "lost" run out of retry budget
     return RunRecord(
         run_key=run.run_key,
         experiment=run.experiment,
@@ -126,32 +118,29 @@ def _record_for(
         seed_index=run.seed_index,
         root_seed=run.root_seed,
         status=status,
-        metrics=metrics or {},
-        error=error,
+        metrics=dict(outcome.metrics) if status == STATUS_OK else {},
+        error=outcome.error,
         attempts=attempts,
-        duration_s=duration_s,
+        duration_s=outcome.duration_s,
     )
 
 
-def _mp_context():
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else None)
-
-
-def _kill_pool(pool: ProcessPoolExecutor) -> None:
-    """Tear a pool down even when a worker is wedged mid-task.
-
-    ``shutdown`` alone would leave the hung worker alive (and the
-    interpreter's atexit hook would later join it forever); there is no
-    public kill API, so reach for the worker processes directly.
-    """
-    pool.shutdown(wait=False, cancel_futures=True)
-    processes = getattr(pool, "_processes", None) or {}
-    for process in list(processes.values()):
-        try:
-            process.kill()
-        except (OSError, AttributeError):  # pragma: no cover - racing exit
-            pass
+def _resolve_platform(
+    platform: Optional[Union[str, ExecutionPlatform]],
+    *,
+    workers: int,
+    serial: bool,
+    timeout_s: Optional[float],
+    tracer: Tracer,
+) -> ExecutionPlatform:
+    """Pick the platform: explicit object > name > legacy serial/workers."""
+    if platform is None:
+        platform = "inline" if serial or workers == 1 else "pool"
+    if isinstance(platform, str):
+        return make_platform(
+            platform, workers=workers, timeout_s=timeout_s, tracer=tracer
+        )
+    return platform
 
 
 # ----------------------------------------------------------------------
@@ -159,6 +148,7 @@ def run_sweep(
     spec: SweepSpec,
     store: Optional[RunStore] = None,
     *,
+    platform: Optional[Union[str, ExecutionPlatform]] = None,
     workers: int = 1,
     serial: bool = False,
     timeout_s: Optional[float] = None,
@@ -172,22 +162,30 @@ def run_sweep(
     Args:
         spec: the sweep to run.
         store: persistent run store; None = in-memory only (no resume).
-        workers: process-pool size; ignored when ``serial`` is True.
-        serial: run everything in-process, in order — the bit-identical
-            reference executor (also the only mode where a debugger or
-            an ad-hoc closure experiment always works).
-        timeout_s: coarse per-run wall bound (parallel mode only). A run
-            that exceeds it is recorded with status ``timeout`` and its
-            pool is recycled; the bound is measured from when the
-            executor starts waiting on that run, so it is an upper
+        platform: where runs execute — a registered platform name
+            (``inline``/``local``, ``pool``, ``subprocess``) or a
+            ready-made :class:`~repro.sweep.platform.ExecutionPlatform`
+            instance (the scheduler shuts it down either way). Default:
+            ``inline`` when ``serial`` or ``workers == 1``, else
+            ``pool`` — the pre-platform behaviour, unchanged.
+        workers: worker count handed to the platform factory (pool size
+            / subprocess count); ignored by the inline platform.
+        serial: legacy alias for ``platform="inline"``.
+        timeout_s: coarse per-run wall bound, enforced by platforms that
+            support one (pool: the ``Future.result`` wait; subprocess:
+            in-flight age). A run that exceeds it is recorded with
+            status ``timeout`` after its retry budget; the inline
+            platform ignores it. The bound is measured from when the
+            platform starts waiting on that run, so it is an upper
             bound, not a precise stopwatch.
-        retries: how many times an infrastructure failure (worker crash,
+        retries: how many times an infrastructure loss (worker crash,
             timeout) re-submits a run before recording it as lost.
         limit: execute at most this many runs, then raise
             :class:`SweepInterrupted` (completed work is persisted) —
             the deterministic "interrupt" used by resume tests and CI.
         tracer: optional :class:`~repro.obs.tracer.Tracer` receiving
-            sweep lifecycle events (started/finished/retried/skipped).
+            sweep lifecycle events (started/finished/retried/skipped
+            plus the platform's worker_spawn/worker_dead/run_requeued).
         progress: optional callback invoked with each fresh record.
     """
     if workers < 1:
@@ -232,20 +230,18 @@ def run_sweep(
             progress(record)
 
     budget = len(pending) if limit is None else min(limit, len(pending))
+    engine = _resolve_platform(
+        platform, workers=workers, serial=serial, timeout_s=timeout_s,
+        tracer=tracer,
+    )
+    result.platform = engine.name
     try:
-        if serial or workers == 1:
-            _run_serial(pending[:budget], commit, tracer)
-        else:
-            _run_parallel(
-                pending[:budget],
-                commit,
-                tracer,
-                workers=workers,
-                timeout_s=timeout_s,
-                retries=retries,
-                result=result,
-            )
+        _schedule(
+            pending[:budget], engine, commit, tracer,
+            retries=retries, result=result,
+        )
     finally:
+        engine.shutdown()
         result.records = [by_key[r.run_key] for r in runs if r.run_key in by_key]
         result.wall_s = time.perf_counter() - started
 
@@ -256,183 +252,72 @@ def run_sweep(
 
 
 # ----------------------------------------------------------------------
-def _run_serial(
+def _schedule(
     pending: List[RunSpec],
-    commit: Callable[[RunRecord], None],
-    tracer: Tracer,
-) -> None:
-    for run in pending:
-        if tracer.enabled:
-            tracer.emit(
-                SweepRunStarted(tracer.now(), run.run_key, run.experiment)
-            )
-        start = time.perf_counter()
-        try:
-            metrics, duration = _invoke(
-                run.experiment, run.params_dict(), run.root_seed
-            )
-        except Exception as exc:  # noqa: BLE001 - contained per-run
-            record = _record_for(
-                run,
-                STATUS_FAILED,
-                error=f"{type(exc).__name__}: {exc}",
-                duration_s=time.perf_counter() - start,
-            )
-        else:
-            record = _record_for(
-                run, STATUS_OK, metrics=metrics, duration_s=duration
-            )
-        commit(record)
-        if tracer.enabled:
-            tracer.emit(
-                SweepRunFinished(
-                    tracer.now(),
-                    run.run_key,
-                    run.experiment,
-                    record.status,
-                    record.duration_s,
-                )
-            )
-
-
-# ----------------------------------------------------------------------
-def _run_parallel(
-    pending: List[RunSpec],
+    engine: ExecutionPlatform,
     commit: Callable[[RunRecord], None],
     tracer: Tracer,
     *,
-    workers: int,
-    timeout_s: Optional[float],
     retries: int,
     result: SweepResult,
 ) -> None:
+    """Submit/drain waves until every pending run has a terminal record.
+
+    Each wave submits the queue (emitting ``sweep_run_started`` with the
+    attempt number), drains the platform, records terminal outcomes, and
+    collects infrastructure losses into the next wave — bounded by the
+    per-run ``retries`` budget (collateral losses ride free).
+    """
+    by_key: Dict[str, RunSpec] = {run.run_key: run for run in pending}
     attempts: Dict[str, int] = {run.run_key: 0 for run in pending}
-    context = _mp_context()
-    wave = list(pending)
-    while wave:
-        next_wave: List[RunSpec] = []
-        pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
-        try:
-            futures = {}
-            for run in wave:
-                attempts[run.run_key] += 1
+    queue = list(pending)
+    while queue:
+        wave, queue = queue, []
+        for run in wave:
+            attempts[run.run_key] += 1
+            if tracer.enabled:
+                tracer.emit(
+                    SweepRunStarted(
+                        tracer.now(),
+                        run.run_key,
+                        run.experiment,
+                        attempts[run.run_key],
+                    )
+                )
+            engine.submit(run)
+        for outcome in engine.drain():
+            run = by_key[outcome.run_key]
+            key = run.run_key
+            if outcome.is_terminal:
+                record = _record_from_outcome(
+                    run, outcome, attempts=attempts[key]
+                )
+                commit(record)
+                _emit_finished(tracer, run, record)
+                continue
+            # Infrastructure loss: requeue within budget, else record.
+            if outcome.collateral:
+                attempts[key] -= 1  # not its fault; re-run rides free
+                queue.append(run)
+            elif attempts[key] <= retries:
+                result.retried += 1
                 if tracer.enabled:
                     tracer.emit(
-                        SweepRunStarted(
+                        SweepRunRetried(
                             tracer.now(),
-                            run.run_key,
+                            key,
                             run.experiment,
-                            attempts[run.run_key],
+                            attempts[key] + 1,
+                            outcome.error or outcome.status,
                         )
                     )
-                futures[run.run_key] = pool.submit(
-                    _invoke, run.experiment, run.params_dict(), run.root_seed
+                queue.append(run)
+            else:
+                record = _record_from_outcome(
+                    run, outcome, attempts=attempts[key]
                 )
-            pool_broken = False
-            for index, run in enumerate(wave):
-                key = run.run_key
-                if pool_broken:
-                    # The pool died; results that completed before the
-                    # crash are still held by their futures — keep them,
-                    # retry the rest without waiting.
-                    done = futures[key]
-                    if done.done() and done.exception() is None:
-                        metrics, duration = done.result()
-                        record = _record_for(
-                            run, STATUS_OK, metrics=metrics,
-                            attempts=attempts[key], duration_s=duration,
-                        )
-                        commit(record)
-                        _emit_finished(tracer, run, record)
-                    else:
-                        _retry_or_fail(
-                            run, "worker pool crashed", STATUS_FAILED,
-                            attempts, retries, next_wave, commit, tracer,
-                            result,
-                        )
-                    continue
-                try:
-                    metrics, duration = futures[key].result(timeout=timeout_s)
-                except BrokenProcessPool:
-                    pool_broken = True
-                    _retry_or_fail(
-                        run, "worker pool crashed", STATUS_FAILED,
-                        attempts, retries, next_wave, commit, tracer, result,
-                    )
-                    continue
-                except FuturesTimeout:
-                    # The slot is wedged; recycle the pool and resubmit
-                    # everything not yet collected.
-                    _retry_or_fail(
-                        run, f"run exceeded {timeout_s}s", STATUS_TIMEOUT,
-                        attempts, retries, next_wave, commit, tracer, result,
-                    )
-                    for late in wave[index + 1 :]:
-                        done = futures[late.run_key]
-                        if done.done() and not done.exception():
-                            metrics, duration = done.result()
-                            record = _record_for(
-                                late, STATUS_OK, metrics=metrics,
-                                attempts=attempts[late.run_key],
-                                duration_s=duration,
-                            )
-                            commit(record)
-                            _emit_finished(tracer, late, record)
-                        else:
-                            attempts[late.run_key] -= 1  # not its fault
-                            next_wave.append(late)
-                    _kill_pool(pool)
-                    break
-                except Exception as exc:  # noqa: BLE001 - experiment error
-                    record = _record_for(
-                        run, STATUS_FAILED,
-                        error=f"{type(exc).__name__}: {exc}",
-                        attempts=attempts[key],
-                    )
-                    commit(record)
-                    _emit_finished(tracer, run, record)
-                else:
-                    record = _record_for(
-                        run, STATUS_OK, metrics=metrics,
-                        attempts=attempts[key], duration_s=duration,
-                    )
-                    commit(record)
-                    _emit_finished(tracer, run, record)
-        finally:
-            pool.shutdown(wait=False, cancel_futures=True)
-        wave = next_wave
-
-
-def _retry_or_fail(
-    run: RunSpec,
-    reason: str,
-    terminal_status: str,
-    attempts: Dict[str, int],
-    retries: int,
-    next_wave: List[RunSpec],
-    commit: Callable[[RunRecord], None],
-    tracer: Tracer,
-    result: SweepResult,
-) -> None:
-    if attempts[run.run_key] <= retries:
-        result.retried += 1
-        if tracer.enabled:
-            tracer.emit(
-                SweepRunRetried(
-                    tracer.now(),
-                    run.run_key,
-                    run.experiment,
-                    attempts[run.run_key] + 1,
-                    reason,
-                )
-            )
-        next_wave.append(run)
-        return
-    record = _record_for(
-        run, terminal_status, error=reason, attempts=attempts[run.run_key]
-    )
-    commit(record)
-    _emit_finished(tracer, run, record)
+                commit(record)
+                _emit_finished(tracer, run, record)
 
 
 def _emit_finished(tracer: Tracer, run: RunSpec, record: RunRecord) -> None:

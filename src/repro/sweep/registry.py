@@ -22,9 +22,14 @@ Built-ins wrap the repo's paper experiments:
 - ``policy_matrix`` — one selection policy under the trap scenario of
   :mod:`repro.experiments.policy_matrix` (steady-state latency and
   failover-gap metrics per policy x churn x fault-family cell).
+- ``controlplane_chaos`` — the sharded/replicated control plane run
+  through its chaos scenario (shard x replica grid; frame loss and
+  recovery counters per cell).
 - ``selftest``    — a microsecond-scale deterministic pseudo-experiment
   for exercising the engine itself (tests, smoke jobs); supports
-  ``fail=1`` (raises) and ``sleep_s`` (stalls) to probe failure paths.
+  ``fail=1`` (raises), ``sleep_s`` (stalls), ``crash=1`` (kills the
+  process), and ``crash_marker=<path>`` (kills the process once, then
+  succeeds on retry — the deterministic dead-worker drill).
 """
 
 from __future__ import annotations
@@ -53,12 +58,16 @@ class SweepableExperiment:
         description: one-line help shown by ``repro sweep run --list``.
         default_grid: the grid ``repro sweep run`` uses when the user
             passes no ``--param`` (typically the paper's own axis).
+        param_help: parameter schema — name -> one-line description of
+            each knob the experiment reads (shown by ``repro sweep
+            list``; purely documentation, never validated against).
     """
 
     name: str
     fn: ExperimentFn
     description: str = ""
     default_grid: Mapping[str, List[Any]] = field(default_factory=dict)
+    param_help: Mapping[str, str] = field(default_factory=dict)
 
 
 _REGISTRY: Dict[str, SweepableExperiment] = {}
@@ -235,6 +244,34 @@ def _policy_matrix(params: Dict[str, Any], root_seed: int) -> MetricsDict:
     return dict(result.metrics)
 
 
+def _controlplane_chaos(params: Dict[str, Any], root_seed: int) -> MetricsDict:
+    from repro.faults.scenarios import run_sim_controlplane_chaos
+
+    report, _ = run_sim_controlplane_chaos(
+        root_seed,
+        shards=int(params.get("shards", 2)),
+        replicas=int(params.get("replicas", 2)),
+        horizon_ms=float(params.get("horizon_ms", 20_000.0)),
+        n_clients=int(params.get("n_clients", 3)),
+        top_n=int(params.get("top_n", 3)),
+    )
+    total = report.frames_completed + report.frames_lost
+    return {
+        "frames_completed": float(report.frames_completed),
+        "frames_lost": float(report.frames_lost),
+        "loss_rate": report.frames_lost / total if total else 0.0,
+        "faults_injected": float(sum(report.injected.values())),
+        "covered_failovers": float(
+            report.event_counts.get("covered_failover", 0)
+        ),
+        "uncovered_failures": float(
+            report.event_counts.get("uncovered_failure", 0)
+        ),
+        "invariant_violations": float(len(report.problems)),
+        "task_errors": float(len(report.task_errors)),
+    }
+
+
 def _selftest(params: Dict[str, Any], root_seed: int) -> MetricsDict:
     """Deterministic pseudo-metrics in microseconds — engine self-checks."""
     if int(params.get("fail", 0)):
@@ -243,6 +280,18 @@ def _selftest(params: Dict[str, Any], root_seed: int) -> MetricsDict:
         import os
 
         os._exit(13)
+    marker = str(params.get("crash_marker", "") or "")
+    if marker:
+        # Die hard exactly once: first visit leaves the marker and kills
+        # the process (no exception containment possible); the retry sees
+        # the marker and succeeds. Deterministic dead-worker drill for
+        # platform tests and the CI smoke job.
+        import os
+
+        if not os.path.exists(marker):
+            with open(marker, "w", encoding="utf-8") as fh:
+                fh.write("crashed once\n")
+            os._exit(13)
     sleep_s = float(params.get("sleep_s", 0.0))
     if sleep_s > 0.0:
         import time
@@ -264,6 +313,11 @@ register(
         fn=_fig9_topn,
         description="Fig. 9 churn cell: probes/invocations/latency/fairness at one TopN",
         default_grid={"top_n": [1, 2, 3, 4, 5]},
+        param_help={
+            "top_n": "size of the maintained candidate set (paper's TopN axis)",
+            "n_users": "concurrent users in the churn run (default 10)",
+            "duration_ms": "run horizon in ms (default: the Fig. 9 3-minute horizon)",
+        },
     )
 )
 register(
@@ -272,6 +326,10 @@ register(
         fn=_churn_trace,
         description="Fig. 8 churn trace reduced to scalar latency statistics",
         default_grid={"top_n": [3]},
+        param_help={
+            "top_n": "size of the maintained candidate set (default 3)",
+            "bin_ms": "latency-trace window width in ms (default 5000)",
+        },
     )
 )
 register(
@@ -280,6 +338,10 @@ register(
         fn=_network_study,
         description="Fig. 1 RTT study: volunteer vs Local Zone vs cloud",
         default_grid={"probes_per_pair": [20]},
+        param_help={
+            "n_users": "probing vantage points (default 15)",
+            "probes_per_pair": "RTT samples per (user, target) pair (default 20)",
+        },
     )
 )
 register(
@@ -288,6 +350,10 @@ register(
         fn=_qos_admission,
         description="QoS admission cell: admitted/violations at one population",
         default_grid={"n_users": [5, 10, 15, 20]},
+        param_help={
+            "n_users": "user population size for the admission cell",
+            "qos_ms": "QoS latency bound in ms (default 90)",
+        },
     )
 )
 register(
@@ -307,6 +373,12 @@ register(
             ],
             "top_n": [1, 3],
         },
+        param_help={
+            "fault_family": "which slice of the canonical chaos plan to inject"
+            " (none|messages|partition|crash|outage|gray|all)",
+            "top_n": "size of the maintained candidate set",
+            "horizon_ms": "simulated horizon in ms (default 20000)",
+        },
     )
 )
 register(
@@ -319,6 +391,29 @@ register(
             "churn_rate": [0.5, 2.0],
             "fault_family": ["node_crash", "gray"],
         },
+        param_help={
+            "policy": "selection policy under test (lo|go|ewma|reliability|churn)",
+            "churn_rate": "churn intensity multiplier (default 1.0)",
+            "fault_family": "trap fault family (node_crash|gray)",
+            "horizon_ms": "simulated horizon in ms (default 60000)",
+            "n_users": "concurrent users (default 3)",
+            "warmup_ms": "measurement warm-up to exclude, in ms (default 10000)",
+        },
+    )
+)
+register(
+    SweepableExperiment(
+        name="controlplane_chaos",
+        fn=_controlplane_chaos,
+        description="sharded/replicated control plane through its chaos scenario",
+        default_grid={"shards": [1, 2], "replicas": [1, 2]},
+        param_help={
+            "shards": "geohash shards in the control plane (default 2)",
+            "replicas": "replicas per shard (default 2)",
+            "horizon_ms": "simulated horizon in ms (default 20000)",
+            "n_clients": "clients issuing discovery traffic (default 3)",
+            "top_n": "size of the maintained candidate set (default 3)",
+        },
     )
 )
 register(
@@ -327,5 +422,13 @@ register(
         fn=_selftest,
         description="microsecond engine self-check (deterministic pseudo-metrics)",
         default_grid={"scale": [1.0, 2.0]},
+        param_help={
+            "scale": "multiplier on the deterministic pseudo-metric",
+            "fail": "1 = raise (exercise failure containment)",
+            "crash": "1 = kill the executing process (exercise crash salvage)",
+            "crash_marker": "path: kill the process once, succeed on retry"
+            " (deterministic dead-worker drill)",
+            "sleep_s": "stall this long before returning (exercise timeouts)",
+        },
     )
 )

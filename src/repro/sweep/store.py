@@ -6,13 +6,15 @@ Layout (one directory per sweep)::
       manifest.json        # the SweepSpec that owns this store
       runs/<run_key>.json  # one RunRecord per completed/failed run
 
-Every file is written with :func:`repro.fsutil.atomic_write_text`
-(tmp + ``os.replace``), and each run record is a *single JSON line* —
-the store's wire format is JSONL, with one line per file so writes are
-independent and a crash between runs can never tear the store. An
-interrupted sweep resumes by asking :meth:`RunStore.completed_keys` and
-skipping those runs; :meth:`RunStore.export_jsonl` merges all records
-into one conventional JSONL file for shipping/analysis.
+Every file — run records *and* the manifest — is written with
+:func:`repro.fsutil.atomic_write_text` (tmp + fsync + ``os.replace``),
+and each run record is a *single JSON line* — the store's wire format
+is JSONL, with one line per file so writes are independent and a crash
+at any instant can never tear the store (regression-tested for both
+paths in ``tests/test_sweep_store.py``). An interrupted sweep resumes
+by asking :meth:`RunStore.completed_keys` and skipping those runs;
+:meth:`RunStore.export_jsonl` merges all records into one conventional
+JSONL file for shipping/analysis.
 
 Only records with ``status == "ok"`` count as completed: failed and
 timed-out runs are kept (for ``repro sweep status`` forensics) but are

@@ -1,0 +1,151 @@
+"""Long-lived sweep worker: the JSON-lines side of SubprocessPlatform.
+
+Run as ``python -m repro.sweep.worker``. The parent process writes one
+JSON object per line to stdin and reads one JSON object per line from
+stdout. The wire format is deliberately host-agnostic — nothing in it
+assumes the worker shares a filesystem, a pid namespace, or even a
+machine with the parent — so the same protocol can later ride an SSH
+channel or a container attach stream unchanged.
+
+Parent -> worker (stdin)::
+
+    {"op": "run", "run_key": "...", "experiment": "<registry name>",
+     "params": {...scalars...}, "root_seed": 123}
+    {"op": "shutdown"}
+
+Worker -> parent (stdout)::
+
+    {"op": "ready", "pid": 4711}                      # once, at startup
+    {"op": "heartbeat", "pid": 4711, "busy": true}    # every --heartbeat-s
+    {"op": "result", "run_key": "...", "status": "ok"|"failed",
+     "metrics": {...}, "error": null|"...", "duration_s": 0.123}
+
+Heartbeats come from a daemon thread and keep flowing *while a run
+executes*, which is what lets the parent distinguish a long run (beats
+arrive, no result yet) from a dead or wedged worker (no beats). All
+stdout writes go through one lock so a heartbeat can never tear a
+result line. Experiment exceptions are contained into ``failed``
+results; the worker only exits on ``shutdown``, stdin EOF, or a signal
+— a kill mid-run is exactly the dead-worker case the parent's
+requeue path exists for.
+
+Experiments resolve by name from :mod:`repro.sweep.registry` in this
+fresh interpreter, so only import-time registrations are reachable
+(the same visibility rule as spawn-started pools).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional, TextIO
+
+__all__ = ["main", "run_job"]
+
+
+def run_job(message: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one ``run`` request; always returns a ``result`` object."""
+    from repro.sweep.registry import get_experiment
+
+    run_key = message.get("run_key", "")
+    start = time.perf_counter()
+    try:
+        fn = get_experiment(str(message["experiment"])).fn
+        metrics = fn(dict(message.get("params") or {}), int(message["root_seed"]))
+        return {
+            "op": "result",
+            "run_key": run_key,
+            "status": "ok",
+            "metrics": {str(k): float(v) for k, v in metrics.items()},
+            "error": None,
+            "duration_s": time.perf_counter() - start,
+        }
+    except Exception as exc:  # noqa: BLE001 - contained per-run
+        return {
+            "op": "result",
+            "run_key": run_key,
+            "status": "failed",
+            "metrics": {},
+            "error": f"{type(exc).__name__}: {exc}",
+            "duration_s": time.perf_counter() - start,
+        }
+
+
+class _Emitter:
+    """Locked JSONL writer: heartbeats and results never interleave."""
+
+    def __init__(self, stream: TextIO) -> None:
+        self._stream = stream
+        self._lock = threading.Lock()
+
+    def emit(self, message: Dict[str, Any]) -> None:
+        line = json.dumps(message, sort_keys=True) + "\n"
+        with self._lock:
+            try:
+                self._stream.write(line)
+                self._stream.flush()
+            except (BrokenPipeError, ValueError, OSError):
+                # The parent is gone; nothing useful left to do but let
+                # the main loop notice stdin EOF and exit.
+                pass
+
+
+def _heartbeat_loop(
+    emitter: _Emitter, interval_s: float, busy: threading.Event,
+    stop: threading.Event,
+) -> None:
+    while not stop.wait(interval_s):
+        emitter.emit(
+            {"op": "heartbeat", "pid": os.getpid(), "busy": busy.is_set()}
+        )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--heartbeat-s", type=float, default=0.25,
+        help="seconds between heartbeat lines (daemon thread)",
+    )
+    args = parser.parse_args(argv)
+
+    emitter = _Emitter(sys.stdout)
+    busy = threading.Event()
+    stop = threading.Event()
+    emitter.emit({"op": "ready", "pid": os.getpid()})
+    threading.Thread(
+        target=_heartbeat_loop,
+        args=(emitter, args.heartbeat_s, busy, stop),
+        daemon=True,
+        name="sweep-worker-heartbeat",
+    ).start()
+
+    try:
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                message = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # a torn/garbage request line is dropped, not fatal
+            op = message.get("op")
+            if op == "shutdown":
+                break
+            if op != "run":
+                continue
+            busy.set()
+            try:
+                emitter.emit(run_job(message))
+            finally:
+                busy.clear()
+    finally:
+        stop.set()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -238,3 +238,85 @@ def test_bench_run_writes_scratch_not_baseline(tmp_path, capsys, monkeypatch):
     payload = json.loads(out_path.read_text())
     assert "metro" in payload
     assert payload["metro"]["wall_s_per_sim_s"] > 0
+
+
+def test_sweep_cli_subprocess_platform_roundtrip(tmp_path, capsys):
+    store = tmp_path / "store"
+    run_args = [
+        "sweep", "run", "--experiment", "selftest",
+        "--param", "scale=1.0,2.0", "--seeds", "2",
+        "--store", str(store), "--platform", "subprocess", "--workers", "2",
+    ]
+    assert main(run_args) == 0
+    out = capsys.readouterr().out
+    assert "platform=subprocess" in out
+    assert "executed=4" in out and "failed=0" in out
+
+    # Resume is platform-independent: the serial rerun is fully cached.
+    assert main(run_args[:-4] + ["--serial"]) == 0
+    out = capsys.readouterr().out
+    assert "executed=0" in out and "skipped(cached)=4" in out
+
+
+def test_sweep_status_summary_line(tmp_path, capsys):
+    store = tmp_path / "store"
+    assert main([
+        "sweep", "run", "--experiment", "selftest",
+        "--param", "scale=1.0", "--param", "fail=0,1", "--seeds", "1",
+        "--store", str(store), "--serial",
+    ]) == 0
+    capsys.readouterr()
+    assert main(["sweep", "status", "--store", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert "completed: 1/2" in out
+    assert "summary: failed=1 ok=1" in out
+    assert "attempts=2" in out and "run-wall=" in out
+
+
+def test_sweep_report_markdown_and_tagged_update(tmp_path, capsys):
+    store = tmp_path / "store"
+    assert main([
+        "sweep", "run", "--experiment", "selftest",
+        "--param", "scale=1.0,2.0", "--seeds", "2",
+        "--store", str(store), "--serial",
+    ]) == 0
+    capsys.readouterr()
+
+    assert main(["sweep", "report", "--store", str(store), "--markdown"]) == 0
+    markdown = capsys.readouterr().out
+    assert "#### `selftest`" in markdown and "±" in markdown
+
+    doc = tmp_path / "EXPERIMENTS.md"
+    doc.write_text("# Results\n")
+    assert main([
+        "sweep", "report", "--store", str(store),
+        "--update", str(doc), "--tag", "selftest-demo",
+    ]) == 0
+    capsys.readouterr()
+    text = doc.read_text()
+    assert "<!-- sweep-report:selftest-demo -->" in text
+    assert "#### `selftest`" in text
+
+    # The committed section is current: --check passes...
+    assert main([
+        "sweep", "report", "--store", str(store),
+        "--update", str(doc), "--tag", "selftest-demo", "--check",
+    ]) == 0
+    capsys.readouterr()
+
+    # ...and a doctored section fails the byte-for-byte gate.
+    doc.write_text(text.replace("scale=1.0", "scale=1.5"))
+    with pytest.raises(SystemExit, match="report check failed"):
+        main([
+            "sweep", "report", "--store", str(store),
+            "--update", str(doc), "--tag", "selftest-demo", "--check",
+        ])
+
+
+def test_sweep_list_shows_param_schema(capsys):
+    assert main(["sweep", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "controlplane_chaos" in out
+    assert "parameters (pass as --param" in out
+    for param in ("fault_family", "crash_marker", "shards", "qos_ms"):
+        assert param in out

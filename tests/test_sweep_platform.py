@@ -1,0 +1,261 @@
+"""Platform-parity suite: every ExecutionPlatform yields the same bits.
+
+The elasticity claim of the sweep engine is that *where* a run executes
+is invisible in the results: the inline reference, the process pool,
+and the subprocess fan-out must all converge to the same
+``aggregates_digest`` — including after a worker is killed mid-grid and
+the sweep is resumed. The kill tests use the ``selftest`` experiment's
+``crash_marker`` knob (die hard once, succeed on retry), which makes
+worker death deterministic without any timing games.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.obs import ListSink, Tracer
+from repro.sweep import (
+    InlinePlatform,
+    RunOutcome,
+    RunStore,
+    SubprocessPlatform,
+    SweepInterrupted,
+    SweepSpec,
+    aggregates_digest,
+    make_platform,
+    platform_names,
+    run_sweep,
+)
+from repro.sweep.platform import OUTCOME_LOST, ExecutionPlatform
+from repro.sweep.worker import run_job
+
+SPEC = SweepSpec.build("selftest", {"scale": [1.0, 2.0]}, n_seeds=3, base_seed=7)
+
+PLATFORM_NAMES = ["inline", "pool", "subprocess"]
+
+
+def _tracer():
+    return Tracer(sink=ListSink())
+
+
+def _digest(result):
+    return aggregates_digest(result.aggregates())
+
+
+# ----------------------------------------------------------------------
+# The platform registry and outcome contract
+# ----------------------------------------------------------------------
+def test_platform_registry_names():
+    assert set(platform_names()) == {"inline", "local", "pool", "subprocess"}
+
+
+def test_make_platform_instances_satisfy_protocol():
+    for name in platform_names():
+        platform = make_platform(name, workers=2)
+        assert isinstance(platform, ExecutionPlatform)
+        platform.shutdown()
+
+
+def test_make_platform_unknown_name():
+    with pytest.raises(KeyError, match="unknown platform"):
+        make_platform("ssh")
+
+
+def test_local_is_the_inline_platform():
+    platform = make_platform("local")
+    assert isinstance(platform, InlinePlatform)
+    platform.shutdown()
+
+
+def test_outcome_terminality():
+    assert RunOutcome("k", "ok").is_terminal
+    assert RunOutcome("k", "failed").is_terminal
+    assert not RunOutcome("k", "timeout").is_terminal
+    assert not RunOutcome("k", OUTCOME_LOST).is_terminal
+
+
+# ----------------------------------------------------------------------
+# Cross-platform bit-identity
+# ----------------------------------------------------------------------
+def test_all_platforms_produce_identical_digests(tmp_path):
+    digests = {}
+    for name in PLATFORM_NAMES:
+        result = run_sweep(
+            SPEC, RunStore(tmp_path / name), platform=name, workers=2
+        )
+        assert result.executed == 6 and result.failed == 0
+        assert result.platform in (name, "inline")
+        digests[name] = _digest(result)
+    assert len(set(digests.values())) == 1, digests
+
+
+def test_platform_records_keep_expansion_order(tmp_path):
+    expected = [r.run_key for r in SPEC.expand()]
+    for name in PLATFORM_NAMES:
+        result = run_sweep(
+            SPEC, RunStore(tmp_path / name), platform=name, workers=2
+        )
+        assert [r.run_key for r in result.records] == expected
+
+
+def test_failure_containment_on_every_platform(tmp_path):
+    spec = SweepSpec.build(
+        "selftest", {"scale": [1.0], "fail": [0, 1]}, n_seeds=2, base_seed=3
+    )
+    for name in PLATFORM_NAMES:
+        result = run_sweep(
+            spec, RunStore(tmp_path / name), platform=name, workers=2
+        )
+        assert result.executed == 4 and result.failed == 2
+        by_status = Counter(r.status for r in result.records)
+        assert by_status == {"ok": 2, "failed": 2}
+
+
+# ----------------------------------------------------------------------
+# Subprocess platform: dead workers, requeue, resume
+# ----------------------------------------------------------------------
+def test_subprocess_worker_kill_requeues_and_matches_uninterrupted(tmp_path):
+    marker = tmp_path / "crash.marker"
+    spec = SweepSpec.build(
+        "selftest",
+        {"scale": [1.0, 2.0], "crash_marker": [str(marker)]},
+        n_seeds=2,
+        base_seed=11,
+    )
+
+    # Uninterrupted baseline: marker pre-exists, nothing crashes.
+    marker.write_text("pre-existing\n")
+    baseline = run_sweep(spec, RunStore(tmp_path / "base"), serial=True)
+    assert baseline.failed == 0
+
+    # Live drill: first run kills its worker (os._exit), the platform
+    # reaps the dead worker, hands the run back, and the retry succeeds.
+    marker.unlink()
+    sink = ListSink()
+    result = run_sweep(
+        spec,
+        RunStore(tmp_path / "killed"),
+        platform="subprocess",
+        workers=2,
+        tracer=Tracer(sink=sink),
+    )
+    assert result.executed == 4 and result.failed == 0
+    assert result.retried >= 1
+    events = Counter(e.type for e in sink.events)
+    assert events["worker_dead"] >= 1
+    assert events["run_requeued"] >= 1
+    assert events["worker_spawn"] >= 2
+    assert _digest(result) == _digest(baseline)
+
+    # The crashed-then-retried run burned one extra attempt.
+    attempts = {r.run_key: r.attempts for r in result.records}
+    assert max(attempts.values()) == 2
+
+
+def test_subprocess_interrupt_then_resume_matches_uninterrupted(tmp_path):
+    uninterrupted = run_sweep(
+        SPEC, RunStore(tmp_path / "full"), platform="subprocess", workers=2
+    )
+
+    store = RunStore(tmp_path / "resumed")
+    with pytest.raises(SweepInterrupted):
+        run_sweep(SPEC, store, platform="subprocess", workers=2, limit=2)
+    assert len(store) == 2
+
+    resumed = run_sweep(SPEC, store, platform="subprocess", workers=2)
+    # The resume executes exactly the missing runs...
+    assert resumed.skipped == 2 and resumed.executed == 4
+    # ...and converges to the uninterrupted digest.
+    assert _digest(resumed) == _digest(uninterrupted)
+
+
+def test_subprocess_kill_mid_grid_then_resume(tmp_path):
+    marker = tmp_path / "crash.marker"
+    spec = SweepSpec.build(
+        "selftest",
+        {"scale": [1.0, 2.0], "crash_marker": [str(marker)]},
+        n_seeds=2,
+        base_seed=11,
+    )
+    marker.write_text("no crashes in the baseline\n")
+    baseline = run_sweep(spec, RunStore(tmp_path / "base"), serial=True)
+
+    # Interrupt after 1 run with the crash armed: the worker dies once
+    # along the way, then --limit stops the sweep.
+    marker.unlink()
+    store = RunStore(tmp_path / "killed")
+    with pytest.raises(SweepInterrupted):
+        run_sweep(spec, store, platform="subprocess", workers=2, limit=1)
+
+    # The crashed run was requeued within the limit, so the store holds
+    # exactly one success; the resume executes exactly the missing three.
+    assert len(store.completed_keys()) == 1
+    resumed = run_sweep(spec, store, platform="subprocess", workers=2)
+    assert resumed.skipped == 1 and resumed.executed == 3
+    assert resumed.failed == 0
+    assert _digest(resumed) == _digest(baseline)
+
+
+def test_subprocess_respawn_budget_exhaustion_records_failures(tmp_path):
+    # Every run kills its worker; with the respawn budget bounded the
+    # sweep must still terminate, recording the runs as failed.
+    spec = SweepSpec.build(
+        "selftest", {"crash": [1], "scale": [1.0]}, n_seeds=2, base_seed=5
+    )
+    result = run_sweep(
+        spec,
+        RunStore(tmp_path / "s"),
+        platform="subprocess",
+        workers=1,
+        retries=1,
+    )
+    assert result.executed == 2 and result.failed == 2
+    assert all(not r.ok for r in result.records)
+
+
+def test_subprocess_platform_rejects_submit_after_shutdown():
+    platform = SubprocessPlatform(workers=1)
+    platform.shutdown()
+    with pytest.raises(RuntimeError, match="shut down"):
+        platform.submit(SPEC.expand()[0])
+
+
+# ----------------------------------------------------------------------
+# The worker protocol unit
+# ----------------------------------------------------------------------
+def test_run_job_ok():
+    result = run_job(
+        {
+            "op": "run",
+            "run_key": "k1",
+            "experiment": "selftest",
+            "params": {"scale": 2.0},
+            "root_seed": 1234,
+        }
+    )
+    assert result["op"] == "result" and result["status"] == "ok"
+    assert result["run_key"] == "k1"
+    assert set(result["metrics"]) == {"value", "draws"}
+
+
+def test_run_job_contains_experiment_failure():
+    result = run_job(
+        {
+            "op": "run",
+            "run_key": "k2",
+            "experiment": "selftest",
+            "params": {"fail": 1},
+            "root_seed": 1,
+        }
+    )
+    assert result["status"] == "failed"
+    assert "asked to fail" in result["error"]
+    assert result["metrics"] == {}
+
+
+def test_run_job_unknown_experiment_is_contained():
+    result = run_job(
+        {"op": "run", "run_key": "k3", "experiment": "nope", "root_seed": 0}
+    )
+    assert result["status"] == "failed"
+    assert "unknown sweepable experiment" in result["error"]

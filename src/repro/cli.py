@@ -8,6 +8,9 @@ Usage::
     python -m repro table3
     python -m repro qos --qos-ms 80
     python -m repro chaos --run sim --seed 0 --out chaos.jsonl
+    python -m repro chaos hunt --scenario controlplane --config failure_detection_ms=4000 --out repro.json
+    python -m repro chaos replay repro.json
+    python -m repro chaos check chaos.jsonl
     python -m repro sweep run --experiment fig9_topn --seeds 5 --workers 4
     python -m repro sweep status --store .sweeps/fig9_topn
     python -m repro sweep report --store .sweeps/fig9_topn
@@ -260,10 +263,74 @@ def cmd_qos(args: argparse.Namespace) -> None:
     )
 
 
-def cmd_chaos(args: argparse.Namespace) -> None:
-    from repro.faults.scenarios import run_live_chaos, run_sim_chaos
+def _write_trace(events: Sequence[object], path: str) -> None:
+    from repro.obs.tracer import JsonlSink
 
-    if args.run == "live":
+    sink = JsonlSink(path)
+    try:
+        for event in events:
+            sink.write(event)
+    finally:
+        sink.close()
+    print(f"trace: {len(events)} events -> {path}")
+
+
+def _print_violations(violations: Sequence[object]) -> None:
+    """Violations go to stderr: a failing chaos exit names its reasons."""
+    print(f"{len(violations)} invariant violation(s):", file=sys.stderr)
+    for violation in violations:
+        print(f"  {violation}", file=sys.stderr)
+
+
+def _parse_config_overrides(pairs: Sequence[str]) -> Dict[str, object]:
+    overrides: Dict[str, object] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--config expects KEY=VALUE, got {pair!r}")
+        key, raw = pair.split("=", 1)
+        value: object
+        if raw.lower() in ("true", "false"):
+            value = raw.lower() == "true"
+        else:
+            try:
+                value = int(raw)
+            except ValueError:
+                try:
+                    value = float(raw)
+                except ValueError:
+                    value = raw
+        overrides[key] = value
+    return overrides
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    command = getattr(args, "chaos_command", None)
+    if command == "hunt":
+        return _cmd_chaos_hunt(args)
+    if command == "replay":
+        return _cmd_chaos_replay(args)
+    if command == "check":
+        return _cmd_chaos_check(args)
+    return _cmd_chaos_run(args)
+
+
+def _cmd_chaos_run(args: argparse.Namespace) -> int:
+    from repro.faults.scenarios import (
+        run_live_chaos,
+        run_sim_chaos,
+        run_sim_controlplane_chaos,
+    )
+
+    if args.plan == "controlplane":
+        if args.run == "live":
+            raise SystemExit(
+                "--plan controlplane runs on the sim backend only "
+                "(use the `controlplane` command's defaults)"
+            )
+        report, events = run_sim_controlplane_chaos(
+            args.seed, horizon_ms=args.horizon_ms
+        )
+    elif args.run == "live":
         import asyncio
 
         report, events = asyncio.run(
@@ -272,19 +339,91 @@ def cmd_chaos(args: argparse.Namespace) -> None:
     else:
         report, events = run_sim_chaos(args.seed, horizon_ms=args.horizon_ms)
     if args.out:
-        from repro.obs.tracer import JsonlSink
-
-        sink = JsonlSink(args.out)
-        try:
-            for event in events:
-                sink.write(event)
-        finally:
-            sink.close()
-        print(f"trace: {len(events)} events -> {args.out}")
+        _write_trace(events, args.out)
     for line in report.summary_lines():
         print(line)
-    if not report.ok:
-        raise SystemExit(1)
+    if report.violations:
+        _print_violations(report.violations)
+    if not report.ok or report.violations:
+        return 1
+    return 0
+
+
+def _cmd_chaos_hunt(args: argparse.Namespace) -> int:
+    from repro.faults.search import HuntConfig, hunt
+    from repro.obs.tracer import JsonlSink, Tracer
+
+    config = HuntConfig(
+        scenario=args.scenario,
+        attempts=args.attempts,
+        horizon_ms=args.horizon_ms,
+        shards=args.shards,
+        replicas=args.replicas,
+        max_rules=args.max_rules,
+        config_overrides=tuple(
+            sorted(_parse_config_overrides(args.config or []).items())
+        ),
+    )
+    sink = JsonlSink(args.trace_out) if args.trace_out else None
+    tracer = Tracer(sink=sink)
+    try:
+        result = hunt(config, hunt_seed=args.seed, tracer=tracer)
+    finally:
+        if sink is not None:
+            sink.close()
+    for line in result.summary_lines():
+        print(line)
+    if not result.found:
+        print("no violation found", file=sys.stderr)
+        return 1
+    if args.out and result.artifact is not None:
+        result.artifact.save(args.out)
+        print(f"repro artifact -> {args.out}")
+    return 0
+
+
+def _cmd_chaos_replay(args: argparse.Namespace) -> int:
+    from repro.faults.search import ReproArtifact, replay_artifact
+
+    artifact = ReproArtifact.load(args.artifact)
+    print(f"replaying {args.artifact}: scenario={artifact.scenario} "
+          f"seed={artifact.seed} rules={len(artifact.plan)}")
+    for line in artifact.plan.describe():
+        print("  " + line)
+    report, events, reproduced = replay_artifact(artifact)
+    if args.out:
+        _write_trace(events, args.out)
+    print(f"expected: {artifact.violation}")
+    violations = getattr(report, "violations", [])
+    if violations:
+        _print_violations(violations)
+    if reproduced:
+        print("reproduced: identical violation")
+        return 0
+    print("NOT reproduced", file=sys.stderr)
+    return 1
+
+
+def _cmd_chaos_check(args: argparse.Namespace) -> int:
+    from repro.obs.analyze import load_trace
+    from repro.verify import check_events
+
+    events = load_trace(args.trace)
+    expect_promotion = {"auto": None, "yes": True, "no": False}[
+        args.expect_promotion
+    ]
+    violations = check_events(
+        events,
+        time_scale=args.time_scale,
+        expect_promotion=expect_promotion,
+    )
+    print(f"{args.trace}: {len(events)} events, "
+          f"{len(violations)} violation(s)")
+    if violations:
+        _print_violations(violations)
+        return 1
+    print("all streaming invariants hold")
+    return 0
 
 
 def cmd_controlplane(args: argparse.Namespace) -> None:
@@ -821,6 +960,83 @@ def _add_sweep_subparsers(parser: argparse.ArgumentParser) -> None:
     sub.add_parser("list", help="list sweepable experiments")
 
 
+def _add_chaos_arguments(parser: argparse.ArgumentParser) -> None:
+    # Legacy single-run flags live on the parent parser; the hunt /
+    # replay / check subcommands are optional, so a bare
+    # `repro chaos --seed 0` still means "run the canonical plan once".
+    parser.add_argument(
+        "--run", choices=("sim", "live"), default="sim",
+        help="which backend to drive through the plan",
+    )
+    parser.add_argument(
+        "--plan", choices=("canonical", "controlplane"), default="canonical",
+        help="which canonical schedule to replay: the all-families plan "
+             "or the shard-targeted control-plane plan (sim only)",
+    )
+    parser.add_argument(
+        "--horizon-ms", type=float, default=20_000.0,
+        help="scenario length in application milliseconds",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also dump the full trace as JSONL",
+    )
+    sub = parser.add_subparsers(dest="chaos_command", required=False)
+
+    hunt = sub.add_parser(
+        "hunt",
+        help="search seeded fault schedules for invariant violations "
+             "and shrink the first find to a minimal reproducer",
+    )
+    hunt.add_argument("--seed", type=int, default=0, help="hunt seed")
+    hunt.add_argument(
+        "--scenario", choices=("canonical", "controlplane"),
+        default="canonical", help="scenario family to replay plans on",
+    )
+    hunt.add_argument("--attempts", type=int, default=25,
+                      help="max schedules to sample before giving up")
+    hunt.add_argument("--horizon-ms", type=float, default=20_000.0)
+    hunt.add_argument("--shards", type=int, default=2,
+                      help="control-plane shards (controlplane scenario)")
+    hunt.add_argument("--replicas", type=int, default=2,
+                      help="replicas per shard (controlplane scenario)")
+    hunt.add_argument("--max-rules", type=int, default=5,
+                      help="max rules per sampled schedule")
+    hunt.add_argument(
+        "--config", action="append", default=None, metavar="KEY=VALUE",
+        help="SystemConfig field override, repeatable (e.g. "
+             "failure_detection_ms=4000) — hunt against a weakened config",
+    )
+    hunt.add_argument("--out", default=None, metavar="PATH",
+                      help="write the shrunk repro artifact as JSON")
+    hunt.add_argument("--trace-out", default=None, metavar="PATH",
+                      help="JSONL sink for hunt_attempt/shrink_step events")
+
+    replay = sub.add_parser(
+        "replay", help="re-execute a repro artifact bit-identically"
+    )
+    replay.add_argument("artifact", metavar="ARTIFACT.json",
+                        help="artifact written by `chaos hunt --out`")
+    replay.add_argument("--out", default=None, metavar="PATH",
+                        help="also dump the replay trace as JSONL")
+
+    check = sub.add_parser(
+        "check", help="run the streaming invariant suite over a trace JSONL"
+    )
+    check.add_argument("trace", metavar="TRACE.jsonl",
+                       help="obs trace from either backend")
+    check.add_argument(
+        "--time-scale", type=float, default=1.0,
+        help="budget scale for wall-clock traces: 1000/plan_ms_per_s "
+             "(0.2 for the live chaos default)",
+    )
+    check.add_argument(
+        "--expect-promotion", choices=("auto", "yes", "no"), default="auto",
+        help="require manager_promote after shard outages (auto: only "
+             "if the trace contains any promotion)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -858,18 +1074,7 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "qos":
             sub.add_argument("--qos-ms", type=float, default=90.0)
         if name == "chaos":
-            sub.add_argument(
-                "--run", choices=("sim", "live"), default="sim",
-                help="which backend to drive through the canonical plan",
-            )
-            sub.add_argument(
-                "--horizon-ms", type=float, default=20_000.0,
-                help="scenario length in application milliseconds",
-            )
-            sub.add_argument(
-                "--out", default=None, metavar="PATH",
-                help="also dump the full trace as JSONL",
-            )
+            _add_chaos_arguments(sub)
         if name == "controlplane":
             sub.add_argument(
                 "--shards", type=int, default=2,
@@ -922,8 +1127,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(format_table(["command", "regenerates"], rows))
         return 0
     handler, _ = COMMANDS[args.command]
-    handler(args)
-    return 0
+    # Handlers may return an exit code; bare `None` means success.
+    return int(handler(args) or 0)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

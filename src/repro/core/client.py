@@ -467,10 +467,13 @@ class EdgeClient:
         try:
             candidates = self.system.manager.discover(query)
         except ControlPlaneUnavailable as exc:
+            # Bind now: `exc` is unbound once the except block exits,
+            # but the lambda fires a discovery-timeout later.
+            reason = exc.reason
             self.system.sim.schedule(
                 self.DISCOVERY_TIMEOUT_MS,
                 lambda: self._feed(
-                    DiscoveryFailed(self.system.sim.now, reason=exc.reason)
+                    DiscoveryFailed(self.system.sim.now, reason=reason)
                 ),
                 label=self._lbl_discover_timeout,
             )

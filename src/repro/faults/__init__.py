@@ -33,6 +33,8 @@ from repro.faults.plan import (
     NodeCrash,
     Partition,
     Window,
+    plan_from_dict,
+    plan_to_dict,
 )
 
 __all__ = [
@@ -48,4 +50,6 @@ __all__ = [
     "Window",
     "MESSAGE_OPS",
     "MANAGER_ID",
+    "plan_to_dict",
+    "plan_from_dict",
 ]

@@ -131,6 +131,13 @@ class FaultInjector:
         drawing from its own stream. The first rule that drops the
         message wins; delays and duplications from multiple matching
         rules compose.
+
+        Every matching rule consumes its draws for every message, even
+        when another rule already decided to drop it: a rule's stream
+        position depends only on the message history it matched, never
+        on which other rules exist or in what order — the determinism
+        contract that makes schedule shrinking sound (dropping or
+        reordering rules replays the survivors bit-identically).
         """
         if self.manager_down(now_ms) and (src == MANAGER_ID or dst == MANAGER_ID):
             outage = next(
@@ -152,15 +159,18 @@ class FaultInjector:
         copies = 1
         hit_rule = ""
         hit_kind = ""
+        dropper: Optional[MessageFault] = None
         for rule in self.plan.message_faults:
             if not rule.matches(src, dst, op, now_ms):
                 continue
             rng = self._rngs[rule.rule_id]
             if rule.drop_p > 0.0 and rng.random() < rule.drop_p:
-                self._emit(rule.rule_id, "drop", src, dst, now_ms)
-                return MessageDecision(
-                    deliver=False, rule_id=rule.rule_id, kind="drop"
-                )
+                # Self-drop ends this rule's draws for the message (as
+                # it always did), but the loop keeps walking so later
+                # rules still advance their own streams.
+                if dropper is None:
+                    dropper = rule
+                continue
             if (rule.delay_ms > 0.0 or rule.delay_jitter_ms > 0.0) and (
                 rule.delay_p >= 1.0 or rng.random() < rule.delay_p
             ):
@@ -170,14 +180,20 @@ class FaultInjector:
                     else 0.0
                 )
                 added = max(0.0, rule.delay_ms + jitter)
-                if added > 0.0:
+                if added > 0.0 and dropper is None:
                     extra_delay += added
                     hit_rule, hit_kind = rule.rule_id, "delay"
                     self._emit(rule.rule_id, "delay", src, dst, now_ms)
             if rule.duplicate_p > 0.0 and rng.random() < rule.duplicate_p:
-                copies += 1
-                hit_rule, hit_kind = rule.rule_id, "duplicate"
-                self._emit(rule.rule_id, "duplicate", src, dst, now_ms)
+                if dropper is None:
+                    copies += 1
+                    hit_rule, hit_kind = rule.rule_id, "duplicate"
+                    self._emit(rule.rule_id, "duplicate", src, dst, now_ms)
+        if dropper is not None:
+            self._emit(dropper.rule_id, "drop", src, dst, now_ms)
+            return MessageDecision(
+                deliver=False, rule_id=dropper.rule_id, kind="drop"
+            )
         if extra_delay == 0.0 and copies == 1:
             return _DELIVER
         return MessageDecision(

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fnmatch import fnmatchcase
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "Window",
@@ -46,6 +46,8 @@ __all__ = [
     "GrayNode",
     "FaultPlan",
     "MESSAGE_OPS",
+    "plan_to_dict",
+    "plan_from_dict",
 ]
 
 #: Every message operation an injector can intercept (mirrors the live
@@ -280,3 +282,139 @@ class FaultPlan:
                 f"@{g.window.start_ms:.0f}..{g.window.end_ms:.0f}"
             )
         return lines
+
+
+# --- JSON round-tripping -------------------------------------------------
+#
+# Plans travel inside repro artifacts emitted by the schedule search
+# (see repro.faults.search), so they need a stable wire form. Unbounded
+# windows serialize ``end_ms`` as null — JSON has no Infinity.
+
+
+def _window_to_dict(w: Window) -> Dict[str, Any]:
+    return {
+        "start_ms": w.start_ms,
+        "end_ms": None if w.end_ms == float("inf") else w.end_ms,
+    }
+
+
+def _window_from_dict(data: Dict[str, Any]) -> Window:
+    end = data.get("end_ms")
+    return Window(
+        start_ms=float(data.get("start_ms", 0.0)),
+        end_ms=float("inf") if end is None else float(end),
+    )
+
+
+def plan_to_dict(plan: FaultPlan) -> Dict[str, Any]:
+    """A JSON-safe dict that :func:`plan_from_dict` round-trips exactly."""
+    return {
+        "message_faults": [
+            {
+                "rule_id": mf.rule_id,
+                "window": _window_to_dict(mf.window),
+                "src": mf.src,
+                "dst": mf.dst,
+                "ops": list(mf.ops),
+                "drop_p": mf.drop_p,
+                "delay_ms": mf.delay_ms,
+                "delay_jitter_ms": mf.delay_jitter_ms,
+                "delay_p": mf.delay_p,
+                "duplicate_p": mf.duplicate_p,
+            }
+            for mf in plan.message_faults
+        ],
+        "partitions": [
+            {
+                "rule_id": p.rule_id,
+                "a": p.a,
+                "b": p.b,
+                "window": _window_to_dict(p.window),
+                "symmetric": p.symmetric,
+            }
+            for p in plan.partitions
+        ],
+        "crashes": [
+            {
+                "rule_id": c.rule_id,
+                "node_id": c.node_id,
+                "at_ms": c.at_ms,
+                "restart_at_ms": c.restart_at_ms,
+            }
+            for c in plan.crashes
+        ],
+        "outages": [
+            {
+                "rule_id": o.rule_id,
+                "window": _window_to_dict(o.window),
+                "shard": o.shard,
+            }
+            for o in plan.outages
+        ],
+        "gray_nodes": [
+            {
+                "rule_id": g.rule_id,
+                "node_id": g.node_id,
+                "window": _window_to_dict(g.window),
+                "slowdown": g.slowdown,
+            }
+            for g in plan.gray_nodes
+        ],
+    }
+
+
+def plan_from_dict(data: Dict[str, Any]) -> FaultPlan:
+    """Rebuild a :class:`FaultPlan` from :func:`plan_to_dict` output."""
+    return FaultPlan(
+        message_faults=tuple(
+            MessageFault(
+                rule_id=mf["rule_id"],
+                window=_window_from_dict(mf.get("window", {})),
+                src=mf.get("src", "*"),
+                dst=mf.get("dst", "*"),
+                ops=tuple(mf.get("ops", ())),
+                drop_p=mf.get("drop_p", 0.0),
+                delay_ms=mf.get("delay_ms", 0.0),
+                delay_jitter_ms=mf.get("delay_jitter_ms", 0.0),
+                delay_p=mf.get("delay_p", 1.0),
+                duplicate_p=mf.get("duplicate_p", 0.0),
+            )
+            for mf in data.get("message_faults", ())
+        ),
+        partitions=tuple(
+            Partition(
+                rule_id=p["rule_id"],
+                a=p["a"],
+                b=p["b"],
+                window=_window_from_dict(p.get("window", {})),
+                symmetric=p.get("symmetric", True),
+            )
+            for p in data.get("partitions", ())
+        ),
+        crashes=tuple(
+            NodeCrash(
+                rule_id=c["rule_id"],
+                node_id=c["node_id"],
+                at_ms=c["at_ms"],
+                restart_at_ms=c.get("restart_at_ms"),
+            )
+            for c in data.get("crashes", ())
+        ),
+        outages=tuple(
+            ManagerOutage(
+                rule_id=o["rule_id"],
+                window=_window_from_dict(o.get("window", {})),
+                shard=o.get("shard"),
+            )
+            for o in data.get("outages", ())
+        ),
+        gray_nodes=tuple(
+            GrayNode(
+                rule_id=g["rule_id"],
+                node_id=g["node_id"],
+                window=_window_from_dict(g.get("window", {})),
+                slowdown=g.get("slowdown", 10.0),
+            )
+            for g in data.get("gray_nodes", ())
+        ),
+    )

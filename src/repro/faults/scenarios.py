@@ -25,7 +25,7 @@ from __future__ import annotations
 import asyncio
 import time
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.faults.injector import FaultInjector
@@ -116,6 +116,12 @@ class ChaosReport:
     #: Unretrieved task exceptions collected from the event loop (live
     #: backend only) — non-empty fails the CI chaos smoke.
     task_errors: List[str] = field(default_factory=list)
+    #: Streaming-invariant violations from :func:`repro.verify.check_events`
+    #: over the run's trace (typed :class:`~repro.verify.Violation`
+    #: objects). Kept separate from ``problems`` so :attr:`ok` — and
+    #: every metric built on it — keeps its original end-state meaning;
+    #: the chaos CLI fails the run on either.
+    violations: List[object] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -147,7 +153,12 @@ class ChaosReport:
             lines.append("PROBLEMS: " + "; ".join(self.problems))
         if self.task_errors:
             lines.append("TASK ERRORS: " + "; ".join(self.task_errors))
-        if self.ok:
+        if self.violations:
+            lines.append(
+                "STREAMING VIOLATIONS: "
+                + "; ".join(str(v) for v in self.violations)
+            )
+        if self.ok and not self.violations:
             lines.append("all recovery invariants hold")
         return lines
 
@@ -166,6 +177,7 @@ def run_sim_chaos(
     n_clients: int = 2,
     plan: Optional[FaultPlan] = None,
     top_n: int = 3,
+    config_overrides: Optional[Dict[str, object]] = None,
 ) -> Tuple[ChaosReport, List[object]]:
     """Drive the canonical plan through the simulator.
 
@@ -174,6 +186,10 @@ def run_sim_chaos(
     selection policy's backup breadth — the knob the chaos_matrix sweep
     crosses against fault families (more backups = more covered
     failovers under crash/partition faults, per Fig. 10(b)).
+    ``config_overrides`` patches arbitrary :class:`SystemConfig` fields
+    on top of the scenario defaults — the schedule search uses it to
+    hunt against deliberately weakened configurations (e.g. a huge
+    ``failure_detection_ms``) while still replaying bit-identically.
     """
     from repro.core.client import EdgeClient
     from repro.core.config import SystemConfig
@@ -187,18 +203,17 @@ def run_sim_chaos(
     plan = plan if plan is not None else chaos_plan(edge_ids, horizon_ms)
     injector = FaultInjector(plan, seed=seed)
     tracer = Tracer()
-    system = EdgeSystem(
-        SystemConfig(
-            seed=seed,
-            top_n=top_n,
-            probing_period_ms=3_000.0,
-            # Longer than the plan's worst silent window (the 4 s
-            # partition), so only genuinely stranded users expire.
-            attachment_lease_ms=6_000.0,
-        ),
-        trace=tracer,
-        faults=injector,
+    config = SystemConfig(
+        seed=seed,
+        top_n=top_n,
+        probing_period_ms=3_000.0,
+        # Longer than the plan's worst silent window (the 4 s
+        # partition), so only genuinely stranded users expire.
+        attachment_lease_ms=6_000.0,
     )
+    if config_overrides:
+        config = replace(config, **config_overrides)  # type: ignore[arg-type]
+    system = EdgeSystem(config, trace=tracer, faults=injector)
     center = GeoPoint(44.97, -93.25)
     for i, edge_id in enumerate(edge_ids):
         system.add_node(
@@ -225,36 +240,49 @@ def run_sim_chaos(
     report.frames_completed = sum(c.stats.frames_completed for c in clients)
     report.frames_lost = sum(c.stats.frames_lost for c in clients)
     report.problems = _check_sim_invariants(system)
+    report.violations = _streaming_violations(events)
     return report, events
 
 
+def _streaming_violations(
+    events: Sequence[object],
+    *,
+    time_scale: float = 1.0,
+    expect_promotion: Optional[bool] = None,
+) -> List[object]:
+    """Run the streaming-invariant suite over one run's trace."""
+    from repro.verify import check_events
+
+    return list(
+        check_events(
+            events, time_scale=time_scale, expect_promotion=expect_promotion
+        )
+    )
+
+
 def _check_sim_invariants(system: object) -> List[str]:
-    """The recovery invariants, on the simulator's final state."""
-    problems: List[str] = []
+    """The recovery invariants, on the simulator's final state.
+
+    Re-expressed on :func:`repro.verify.check_attachment_view` — the
+    sim just snapshots its node/client objects into the backend-neutral
+    view; the checks (and problem strings) live in one place now.
+    """
+    from repro.verify import AttachmentView, check_attachment_view
+
     nodes = system.nodes  # type: ignore[attr-defined]
     clients = system.clients  # type: ignore[attr-defined]
-    for user_id, client in clients.items():
-        edge_id = client.current_edge
-        if edge_id is None:
-            problems.append(f"{user_id} not re-attached by end of run")
-            continue
-        node = nodes.get(edge_id)
-        if node is None or not node.alive:
-            problems.append(f"{user_id} attached to dead node {edge_id}")
-        elif user_id not in node.attached:
-            problems.append(
-                f"{user_id} claims {edge_id} but is missing from its admission state"
-            )
-    for node_id, node in nodes.items():
-        if not node.alive:
-            continue
-        for user_id in node.attached:
-            client = clients.get(user_id)
-            if client is None or client.current_edge != node_id:
-                problems.append(
-                    f"stranded admission state: {user_id} still on {node_id}"
-                )
-    return problems
+    return check_attachment_view(
+        AttachmentView(
+            client_edges={
+                user_id: client.current_edge
+                for user_id, client in clients.items()
+            },
+            node_alive={node_id: node.alive for node_id, node in nodes.items()},
+            node_attached={
+                node_id: set(node.attached) for node_id, node in nodes.items()
+            },
+        )
+    )
 
 
 # ----------------------------------------------------------------------
@@ -315,6 +343,46 @@ def controlplane_chaos_plan(
     )
 
 
+def _controlplane_layout(
+    shards: int,
+) -> Tuple[object, List[str], List[object], List[int]]:
+    """The fixed metro layout the control-plane chaos scenario uses.
+
+    Returns ``(center, edge_ids, points, targets)`` where ``targets``
+    are the control-plane shards that actually own at least one edge
+    node. Shard ownership is a pure function of node geohash and shard
+    map, so the targets are derivable before any system exists — which
+    is what lets the schedule search sample shard-targeted outages that
+    are guaranteed to hit a populated shard.
+    """
+    from repro.controlplane.sharding import DEFAULT_SHARD_PRECISION, ShardMap
+    from repro.geo.geohash import encode_point
+    from repro.geo.point import GeoPoint
+
+    center = GeoPoint(44.97, -93.25)
+    # A metro-scale spread (tens of km) so the population can straddle
+    # precision-4 shard cells; whether it does is seed-independent.
+    node_offsets = [
+        (-24.0, -18.0),
+        (-10.0, 6.0),
+        (0.0, 0.0),
+        (12.0, -8.0),
+        (24.0, 16.0),
+    ]
+    edge_ids = [f"edge-{chr(ord('a') + i)}" for i in range(len(node_offsets))]
+    points = [center.offset_km(dy, dx) for dy, dx in node_offsets]
+    shard_map = ShardMap(count=shards, precision=DEFAULT_SHARD_PRECISION)
+    targets = sorted(
+        {
+            shard_map.owner_of_geohash(
+                encode_point(p, precision=DEFAULT_SHARD_PRECISION)
+            )
+            for p in points
+        }
+    )
+    return center, edge_ids, points, targets
+
+
 def run_sim_controlplane_chaos(
     seed: int = 0,
     *,
@@ -323,6 +391,8 @@ def run_sim_controlplane_chaos(
     horizon_ms: float = 20_000.0,
     n_clients: int = 3,
     top_n: int = 3,
+    plan: Optional[FaultPlan] = None,
+    config_overrides: Optional[Dict[str, object]] = None,
 ) -> Tuple[ChaosReport, List[object]]:
     """Kill control-plane shard primaries mid-churn and check recovery.
 
@@ -337,46 +407,32 @@ def run_sim_controlplane_chaos(
     the degraded-fallback window (every client re-attached and
     streaming by the end of the fault-free tail).
     """
-    from repro.controlplane.sharding import DEFAULT_SHARD_PRECISION, ShardMap
     from repro.core.client import EdgeClient
     from repro.core.config import SystemConfig
     from repro.core.system import EdgeSystem
-    from repro.geo.geohash import encode_point
-    from repro.geo.point import GeoPoint
     from repro.net.topology import EndpointSpec
     from repro.nodes.hardware import VOLUNTEER_PROFILES
     from repro.obs.tracer import Tracer
 
-    center = GeoPoint(44.97, -93.25)
-    # A metro-scale spread (tens of km) so the population can straddle
-    # precision-4 shard cells; whether it does is seed-independent.
-    node_offsets = [(-24.0, -18.0), (-10.0, 6.0), (0.0, 0.0), (12.0, -8.0), (24.0, 16.0)]
-    edge_ids = [f"edge-{chr(ord('a') + i)}" for i in range(len(node_offsets))]
-    points = [center.offset_km(dy, dx) for dy, dx in node_offsets]
-    shard_map = ShardMap(count=shards, precision=DEFAULT_SHARD_PRECISION)
-    targets = sorted(
-        {
-            shard_map.owner_of_geohash(
-                encode_point(p, precision=DEFAULT_SHARD_PRECISION)
-            )
-            for p in points
-        }
+    center, edge_ids, points, targets = _controlplane_layout(shards)
+    plan = (
+        plan
+        if plan is not None
+        else controlplane_chaos_plan(targets, edge_ids, horizon_ms)
     )
-    plan = controlplane_chaos_plan(targets, edge_ids, horizon_ms)
     injector = FaultInjector(plan, seed=seed)
     tracer = Tracer()
-    system = EdgeSystem(
-        SystemConfig(
-            seed=seed,
-            top_n=top_n,
-            probing_period_ms=3_000.0,
-            attachment_lease_ms=6_000.0,
-            control_plane_shards=shards,
-            control_plane_replicas=replicas,
-        ),
-        trace=tracer,
-        faults=injector,
+    config = SystemConfig(
+        seed=seed,
+        top_n=top_n,
+        probing_period_ms=3_000.0,
+        attachment_lease_ms=6_000.0,
+        control_plane_shards=shards,
+        control_plane_replicas=replicas,
     )
+    if config_overrides:
+        config = replace(config, **config_overrides)  # type: ignore[arg-type]
+    system = EdgeSystem(config, trace=tracer, faults=injector)
     for edge_id, point, profile_index in zip(
         edge_ids, points, range(len(edge_ids))
     ):
@@ -404,9 +460,16 @@ def run_sim_controlplane_chaos(
     report.frames_completed = sum(c.stats.frames_completed for c in clients)
     report.frames_lost = sum(c.stats.frames_lost for c in clients)
     report.problems = _check_sim_invariants(system)
-    report.problems += _check_controlplane_invariants(system, events, targets)
+    # Check promotion for the shards this plan actually targeted (for
+    # the canonical plan that is every populated shard; a searched plan
+    # may target fewer).
+    plan_targets = sorted({o.shard for o in plan.outages if o.shard is not None})
+    report.problems += _check_controlplane_invariants(system, events, plan_targets)
     if report.frames_completed == 0:
         report.problems.append("no client completed a single frame")
+    report.violations = _streaming_violations(
+        events, expect_promotion=replicas >= 2 if plan_targets else None
+    )
     return report, events
 
 
@@ -558,12 +621,16 @@ async def run_live_chaos(
     plan_ms_per_s: float = 5_000.0,
     n_clients: int = 2,
     time_scale: float = 0.05,
+    plan: Optional[FaultPlan] = None,
 ) -> Tuple[ChaosReport, List[object]]:
     """Drive the canonical plan against a loopback cluster.
 
     Every unretrieved task exception and loop error is captured into
     ``report.task_errors`` — the hardened runtime must absorb chaos
-    without leaking exceptions into the event loop.
+    without leaking exceptions into the event loop. A custom ``plan``
+    (plan-time milliseconds, like the sim's) replaces the canonical
+    schedule; actions scheduled past ``horizon_ms`` still run — the
+    controller drains the full action script before teardown.
     """
     from repro.nodes.hardware import VOLUNTEER_PROFILES
     from repro.obs.tracer import Tracer
@@ -603,7 +670,7 @@ async def run_live_chaos(
             )
             client.breaker_reset_s = 0.4
         edge_ids = [e.node_id for e in cluster.edges]
-        plan = chaos_plan(edge_ids, horizon_ms)
+        plan = plan if plan is not None else chaos_plan(edge_ids, horizon_ms)
         injector = FaultInjector(plan, seed=seed, tracer=tracer)
         controller = ChaosController(
             cluster, injector, plan_ms_per_s=plan_ms_per_s
@@ -655,6 +722,11 @@ async def run_live_chaos(
         events = list(tracer.events())
         report.event_counts = _count_events(events)
         report.problems = _check_live_invariants(cluster)
+        # Live traces are wall-clock: plan-time budgets shrink by the
+        # replay speed-up before the streaming suite sees them.
+        report.violations = _streaming_violations(
+            events, time_scale=1_000.0 / plan_ms_per_s
+        )
     finally:
         try:
             await cluster.stop()
@@ -668,28 +740,21 @@ async def run_live_chaos(
 
 def _check_live_invariants(cluster: object) -> List[str]:
     """The same recovery invariants, on the cluster's final state."""
-    problems: List[str] = []
+    from repro.verify import AttachmentView, check_attachment_view
+
     edges = {e.node_id: e for e in cluster.edges}  # type: ignore[attr-defined]
     clients = {c.user_id: c for c in cluster.clients}  # type: ignore[attr-defined]
-    for user_id, client in clients.items():
-        edge_id = client.current_edge
-        if edge_id is None:
-            problems.append(f"{user_id} not re-attached by end of run")
-            continue
-        edge = edges.get(edge_id)
-        if edge is None or edge._dead:
-            problems.append(f"{user_id} attached to dead node {edge_id}")
-        elif user_id not in edge.attached:
-            problems.append(
-                f"{user_id} claims {edge_id} but is missing from its admission state"
-            )
-    for node_id, edge in edges.items():
-        if edge._dead:
-            continue
-        for user_id in edge.attached:
-            client = clients.get(user_id)
-            if client is None or client.current_edge != node_id:
-                problems.append(
-                    f"stranded admission state: {user_id} still on {node_id}"
-                )
-    return problems
+    return check_attachment_view(
+        AttachmentView(
+            client_edges={
+                user_id: client.current_edge
+                for user_id, client in clients.items()
+            },
+            node_alive={
+                node_id: not edge._dead for node_id, edge in edges.items()
+            },
+            node_attached={
+                node_id: set(edge.attached) for node_id, edge in edges.items()
+            },
+        )
+    )

@@ -45,6 +45,8 @@ from repro.obs.events import (
     FrameDone,
     FrameStart,
     HeartbeatMissed,
+    HuntAttempt,
+    ShrinkStep,
     JoinAccept,
     JoinAttempt,
     JoinReject,
@@ -117,4 +119,6 @@ __all__ = [
     "WorkerSpawn",
     "WorkerDead",
     "RunRequeued",
+    "HuntAttempt",
+    "ShrinkStep",
 ]

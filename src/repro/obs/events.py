@@ -60,6 +60,8 @@ __all__ = [
     "ShardMerge",
     "ManagerPromote",
     "RegistryHandoff",
+    "HuntAttempt",
+    "ShrinkStep",
     "EVENT_TYPES",
     "GOLDEN_LIFECYCLE_TYPES",
     "PHASES",
@@ -567,6 +569,42 @@ class RegistryHandoff(TraceEvent):
 
 
 # ----------------------------------------------------------------------
+# Chaos hunt (the repro.faults.search schedule-search engine)
+# ----------------------------------------------------------------------
+@dataclass
+class HuntAttempt(TraceEvent):
+    """One sampled fault schedule was replayed and checked.
+
+    ``violations`` counts the streaming-invariant violations the trace
+    produced (0 = the schedule survived); ``rules`` the schedule size.
+    """
+
+    type: ClassVar[str] = "hunt_attempt"
+    attempt: int
+    plan_seed: int
+    rules: int
+    violations: int
+    invariant: str = ""
+
+
+@dataclass
+class ShrinkStep(TraceEvent):
+    """One delta-debugging reduction step on a violating schedule.
+
+    ``action`` names the reduction tried (``drop_rules`` /
+    ``narrow_window`` / ``reduce_targets``); ``kept`` is whether the
+    reduced plan still reproduced the violation and was adopted.
+    """
+
+    type: ClassVar[str] = "shrink_step"
+    action: str
+    rules_before: int
+    rules_after: int
+    kept: bool
+    detail: str = ""
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
@@ -610,6 +648,8 @@ EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
         ShardMerge,
         ManagerPromote,
         RegistryHandoff,
+        HuntAttempt,
+        ShrinkStep,
     )
 }
 

@@ -25,6 +25,10 @@ Built-ins wrap the repo's paper experiments:
 - ``controlplane_chaos`` — the sharded/replicated control plane run
   through its chaos scenario (shard x replica grid; frame loss and
   recovery counters per cell).
+- ``chaos_hunt`` — the :mod:`repro.faults.search` schedule search: one
+  seeded hunt (sample schedules, check the streaming invariant suite,
+  shrink the first violation) per cell, fanned out across the sweep
+  engine's execution platforms.
 - ``selftest``    — a microsecond-scale deterministic pseudo-experiment
   for exercising the engine itself (tests, smoke jobs); supports
   ``fail=1`` (raises), ``sleep_s`` (stalls), ``crash=1`` (kills the
@@ -272,6 +276,33 @@ def _controlplane_chaos(params: Dict[str, Any], root_seed: int) -> MetricsDict:
     }
 
 
+def _chaos_hunt(params: Dict[str, Any], root_seed: int) -> MetricsDict:
+    from repro.faults.search import HuntConfig, hunt
+
+    overrides: Dict[str, Any] = {}
+    detection_ms = params.get("failure_detection_ms")
+    if detection_ms is not None:
+        overrides["failure_detection_ms"] = float(detection_ms)
+    config = HuntConfig(
+        scenario=str(params.get("scenario", "canonical")),
+        attempts=int(params.get("attempts", 10)),
+        horizon_ms=float(params.get("horizon_ms", 20_000.0)),
+        shards=int(params.get("shards", 2)),
+        replicas=int(params.get("replicas", 2)),
+        max_rules=int(params.get("max_rules", 5)),
+        config_overrides=tuple(sorted(overrides.items())),
+    )
+    result = hunt(config, hunt_seed=root_seed)
+    return {
+        "found": 1.0 if result.found else 0.0,
+        "attempts": float(result.attempts),
+        "violations": float(len(result.violations)),
+        "original_rules": float(result.original_rules),
+        "shrunk_rules": float(result.shrunk_rules),
+        "shrink_runs": float(result.shrink_runs),
+    }
+
+
 def _selftest(params: Dict[str, Any], root_seed: int) -> MetricsDict:
     """Deterministic pseudo-metrics in microseconds — engine self-checks."""
     if int(params.get("fail", 0)):
@@ -413,6 +444,28 @@ register(
             "horizon_ms": "simulated horizon in ms (default 20000)",
             "n_clients": "clients issuing discovery traffic (default 3)",
             "top_n": "size of the maintained candidate set (default 3)",
+        },
+    )
+)
+register(
+    SweepableExperiment(
+        name="chaos_hunt",
+        fn=_chaos_hunt,
+        description="schedule search: seeded hunts for invariant violations,"
+        " with shrinking (find rate / shrink stats per cell)",
+        default_grid={
+            "scenario": ["canonical", "controlplane"],
+            "failure_detection_ms": [None, 4000.0],
+        },
+        param_help={
+            "scenario": "scenario family plans replay on (canonical|controlplane)",
+            "attempts": "schedules sampled per hunt (default 10)",
+            "failure_detection_ms": "weakened detection budget override"
+            " (None = the scenario default)",
+            "horizon_ms": "simulated horizon in ms (default 20000)",
+            "shards": "control-plane shards (controlplane scenario)",
+            "replicas": "replicas per shard (controlplane scenario)",
+            "max_rules": "max rules per sampled schedule (default 5)",
         },
     )
 )

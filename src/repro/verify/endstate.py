@@ -1,0 +1,64 @@
+"""End-of-run attachment checks, shared by both backends.
+
+These are the original recovery invariants from
+:mod:`repro.faults.scenarios`, re-expressed as a pure function over an
+:class:`AttachmentView` — a backend-neutral snapshot of who believes
+what at the end of a run. The sim builds the view from its node/client
+objects, the live runtime from its cluster actors; both get the exact
+same checks (and the exact same problem strings the chaos reports and
+CI smoke jobs have always shown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+__all__ = ["AttachmentView", "check_attachment_view"]
+
+
+@dataclass
+class AttachmentView:
+    """End-of-run attachment state from one backend.
+
+    Attributes:
+        client_edges: user id -> the edge the client believes it is
+            attached to (None = not attached).
+        node_alive: node id -> liveness at end of run.
+        node_attached: node id -> users in its admission state. Dead
+            nodes may be omitted — their state is not checked.
+    """
+
+    client_edges: Dict[str, Optional[str]] = field(default_factory=dict)
+    node_alive: Dict[str, bool] = field(default_factory=dict)
+    node_attached: Dict[str, Set[str]] = field(default_factory=dict)
+
+
+def check_attachment_view(view: AttachmentView) -> List[str]:
+    """The recovery invariants on one end-of-run view.
+
+    Every client must be re-attached to an alive node that agrees it is
+    attached, and no alive node may hold admission state for a user who
+    has moved on (stranded state). Returns human-readable problem
+    strings; empty == the run recovered cleanly.
+    """
+    problems: List[str] = []
+    for user_id, edge_id in view.client_edges.items():
+        if edge_id is None:
+            problems.append(f"{user_id} not re-attached by end of run")
+            continue
+        if edge_id not in view.node_alive or not view.node_alive[edge_id]:
+            problems.append(f"{user_id} attached to dead node {edge_id}")
+        elif user_id not in view.node_attached.get(edge_id, set()):
+            problems.append(
+                f"{user_id} claims {edge_id} but is missing from its admission state"
+            )
+    for node_id, attached in view.node_attached.items():
+        if not view.node_alive.get(node_id, False):
+            continue
+        for user_id in sorted(attached):
+            if view.client_edges.get(user_id) != node_id:
+                problems.append(
+                    f"stranded admission state: {user_id} still on {node_id}"
+                )
+    return problems

@@ -116,6 +116,37 @@ def test_chaos_parity_shared_invariants():
     assert live_report.event_counts.get("covered_failover", 0) > 0
 
 
+@pytest.mark.slow
+def test_live_chaos_drains_crash_window_past_horizon():
+    """A NodeCrash whose restart lands *beyond* the plan horizon must
+    still be executed before teardown: the controller drains the whole
+    action script, so the cluster is torn down with the node back up and
+    no cancelled-task debris leaking into the loop."""
+    from repro.faults import NodeCrash
+    from repro.nodes.hardware import VOLUNTEER_PROFILES
+
+    horizon = 2_000.0
+    node_id = f"edge-01-{VOLUNTEER_PROFILES[0].name}"
+    plan = FaultPlan(
+        crashes=(
+            NodeCrash(
+                "late-crash", node_id, at_ms=1_000.0, restart_at_ms=3_000.0
+            ),
+        )
+    )
+    report, events = asyncio.run(
+        run_live_chaos(3, horizon_ms=horizon, plan=plan)
+    )
+    assert report.task_errors == []
+    # both halves of the crash window ran, even the post-horizon restart
+    assert report.injected.get("crash", 0) == 1
+    assert report.injected.get("restart", 0) == 1
+    restarts = [e for e in events if e.type == "node_restart"]
+    assert [e.node_id for e in restarts] == [node_id]
+    # end-state recovery invariants hold on the torn-down cluster
+    assert report.problems == []
+
+
 # ----------------------------------------------------------------------
 # The canonical plan itself
 # ----------------------------------------------------------------------

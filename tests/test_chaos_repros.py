@@ -1,0 +1,42 @@
+"""Regression corpus: every minimal reproducer ever hunted stays pinned.
+
+``tests/golden/chaos_repros/`` holds the artifacts emitted by past
+chaos hunts (each a shrunk plan + seed + config + expected violation).
+Replaying one must reproduce its violation *exactly* — same invariant,
+same event index, same timestamp — forever. A failure here means the
+determinism contract broke (injector draw order, sim scheduling, trace
+schema) or a behaviour change genuinely fixed/moved the bug; either
+way the artifact diff is the starting point, not a file to regenerate
+blindly.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.faults.search import ReproArtifact, replay_artifact
+
+CORPUS = Path(__file__).parent / "golden" / "chaos_repros"
+ARTIFACTS = sorted(CORPUS.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert ARTIFACTS, f"no repro artifacts found under {CORPUS}"
+
+
+@pytest.mark.parametrize(
+    "path", ARTIFACTS, ids=[p.stem for p in ARTIFACTS]
+)
+def test_golden_repro_replays_bit_identically(path):
+    artifact = ReproArtifact.load(str(path))
+    assert artifact.version == 1
+    # the corpus keeps only *minimal* reproducers
+    assert len(artifact.plan) <= 3
+
+    report, events, reproduced = replay_artifact(artifact)
+    assert events, "replay produced an empty trace"
+    assert reproduced, (
+        f"{path.name}: expected violation did not reproduce exactly.\n"
+        f"expected: {artifact.violation}\n"
+        f"got: {[str(v) for v in getattr(report, 'violations', [])]}"
+    )

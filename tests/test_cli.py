@@ -184,6 +184,70 @@ def test_chaos_command_runs_sim_and_dumps_trace(tmp_path, capsys):
     assert all("type" in json.loads(line) for line in lines[:10])
 
 
+def test_chaos_check_passes_on_canonical_trace(tmp_path, capsys):
+    trace = tmp_path / "chaos.jsonl"
+    assert main(["chaos", "--seed", "0", "--out", str(trace)]) == 0
+    capsys.readouterr()
+    assert main(["chaos", "check", str(trace)]) == 0
+    assert "all streaming invariants hold" in capsys.readouterr().out
+
+
+def test_chaos_check_reports_violations_with_exit_1(tmp_path, capsys):
+    import json
+
+    from repro.obs.events import FrameStart
+
+    trace = tmp_path / "bad.jsonl"
+    events = [
+        FrameStart(0.0, "user-01", "edge-a", 2),
+        FrameStart(10.0, "user-01", "edge-a", 1),
+    ]
+    trace.write_text(
+        "".join(json.dumps(e.to_dict()) + "\n" for e in events)
+    )
+    assert main(["chaos", "check", str(trace)]) == 1
+    err = capsys.readouterr().err
+    assert "invariant violation" in err
+    assert "seq_monotonic" in err
+
+
+def test_chaos_hunt_replay_cycle(tmp_path, capsys):
+    artifact = tmp_path / "repro.json"
+    code = main([
+        "chaos", "hunt",
+        "--scenario", "controlplane",
+        "--seed", "0",
+        "--attempts", "10",
+        "--config", "failure_detection_ms=4000",
+        "--out", str(artifact),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "found=True" in out
+    assert artifact.exists()
+
+    import json
+
+    plan = json.loads(artifact.read_text())["plan"]
+    n_rules = sum(len(v) for v in plan.values())
+    assert n_rules <= 3
+
+    assert main(["chaos", "replay", str(artifact)]) == 0
+    out = capsys.readouterr().out
+    assert "reproduced: identical violation" in out
+
+
+def test_chaos_hunt_not_found_exits_1(tmp_path, capsys):
+    code = main([
+        "chaos", "hunt", "--seed", "0", "--attempts", "0",
+        "--out", str(tmp_path / "repro.json"),
+    ])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "no violation found" in captured.err
+    assert not (tmp_path / "repro.json").exists()
+
+
 def test_trace_summary_of_existing_file(tmp_path, capsys):
     from repro.obs import (
         FrameDone,

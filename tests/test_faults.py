@@ -199,6 +199,65 @@ def test_injector_rules_draw_from_independent_streams():
     assert lone_seq == paired_seq
 
 
+def _decision_seq(injector, n=200):
+    out = []
+    for t in range(n):
+        d = injector.decide("a", "b", "frame", float(t))
+        out.append((d.deliver, d.copies, round(d.extra_delay_ms, 9)))
+    return out
+
+
+def test_injector_rule_removal_leaves_surviving_streams_unperturbed():
+    """Dropping rules never changes the draws of the rules that remain.
+
+    This is the determinism contract the schedule-search shrinker leans
+    on: a shrunk plan must replay its surviving faults exactly as the
+    original did, or delta debugging would chase phantom timing shifts.
+    """
+    full = FaultPlan(
+        message_faults=(
+            MessageFault("keep", drop_p=0.4, delay_ms=10.0, delay_p=0.5),
+            MessageFault("dead-weight", src="nobody", drop_p=0.9),
+            MessageFault("more-weight", src="also-nobody", duplicate_p=0.9),
+        )
+    )
+    shrunk = FaultPlan(
+        message_faults=(
+            MessageFault("keep", drop_p=0.4, delay_ms=10.0, delay_p=0.5),
+        )
+    )
+    assert _decision_seq(FaultInjector(full, seed=7)) == _decision_seq(
+        FaultInjector(shrunk, seed=7)
+    )
+
+
+def test_injector_rule_reordering_leaves_streams_unperturbed():
+    """Rule order must not matter to any rule's private stream.
+
+    Both rules match every frame, so first-drop-wins arbitration and the
+    delay compositing both run — in both orders — over identical draws.
+    """
+    a = MessageFault("a", drop_p=0.3)
+    b = MessageFault("b", delay_ms=25.0, delay_jitter_ms=10.0, delay_p=0.6)
+    forward = FaultInjector(FaultPlan(message_faults=(a, b)), seed=11)
+    backward = FaultInjector(FaultPlan(message_faults=(b, a)), seed=11)
+    assert _decision_seq(forward) == _decision_seq(backward)
+
+
+def test_plan_round_trips_through_dict():
+    from repro.faults import plan_from_dict, plan_to_dict
+    from repro.faults.scenarios import chaos_plan, controlplane_chaos_plan
+    import json
+
+    for plan in (
+        chaos_plan(["edge-a", "edge-b", "edge-c"]),
+        controlplane_chaos_plan([0, 1], ["edge-a", "edge-b"]),
+        FaultPlan(outages=(ManagerOutage("forever", Window(100.0)),)),
+    ):
+        wire = json.loads(json.dumps(plan_to_dict(plan)))
+        assert plan_from_dict(wire) == plan
+
+
 def test_injector_gray_factor():
     plan = FaultPlan(
         gray_nodes=(GrayNode("g", "edge-a", Window(10.0, 20.0), slowdown=6.0),)
